@@ -1,0 +1,135 @@
+// Ablation — graph representation (§2.2): the paper's hash-table-of-nodes
+// with sorted adjacency vectors vs. Compressed Sparse Row.
+//
+// What the paper claims:
+//   * CSR is the gold standard for static traversal, but "deleting a
+//     single edge requires time linear in the total number of edges";
+//   * the dynamic representation "does not dramatically impact the
+//     performance of graph algorithms" (edge delete is O(degree)).
+//
+// This binary measures both sides of that trade: traversal (full edge
+// sweep + BFS) and single-edge deletion on both representations.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "algo/bfs.h"
+#include "bench/bench_common.h"
+#include "graph/csr_graph.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+const CsrGraph& Csr() {
+  static const CsrGraph g = CsrGraph::FromGraph(*LiveJournalSim().graph);
+  return g;
+}
+
+// Full edge sweep: sum of destination ids over every edge.
+void BM_Repr_EdgeSweep_HashGraph(benchmark::State& state) {
+  const DirectedGraph& g = *LiveJournalSim().graph;
+  for (auto _ : state) {
+    int64_t sum = 0;
+    g.ForEachEdge([&](NodeId, NodeId v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(g.NumEdges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Repr_EdgeSweep_HashGraph)->Unit(benchmark::kMillisecond);
+
+void BM_Repr_EdgeSweep_Csr(benchmark::State& state) {
+  const CsrGraph& g = Csr();
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int64_t u = 0; u < g.NumNodes(); ++u) {
+      for (int64_t v : g.OutNeighbors(u)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(g.NumEdges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Repr_EdgeSweep_Csr)->Unit(benchmark::kMillisecond);
+
+// BFS from a fixed source.
+void BM_Repr_Bfs_HashGraph(benchmark::State& state) {
+  const DirectedGraph& g = *LiveJournalSim().graph;
+  const NodeId src = g.SortedNodeIds().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BfsDistances(g, src));
+  }
+}
+BENCHMARK(BM_Repr_Bfs_HashGraph)->Unit(benchmark::kMillisecond);
+
+void BM_Repr_Bfs_Csr(benchmark::State& state) {
+  const CsrGraph& g = Csr();
+  std::vector<int64_t> dist;
+  std::vector<int64_t> queue;
+  for (auto _ : state) {
+    dist.assign(g.NumNodes(), -1);
+    queue.clear();
+    dist[0] = 0;
+    queue.push_back(0);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const int64_t u = queue[head];
+      for (int64_t v : g.OutNeighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(queue.size());
+  }
+}
+BENCHMARK(BM_Repr_Bfs_Csr)->Unit(benchmark::kMillisecond);
+
+// Single-edge deletion: O(degree) on the hash graph, O(|E|) on CSR.
+void BM_Repr_DelEdge_HashGraph(benchmark::State& state) {
+  DirectedGraph g = *LiveJournalSim().graph;  // Mutable copy.
+  std::vector<Edge> edges;
+  g.ForEachEdge([&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  Rng rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    // Delete then re-add a random edge so the graph never shrinks away.
+    const Edge e = edges[rng.UniformInt(0, static_cast<int64_t>(edges.size()) - 1)];
+    g.DelEdge(e.first, e.second);
+    g.AddEdge(e.first, e.second);
+    benchmark::DoNotOptimize(i++);
+  }
+  state.counters["deletes_per_sec"] = benchmark::Counter(
+      2.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Repr_DelEdge_HashGraph);
+
+void BM_Repr_DelEdge_Csr(benchmark::State& state) {
+  // Rebuilding CSR after every delete is the honest cost model; deleting
+  // in place still shifts O(|E|) array entries.
+  CsrGraph g = CsrGraph::FromGraph(*LiveJournalSim().graph);
+  std::vector<Edge> edges;
+  LiveJournalSim().graph->ForEachEdge(
+      [&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
+  Rng rng(1);
+  for (auto _ : state) {
+    const Edge e = edges[rng.UniformInt(0, static_cast<int64_t>(edges.size()) - 1)];
+    benchmark::DoNotOptimize(g.DelEdge(e.first, e.second));
+    state.PauseTiming();
+    g = CsrGraph::FromGraph(*LiveJournalSim().graph);  // Restore.
+    state.ResumeTiming();
+  }
+  state.counters["deletes_per_sec"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Repr_DelEdge_Csr)->Iterations(20);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Ablation — OpenMP thread scaling (§2.5). The paper's claim rests on "a
+// few OpenMP statements" giving full utilization of an 80-hyperthread
+// machine; this bench sweeps the thread cap over parallel PageRank, the
+// sort-first conversion, and the parallel sort primitive underneath it.
+//
+// On a single-core machine every point degenerates to the same value; on a
+// multi-core machine the sweep shows the scaling curve.
+#include <benchmark/benchmark.h>
+
+#include "algo/pagerank.h"
+#include "bench/bench_common.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+class ThreadCapGuard {
+ public:
+  explicit ThreadCapGuard(int cap) { SetNumThreads(cap); }
+  ~ThreadCapGuard() { SetNumThreads(0); }
+};
+
+void BM_Threads_ParallelPageRank(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  ThreadCapGuard guard(static_cast<int>(state.range(0)));
+  PageRankConfig cfg;
+  cfg.max_iters = 10;
+  cfg.tol = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParallelPageRank(*d.graph, cfg).ValueOrDie());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Threads_ParallelPageRank)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Threads_SortFirstConversion(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  ThreadCapGuard guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto g = TableToGraph(*d.edge_table, "src", "dst");
+    benchmark::DoNotOptimize(std::move(g).ValueOrDie().NumEdges());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Threads_SortFirstConversion)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Threads_ParallelSort(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<int64_t> base(2000000);
+  for (auto& x : base) x = static_cast<int64_t>(rng.Next());
+  ThreadCapGuard guard(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<int64_t> v = base;
+    state.ResumeTiming();
+    ParallelSort(v.begin(), v.end());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Threads_ParallelSort)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+BENCHMARK_MAIN();

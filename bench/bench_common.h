@@ -1,0 +1,90 @@
+// Shared benchmark scaffolding: the scaled-down paper datasets (DESIGN.md
+// §3), cached so every benchmark in a binary reuses one build, plus the
+// paper's published numbers for side-by-side counters.
+//
+// Scaling: RINGO_BENCH_SCALE (default 0.1) multiplies the stand-in dataset
+// sizes. At 1.0, LiveJournalSim has 1M edges and TwitterSim 4M; the paper's
+// real datasets had 69M and 1.5B — rates (rows/s, edges/s) are the
+// comparable quantity, not absolute seconds.
+#ifndef RINGO_BENCH_BENCH_COMMON_H_
+#define RINGO_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/conversion.h"
+#include "gen/graph_gen.h"
+#include "graph/directed_graph.h"
+#include "table/table.h"
+
+namespace ringo {
+namespace bench {
+
+inline double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("RINGO_BENCH_SCALE");
+    if (env == nullptr) return 0.1;
+    const double v = std::atof(env);
+    return v > 0 ? v : 0.1;
+  }();
+  return scale;
+}
+
+// One paper-dataset stand-in: raw edge list, edge table, and graph.
+struct Dataset {
+  std::string name;
+  std::vector<Edge> edges;          // Raw samples (may contain duplicates).
+  TablePtr edge_table;              // Two int columns: src, dst.
+  std::shared_ptr<DirectedGraph> graph;
+
+  int64_t rows() const { return edge_table->NumRows(); }
+};
+
+inline Dataset MakeDataset(std::string name, std::vector<Edge> edges) {
+  Dataset d;
+  d.name = std::move(name);
+  d.edges = std::move(edges);
+  Schema schema{{"src", ColumnType::kInt}, {"dst", ColumnType::kInt}};
+  d.edge_table = Table::Create(std::move(schema));
+  Column& src = d.edge_table->mutable_column(0);
+  Column& dst = d.edge_table->mutable_column(1);
+  const int64_t n = static_cast<int64_t>(d.edges.size());
+  src.Resize(n);
+  dst.Resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    src.SetInt(i, d.edges[i].first);
+    dst.SetInt(i, d.edges[i].second);
+  }
+  d.edge_table->SealAppendedRows(n).Abort("MakeDataset");
+  d.graph = std::make_shared<DirectedGraph>(
+      TableToGraph(*d.edge_table, "src", "dst").ValueOrDie());
+  return d;
+}
+
+// Cached stand-ins (built on first use).
+inline const Dataset& LiveJournalSim() {
+  static const Dataset d =
+      MakeDataset("LiveJournalSim", gen::LiveJournalSimEdges(BenchScale()));
+  return d;
+}
+
+inline const Dataset& TwitterSim() {
+  static const Dataset d =
+      MakeDataset("TwitterSim", gen::TwitterSimEdges(BenchScale()));
+  return d;
+}
+
+// Attaches the number the paper reports for this row (seconds on the
+// 80-hyperthread machine with the full-size dataset) so the console output
+// reads paper-vs-measured.
+inline void SetPaperSeconds(::benchmark::State& state, double seconds) {
+  state.counters["paper_seconds_fullsize"] = ::benchmark::Counter(seconds);
+}
+
+}  // namespace bench
+}  // namespace ringo
+
+#endif  // RINGO_BENCH_BENCH_COMMON_H_

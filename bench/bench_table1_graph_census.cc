@@ -1,0 +1,75 @@
+// Table 1 — "Graph size statistics of 71 graphs publicly available in the
+// Stanford Large Network Collection."
+//
+// Paper's histogram:     <0.1M: 16 | 0.1M–1M: 25 | 1M–10M: 17 |
+//                        10M–100M: 7 | 100M–1B: 5 | >1B: 1
+//
+// This binary recomputes the histogram from the embedded census snapshot
+// (bench/snap_collection.h) and times the bucketing pass itself (a trivial
+// table scan, included so the binary is a real benchmark target).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+
+#include "bench/snap_collection.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+std::array<int64_t, 6> Histogram() {
+  std::array<int64_t, 6> buckets{};
+  for (const SnapDataset& d : kSnapCollection2015) {
+    if (d.edges < 100000) ++buckets[0];
+    else if (d.edges < 1000000) ++buckets[1];
+    else if (d.edges < 10000000) ++buckets[2];
+    else if (d.edges < 100000000) ++buckets[3];
+    else if (d.edges < 1000000000) ++buckets[4];
+    else ++buckets[5];
+  }
+  return buckets;
+}
+
+void BM_Table1_Census(benchmark::State& state) {
+  std::array<int64_t, 6> buckets{};
+  for (auto _ : state) {
+    buckets = Histogram();
+    benchmark::DoNotOptimize(buckets);
+  }
+  state.counters["graphs_total"] = kSnapCollectionSize;
+  state.counters["lt_100M_pct"] =
+      100.0 * (buckets[0] + buckets[1] + buckets[2] + buckets[3]) /
+      kSnapCollectionSize;
+}
+BENCHMARK(BM_Table1_Census);
+
+void PrintTable1() {
+  const auto buckets = Histogram();
+  const char* rows[] = {"<0.1M", "0.1M - 1M", "1M - 10M",
+                        "10M - 100M", "100M - 1B", ">1B"};
+  const int64_t paper[] = {16, 25, 17, 7, 5, 1};
+  std::printf("\n=== Table 1: Graph size statistics (SNAP collection) ===\n");
+  std::printf("%-14s %-18s %-10s\n", "Number of Edges", "Number of Graphs",
+              "(paper)");
+  int64_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::printf("%-14s %-18lld %-10lld\n", rows[i],
+                static_cast<long long>(buckets[i]),
+                static_cast<long long>(paper[i]));
+    total += buckets[i];
+  }
+  std::printf("total graphs: %lld (paper: 71)\n",
+              static_cast<long long>(total));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ringo::bench::PrintTable1();
+  return 0;
+}

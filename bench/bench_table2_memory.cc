@@ -1,0 +1,94 @@
+// Table 2 — "Experiment graphs": text file size, in-memory graph size and
+// in-memory table size for LiveJournal and Twitter2010.
+//
+// Paper (full-size datasets):
+//   LiveJournal  — text 1.1GB,  graph 0.7GB,  table 1.1GB
+//   Twitter2010  — text 26.2GB, graph 13.2GB, table 23.5GB
+//
+// Shape to check at reduced scale: graph object < table object < text
+// file, and bytes-per-edge in the same band as the paper (~10B/edge graph,
+// ~16B/edge table, ~17B/edge text).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "table/table_io.h"
+#include "util/string_util.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+// Text-file size: measured by actually serializing the edge table to TSV.
+int64_t TextFileSize(const Dataset& d) {
+  const std::string path =
+      std::string("/tmp/ringo_bench_") + d.name + ".tsv";
+  SaveTableTSV(*d.edge_table, path).Abort("TextFileSize");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const int64_t size = std::ftell(f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  return size;
+}
+
+void MemoryCounters(benchmark::State& state, const Dataset& d) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.graph->MemoryUsageBytes());
+  }
+  const int64_t graph_bytes = d.graph->MemoryUsageBytes();
+  const int64_t table_bytes = d.edge_table->MemoryUsageBytes();
+  state.counters["graph_bytes"] = static_cast<double>(graph_bytes);
+  state.counters["table_bytes"] = static_cast<double>(table_bytes);
+  state.counters["graph_bytes_per_edge"] =
+      static_cast<double>(graph_bytes) / static_cast<double>(d.graph->NumEdges());
+  state.counters["table_bytes_per_row"] =
+      static_cast<double>(table_bytes) / static_cast<double>(d.rows());
+}
+
+void BM_Table2_LiveJournalSim(benchmark::State& state) {
+  MemoryCounters(state, LiveJournalSim());
+}
+BENCHMARK(BM_Table2_LiveJournalSim);
+
+void BM_Table2_TwitterSim(benchmark::State& state) {
+  MemoryCounters(state, TwitterSim());
+}
+BENCHMARK(BM_Table2_TwitterSim);
+
+void PrintTable2() {
+  std::printf("\n=== Table 2: Experiment graphs (scaled stand-ins) ===\n");
+  std::printf("%-22s %-16s %-16s\n", "", "LiveJournalSim", "TwitterSim");
+  const Dataset& lj = LiveJournalSim();
+  const Dataset& tw = TwitterSim();
+  std::printf("%-22s %-16lld %-16lld\n", "Nodes",
+              static_cast<long long>(lj.graph->NumNodes()),
+              static_cast<long long>(tw.graph->NumNodes()));
+  std::printf("%-22s %-16lld %-16lld\n", "Edges",
+              static_cast<long long>(lj.graph->NumEdges()),
+              static_cast<long long>(tw.graph->NumEdges()));
+  std::printf("%-22s %-16s %-16s\n", "Text File Size",
+              FormatBytes(TextFileSize(lj)).c_str(),
+              FormatBytes(TextFileSize(tw)).c_str());
+  std::printf("%-22s %-16s %-16s\n", "In-memory Graph Size",
+              FormatBytes(lj.graph->MemoryUsageBytes()).c_str(),
+              FormatBytes(tw.graph->MemoryUsageBytes()).c_str());
+  std::printf("%-22s %-16s %-16s\n", "In-memory Table Size",
+              FormatBytes(lj.edge_table->MemoryUsageBytes()).c_str(),
+              FormatBytes(tw.edge_table->MemoryUsageBytes()).c_str());
+  std::printf(
+      "(paper, full size: LiveJournal text 1.1GB / graph 0.7GB / table "
+      "1.1GB; Twitter2010 text 26.2GB / graph 13.2GB / table 23.5GB)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ringo::bench::PrintTable2();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// Table 4 — "Ringo performance of Select and Join operations on tables."
+//
+// Paper (full size, rows/s includes both join inputs):
+//   Select 10K in place:      LJ <0.2s (405.9M rows/s)   TW 1.6s (935.3M)
+//   Select all-10K in place:  LJ <0.1s (575.0M rows/s)   TW 1.6s (917.7M)
+//   Join 10K:                 LJ 0.6s (109.5M rows/s)    TW 4.2s (348.8M)
+//   Join all-10K:             LJ 3.1s (44.5M rows/s)     TW 29.7s (98.8M)
+//
+// Workload construction mirrors the paper: selects compare an int column
+// with a constant chosen so the output is either 10K rows or all-but-10K
+// rows; joins probe the edge table against a single-column key table sized
+// to produce those output cardinalities.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+// Returns a copy of the dataset's edge table with an extra dense "rowid"
+// column to select/join on (values 0..n-1, so constants cut exact sizes).
+TablePtr TableWithRowIdColumn(const Dataset& d) {
+  Schema schema{{"src", ColumnType::kInt},
+                {"dst", ColumnType::kInt},
+                {"rowid", ColumnType::kInt}};
+  TablePtr t = Table::Create(std::move(schema), d.edge_table->pool());
+  const int64_t n = d.rows();
+  for (int c = 0; c < 2; ++c) {
+    t->mutable_column(c).Resize(n);
+  }
+  t->mutable_column(2).Resize(n);
+  for (int64_t i = 0; i < n; ++i) {
+    t->mutable_column(0).SetInt(i, d.edge_table->column(0).GetInt(i));
+    t->mutable_column(1).SetInt(i, d.edge_table->column(1).GetInt(i));
+    t->mutable_column(2).SetInt(i, i);
+  }
+  t->SealAppendedRows(n).Abort("TableWithRowIdColumn");
+  return t;
+}
+
+int64_t SelectCut(const Dataset& d) {
+  // 10K at full scale, proportionally fewer at reduced scale (but >= 100).
+  return std::max<int64_t>(100, static_cast<int64_t>(10000 * BenchScale()));
+}
+
+// -- Select: rows where rowid < cut (small output) or >= cut (large). ----
+
+void RunSelectInPlace(benchmark::State& state, const Dataset& d,
+                      bool small_output, double paper_seconds,
+                      double paper_rate_mrows) {
+  const int64_t cut = SelectCut(d);
+  const int64_t n = d.rows();
+  for (auto _ : state) {
+    state.PauseTiming();  // Rebuild: in-place select destroys the input.
+    TablePtr t = TableWithRowIdColumn(d);
+    state.ResumeTiming();
+    if (small_output) {
+      t->SelectInPlace("rowid", CmpOp::kLt, cut).Abort("select");
+    } else {
+      t->SelectInPlace("rowid", CmpOp::kGe, cut).Abort("select");
+    }
+    benchmark::DoNotOptimize(t->NumRows());
+  }
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["paper_mrows_per_sec"] = paper_rate_mrows * 1e6;
+  SetPaperSeconds(state, paper_seconds);
+}
+
+void BM_Table4_Select10K_LiveJournalSim(benchmark::State& state) {
+  RunSelectInPlace(state, LiveJournalSim(), true, 0.2, 405.9);
+}
+BENCHMARK(BM_Table4_Select10K_LiveJournalSim)->Unit(benchmark::kMillisecond);
+
+void BM_Table4_Select10K_TwitterSim(benchmark::State& state) {
+  RunSelectInPlace(state, TwitterSim(), true, 1.6, 935.3);
+}
+BENCHMARK(BM_Table4_Select10K_TwitterSim)->Unit(benchmark::kMillisecond);
+
+void BM_Table4_SelectAllBut10K_LiveJournalSim(benchmark::State& state) {
+  RunSelectInPlace(state, LiveJournalSim(), false, 0.1, 575.0);
+}
+BENCHMARK(BM_Table4_SelectAllBut10K_LiveJournalSim)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Table4_SelectAllBut10K_TwitterSim(benchmark::State& state) {
+  RunSelectInPlace(state, TwitterSim(), false, 1.6, 917.7);
+}
+BENCHMARK(BM_Table4_SelectAllBut10K_TwitterSim)->Unit(benchmark::kMillisecond);
+
+// -- Join: edge table ⋈ single-column key table. --------------------------
+
+// Key table with `keys` distinct rowid values → output has `keys` rows.
+TablePtr KeyTable(const Dataset& d, int64_t keys) {
+  Schema schema{{"k", ColumnType::kInt}};
+  TablePtr t = Table::Create(std::move(schema), d.edge_table->pool());
+  Column& c = t->mutable_column(0);
+  c.Resize(keys);
+  for (int64_t i = 0; i < keys; ++i) c.SetInt(i, i);
+  t->SealAppendedRows(keys).Abort("KeyTable");
+  return t;
+}
+
+void RunJoin(benchmark::State& state, const Dataset& d, bool small_output,
+             double paper_seconds, double paper_rate_mrows) {
+  const int64_t cut = SelectCut(d);
+  TablePtr input = TableWithRowIdColumn(d);
+  const int64_t keys = small_output ? cut : d.rows() - cut;
+  TablePtr key_table = KeyTable(d, keys);
+  for (auto _ : state) {
+    auto out = Table::Join(*input, *key_table, "rowid", "k");
+    benchmark::DoNotOptimize(std::move(out).ValueOrDie()->NumRows());
+  }
+  // The paper's rate counts rows of both join inputs.
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(d.rows() + keys),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["paper_mrows_per_sec"] = paper_rate_mrows * 1e6;
+  SetPaperSeconds(state, paper_seconds);
+}
+
+void BM_Table4_Join10K_LiveJournalSim(benchmark::State& state) {
+  RunJoin(state, LiveJournalSim(), true, 0.6, 109.5);
+}
+BENCHMARK(BM_Table4_Join10K_LiveJournalSim)->Unit(benchmark::kMillisecond);
+
+void BM_Table4_Join10K_TwitterSim(benchmark::State& state) {
+  RunJoin(state, TwitterSim(), true, 4.2, 348.8);
+}
+BENCHMARK(BM_Table4_Join10K_TwitterSim)->Unit(benchmark::kMillisecond);
+
+void BM_Table4_JoinAllBut10K_LiveJournalSim(benchmark::State& state) {
+  RunJoin(state, LiveJournalSim(), false, 3.1, 44.5);
+}
+BENCHMARK(BM_Table4_JoinAllBut10K_LiveJournalSim)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Table4_JoinAllBut10K_TwitterSim(benchmark::State& state) {
+  RunJoin(state, TwitterSim(), false, 29.7, 98.8);
+}
+BENCHMARK(BM_Table4_JoinAllBut10K_TwitterSim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table + ablation into text logs (test_output.txt, bench_output.txt).
+#
+# Usage:
+#   scripts/run_all_experiments.sh [scale]
+#
+# `scale` multiplies the stand-in dataset sizes (default 0.1; the paper's
+# full-size datasets would correspond to roughly 40-400, which needs a
+# big-memory machine — the whole point of the paper).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.1}"
+export RINGO_BENCH_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benchmarks (RINGO_BENCH_SCALE=$SCALE) =="
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+echo "done: test_output.txt bench_output.txt"

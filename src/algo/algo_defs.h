@@ -1,0 +1,23 @@
+// Common result types for graph algorithms. Per-node results are returned
+// as (node id, value) pairs sorted by node id — a representation that
+// converts directly into a Ringo table column pair (see core/engine.h,
+// TableFromMap) and is deterministic regardless of hash order.
+#ifndef RINGO_ALGO_ALGO_DEFS_H_
+#define RINGO_ALGO_ALGO_DEFS_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph_defs.h"
+
+namespace ringo {
+
+template <typename T>
+using NodeMap = std::vector<std::pair<NodeId, T>>;
+
+using NodeValues = NodeMap<double>;
+using NodeInts = NodeMap<int64_t>;
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_ALGO_DEFS_H_

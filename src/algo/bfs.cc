@@ -1,0 +1,181 @@
+#include "algo/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+
+namespace {
+
+// Generic BFS: calls visit(node, dist) for every reached node; expand(node)
+// yields neighbor ranges to follow.
+template <typename Expand>
+void RunBfs(NodeId src, const Expand& expand,
+            FlatHashMap<NodeId, int64_t>* dist) {
+  std::deque<NodeId> queue;
+  dist->Insert(src, 0);
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const int64_t du = *dist->Find(u);
+    expand(u, [&](NodeId v) {
+      if (dist->Insert(v, du + 1).second) queue.push_back(v);
+    });
+  }
+}
+
+NodeInts SortedPairs(const FlatHashMap<NodeId, int64_t>& dist) {
+  NodeInts out;
+  out.reserve(dist.size());
+  dist.ForEach([&](NodeId id, const int64_t& d) { out.emplace_back(id, d); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Neighbor expansion for a directed graph under a BfsDir policy.
+struct DirectedExpand {
+  const DirectedGraph* g;
+  BfsDir dir;
+
+  template <typename Visit>
+  void operator()(NodeId u, const Visit& visit) const {
+    const DirectedGraph::NodeData* nd = g->GetNode(u);
+    if (dir == BfsDir::kOut || dir == BfsDir::kBoth) {
+      for (NodeId v : nd->out) visit(v);
+    }
+    if (dir == BfsDir::kIn || dir == BfsDir::kBoth) {
+      for (NodeId v : nd->in) visit(v);
+    }
+  }
+};
+
+struct UndirectedExpand {
+  const UndirectedGraph* g;
+
+  template <typename Visit>
+  void operator()(NodeId u, const Visit& visit) const {
+    for (NodeId v : g->GetNode(u)->nbrs) visit(v);
+  }
+};
+
+}  // namespace
+
+NodeInts BfsDistances(const DirectedGraph& g, NodeId src, BfsDir dir) {
+  if (!g.HasNode(src)) return {};
+  FlatHashMap<NodeId, int64_t> dist;
+  RunBfs(src, DirectedExpand{&g, dir}, &dist);
+  return SortedPairs(dist);
+}
+
+NodeInts BfsDistances(const UndirectedGraph& g, NodeId src) {
+  if (!g.HasNode(src)) return {};
+  FlatHashMap<NodeId, int64_t> dist;
+  RunBfs(src, UndirectedExpand{&g}, &dist);
+  return SortedPairs(dist);
+}
+
+std::vector<NodeId> BfsReachable(const DirectedGraph& g, NodeId src,
+                                 BfsDir dir) {
+  std::vector<NodeId> out;
+  for (const auto& [id, d] : BfsDistances(g, src, dir)) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> BfsReachable(const UndirectedGraph& g, NodeId src) {
+  std::vector<NodeId> out;
+  for (const auto& [id, d] : BfsDistances(g, src)) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> ShortestPath(const DirectedGraph& g, NodeId src,
+                                 NodeId dst, BfsDir dir) {
+  if (!g.HasNode(src) || !g.HasNode(dst)) return {};
+  FlatHashMap<NodeId, NodeId> parent;
+  FlatHashMap<NodeId, int64_t> dist;
+  std::deque<NodeId> queue;
+  dist.Insert(src, 0);
+  queue.push_back(src);
+  const DirectedExpand expand{&g, dir};
+  bool found = (src == dst);
+  while (!queue.empty() && !found) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const int64_t du = *dist.Find(u);
+    expand(u, [&](NodeId v) {
+      if (dist.Insert(v, du + 1).second) {
+        parent.Insert(v, u);
+        if (v == dst) found = true;
+        queue.push_back(v);
+      }
+    });
+  }
+  if (!found) return {};
+  std::vector<NodeId> path{dst};
+  while (path.back() != src) path.push_back(*parent.Find(path.back()));
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int64_t BfsDepth(const DirectedGraph& g, NodeId src, BfsDir dir) {
+  if (!g.HasNode(src)) return -1;
+  int64_t depth = 0;
+  for (const auto& [id, d] : BfsDistances(g, src, dir)) {
+    depth = std::max(depth, d);
+  }
+  return depth;
+}
+
+int64_t BfsDepth(const UndirectedGraph& g, NodeId src) {
+  if (!g.HasNode(src)) return -1;
+  int64_t depth = 0;
+  for (const auto& [id, d] : BfsDistances(g, src)) depth = std::max(depth, d);
+  return depth;
+}
+
+namespace {
+
+// Shared iterative DFS skeleton; emits preorder or postorder.
+std::vector<NodeId> DfsOrder(const DirectedGraph& g, NodeId src,
+                             bool preorder) {
+  if (!g.HasNode(src)) return {};
+  std::vector<NodeId> order;
+  FlatHashSet<NodeId> visited;
+  // Frame: (node, index of next child to expand).
+  std::vector<std::pair<NodeId, size_t>> stack{{src, 0}};
+  visited.Insert(src);
+  if (preorder) order.push_back(src);
+  while (!stack.empty()) {
+    auto& [u, child] = stack.back();
+    const auto& out = g.GetNode(u)->out;  // Sorted: ascending-id children.
+    bool descended = false;
+    while (child < out.size()) {
+      const NodeId v = out[child++];
+      if (visited.Insert(v)) {
+        if (preorder) order.push_back(v);
+        stack.emplace_back(v, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && child >= g.GetNode(u)->out.size()) {
+      if (!preorder) order.push_back(u);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<NodeId> DfsPreorder(const DirectedGraph& g, NodeId src) {
+  return DfsOrder(g, src, /*preorder=*/true);
+}
+
+std::vector<NodeId> DfsPostorder(const DirectedGraph& g, NodeId src) {
+  return DfsOrder(g, src, /*preorder=*/false);
+}
+
+}  // namespace ringo

@@ -1,0 +1,50 @@
+// Breadth-first search primitives over Ringo graphs. BFS is the substrate
+// for unweighted shortest paths (Table 6's SSSP row), connectivity,
+// closeness centrality and the diameter estimators.
+#ifndef RINGO_ALGO_BFS_H_
+#define RINGO_ALGO_BFS_H_
+
+#include <vector>
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+// Edge directions a directed traversal may follow.
+enum class BfsDir : char {
+  kOut,    // Follow out-edges (forward reachability).
+  kIn,     // Follow in-edges (backward reachability).
+  kBoth,   // Ignore direction (weak reachability).
+};
+
+// Hop distances from `src` to every reachable node, as (id, hops) sorted by
+// id. Unreachable nodes are omitted; a missing src yields an empty result.
+NodeInts BfsDistances(const DirectedGraph& g, NodeId src,
+                      BfsDir dir = BfsDir::kOut);
+NodeInts BfsDistances(const UndirectedGraph& g, NodeId src);
+
+// The set of nodes reachable from `src` (including src), ascending.
+std::vector<NodeId> BfsReachable(const DirectedGraph& g, NodeId src,
+                                 BfsDir dir = BfsDir::kOut);
+std::vector<NodeId> BfsReachable(const UndirectedGraph& g, NodeId src);
+
+// One shortest path src→dst as a node sequence (empty when unreachable or
+// either endpoint is missing).
+std::vector<NodeId> ShortestPath(const DirectedGraph& g, NodeId src,
+                                 NodeId dst, BfsDir dir = BfsDir::kOut);
+
+// Maximum BFS depth reached from src (-1 if src missing).
+int64_t BfsDepth(const DirectedGraph& g, NodeId src, BfsDir dir = BfsDir::kOut);
+int64_t BfsDepth(const UndirectedGraph& g, NodeId src);
+
+// Iterative depth-first traversal from `src` following out-edges; children
+// are visited in ascending id order, so the orders are deterministic.
+// Empty when src is missing.
+std::vector<NodeId> DfsPreorder(const DirectedGraph& g, NodeId src);
+std::vector<NodeId> DfsPostorder(const DirectedGraph& g, NodeId src);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_BFS_H_

@@ -1,0 +1,26 @@
+// Cut vertices (articulation points) and bridges — the robustness
+// primitives of network analysis: which node/edge failures disconnect the
+// graph. Iterative Tarjan low-link DFS, O(n + m).
+#ifndef RINGO_ALGO_BICONNECTIVITY_H_
+#define RINGO_ALGO_BICONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+struct Biconnectivity {
+  // Nodes whose removal increases the number of connected components,
+  // ascending by id.
+  std::vector<NodeId> articulation_points;
+  // Edges whose removal increases the number of connected components, as
+  // (min, max) pairs in ascending order. Self-loops are never bridges.
+  std::vector<Edge> bridges;
+};
+
+Biconnectivity FindCutPointsAndBridges(const UndirectedGraph& g);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_BICONNECTIVITY_H_

@@ -1,0 +1,76 @@
+// Diffusion processes — the paper's opening motivation includes "tracing
+// the propagation of information in a social network". Two standard
+// models, both deterministic per seed:
+//
+//   * Independent Cascade (IC): each newly activated node gets one chance
+//     to activate each out-neighbor with probability p (optionally
+//     per-edge via EdgeWeights).
+//   * SIR epidemic: susceptible→infected→recovered with per-step
+//     transmission probability beta and recovery probability gamma.
+#ifndef RINGO_ALGO_CASCADE_H_
+#define RINGO_ALGO_CASCADE_H_
+
+#include <vector>
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "graph/edge_weights.h"
+#include "util/result.h"
+
+namespace ringo {
+
+struct CascadeResult {
+  // Activated nodes with their activation round (seeds = round 0),
+  // ascending by node id.
+  NodeInts activation_round;
+  int64_t rounds = 0;  // Number of rounds until the cascade died out.
+
+  int64_t TotalActivated() const {
+    return static_cast<int64_t>(activation_round.size());
+  }
+};
+
+// Runs one Independent Cascade from `seeds`. Every edge u→v fires with
+// probability `default_p`, or `weights->Get(u, v)` when `weights` is
+// non-null (values are clamped to [0, 1]). Fails on unknown seeds or
+// p outside [0, 1].
+Result<CascadeResult> IndependentCascade(const DirectedGraph& g,
+                                         const std::vector<NodeId>& seeds,
+                                         double default_p, uint64_t seed = 1,
+                                         const EdgeWeights* weights = nullptr);
+
+// Mean activated-set size over `trials` cascades (Monte-Carlo influence
+// estimate of the seed set).
+Result<double> EstimateInfluence(const DirectedGraph& g,
+                                 const std::vector<NodeId>& seeds,
+                                 double default_p, int64_t trials,
+                                 uint64_t seed = 1);
+
+// Greedy influence maximization: picks `k` seeds, each maximizing the
+// marginal Monte-Carlo influence gain (the classic Kempe-Kleinberg-Tardos
+// baseline, restricted to `candidates` — pass all node ids for the full
+// problem). Returns the chosen seeds in pick order.
+Result<std::vector<NodeId>> GreedySeedSelection(
+    const DirectedGraph& g, const std::vector<NodeId>& candidates, int64_t k,
+    double default_p, int64_t trials, uint64_t seed = 1);
+
+struct SirResult {
+  // Final state per node: 0 = never infected, 1 = recovered (was
+  // infected). Ascending by node id; covers all nodes.
+  NodeInts ever_infected;
+  int64_t peak_infected = 0;  // Max simultaneously infected.
+  int64_t steps = 0;          // Steps until no node was infected.
+  int64_t total_infected = 0;
+};
+
+// Discrete-time SIR on the undirected view of edges (transmission follows
+// out-edges). beta = per-contact infection probability, gamma = per-step
+// recovery probability.
+Result<SirResult> SirSimulation(const DirectedGraph& g,
+                                const std::vector<NodeId>& seeds, double beta,
+                                double gamma, uint64_t seed = 1,
+                                int64_t max_steps = 1000000);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_CASCADE_H_

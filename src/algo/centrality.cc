@@ -1,0 +1,352 @@
+#include "algo/centrality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "algo/node_index.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ringo {
+
+namespace {
+
+// Dense undirected adjacency scaffold shared by the BFS-per-node measures.
+struct DenseAdj {
+  NodeIndex ni;
+  std::vector<std::vector<int64_t>> adj;
+
+  explicit DenseAdj(const UndirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
+    const int64_t n = ni.size();
+    adj.resize(n);
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      const auto& nbrs = g.GetNode(ni.IdOf(i))->nbrs;
+      adj[i].reserve(nbrs.size());
+      for (NodeId v : nbrs) {
+        const int64_t j = ni.IndexOf(v);
+        if (j != i) adj[i].push_back(j);  // Self-loops don't affect paths.
+      }
+    });
+  }
+
+  // Directed view: traversal follows out-edges only.
+  explicit DenseAdj(const DirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
+    const int64_t n = ni.size();
+    adj.resize(n);
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      const auto& out = g.GetNode(ni.IdOf(i))->out;
+      adj[i].reserve(out.size());
+      for (NodeId v : out) {
+        const int64_t j = ni.IndexOf(v);
+        if (j != i) adj[i].push_back(j);
+      }
+    });
+  }
+
+  int64_t size() const { return ni.size(); }
+};
+
+// BFS from `src` over dense adjacency; fills dist (-1 = unreachable) and
+// returns the visit order.
+std::vector<int64_t> DenseBfs(const DenseAdj& da, int64_t src,
+                              std::vector<int64_t>* dist) {
+  dist->assign(da.size(), -1);
+  std::vector<int64_t> order;
+  order.reserve(64);
+  (*dist)[src] = 0;
+  order.push_back(src);
+  for (size_t head = 0; head < order.size(); ++head) {
+    const int64_t u = order[head];
+    for (int64_t v : da.adj[u]) {
+      if ((*dist)[v] < 0) {
+        (*dist)[v] = (*dist)[u] + 1;
+        order.push_back(v);
+      }
+    }
+  }
+  return order;
+}
+
+NodeValues DegreeCentralityImpl(const NodeIndex& ni,
+                                const std::vector<int64_t>& deg) {
+  const int64_t n = ni.size();
+  std::vector<double> c(n, 0.0);
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  ParallelFor(0, n, [&](int64_t i) { c[i] = static_cast<double>(deg[i]) / denom; });
+  return ni.Zip(c);
+}
+
+}  // namespace
+
+NodeValues DegreeCentrality(const UndirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  std::vector<int64_t> deg(ni.size());
+  for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.Degree(ni.IdOf(i));
+  return DegreeCentralityImpl(ni, deg);
+}
+
+NodeValues InDegreeCentrality(const DirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  std::vector<int64_t> deg(ni.size());
+  for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.InDegree(ni.IdOf(i));
+  return DegreeCentralityImpl(ni, deg);
+}
+
+NodeValues OutDegreeCentrality(const DirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  std::vector<int64_t> deg(ni.size());
+  for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.OutDegree(ni.IdOf(i));
+  return DegreeCentralityImpl(ni, deg);
+}
+
+namespace {
+
+NodeValues ClosenessImpl(const DenseAdj& da) {
+  const int64_t n = da.size();
+  std::vector<double> c(n, 0.0);
+#pragma omp parallel
+  {
+    std::vector<int64_t> dist;
+#pragma omp for schedule(dynamic, 16)
+    for (int64_t u = 0; u < n; ++u) {
+      const std::vector<int64_t> order = DenseBfs(da, u, &dist);
+      int64_t total = 0;
+      for (int64_t v : order) total += dist[v];
+      const int64_t r = static_cast<int64_t>(order.size());
+      if (total > 0 && n > 1) {
+        // Wasserman–Faust correction for disconnected graphs.
+        c[u] = (static_cast<double>(r - 1) / total) *
+               (static_cast<double>(r - 1) / static_cast<double>(n - 1));
+      }
+    }
+  }
+  return da.ni.Zip(c);
+}
+
+}  // namespace
+
+NodeValues ClosenessCentrality(const UndirectedGraph& g) {
+  return ClosenessImpl(DenseAdj(g));
+}
+
+NodeValues ClosenessCentralityDirected(const DirectedGraph& g) {
+  return ClosenessImpl(DenseAdj(g));
+}
+
+NodeValues ApproxClosenessCentrality(const UndirectedGraph& g,
+                                     int64_t samples, uint64_t seed) {
+  const DenseAdj da(g);
+  const int64_t n = da.size();
+  if (n == 0) return {};
+  samples = std::min(samples, n);
+  // Deterministic pivot sample without replacement.
+  std::vector<int64_t> pivots(n);
+  std::iota(pivots.begin(), pivots.end(), 0);
+  Rng rng(seed);
+  for (int64_t i = 0; i < samples; ++i) {
+    std::swap(pivots[i], pivots[rng.UniformInt(i, n - 1)]);
+  }
+  pivots.resize(samples);
+
+  // Accumulate distances from each pivot to all nodes.
+  std::vector<double> sum(n, 0.0);
+  std::vector<int64_t> reached(n, 0);
+  std::vector<int64_t> dist;
+  for (int64_t p : pivots) {
+    DenseBfs(da, p, &dist);
+    for (int64_t v = 0; v < n; ++v) {
+      if (dist[v] > 0) {  // Exclude the pivot's own zero distance.
+        sum[v] += dist[v];
+        ++reached[v];
+      }
+    }
+  }
+  std::vector<double> c(n, 0.0);
+  for (int64_t v = 0; v < n; ++v) {
+    if (sum[v] > 0 && reached[v] > 0 && n > 1) {
+      // avg estimates v's mean distance to the other nodes it can reach;
+      // r_est estimates |reachable set| (the +1 restores v itself). With
+      // samples == n this reproduces ClosenessCentrality exactly.
+      const double avg = sum[v] / static_cast<double>(reached[v]);
+      const double r_est = static_cast<double>(reached[v]) /
+                               static_cast<double>(samples) * n +
+                           1.0;
+      c[v] = (1.0 / avg) * ((r_est - 1) / static_cast<double>(n - 1));
+    }
+  }
+  return da.ni.Zip(c);
+}
+
+NodeValues HarmonicCentrality(const UndirectedGraph& g) {
+  const DenseAdj da(g);
+  const int64_t n = da.size();
+  std::vector<double> c(n, 0.0);
+#pragma omp parallel
+  {
+    std::vector<int64_t> dist;
+#pragma omp for schedule(dynamic, 16)
+    for (int64_t u = 0; u < n; ++u) {
+      const std::vector<int64_t> order = DenseBfs(da, u, &dist);
+      double acc = 0.0;
+      for (int64_t v : order) {
+        if (v != u) acc += 1.0 / static_cast<double>(dist[v]);
+      }
+      c[u] = n > 1 ? acc / static_cast<double>(n - 1) : 0.0;
+    }
+  }
+  return da.ni.Zip(c);
+}
+
+namespace {
+
+// One Brandes source accumulation into `delta_out` (per-thread buffer).
+void BrandesFromSource(const DenseAdj& da, int64_t s,
+                       std::vector<double>* delta_out) {
+  const int64_t n = da.size();
+  std::vector<int64_t> dist(n, -1);
+  std::vector<double> sigma(n, 0.0), delta(n, 0.0);
+  std::vector<std::vector<int64_t>> preds(n);
+  std::vector<int64_t> order;
+  order.reserve(64);
+
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  order.push_back(s);
+  for (size_t head = 0; head < order.size(); ++head) {
+    const int64_t u = order[head];
+    for (int64_t v : da.adj[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        order.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) {
+        sigma[v] += sigma[u];
+        preds[v].push_back(u);
+      }
+    }
+  }
+  // Dependency accumulation in reverse BFS order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int64_t w = *it;
+    for (int64_t p : preds[w]) {
+      delta[p] += (sigma[p] / sigma[w]) * (1.0 + delta[w]);
+    }
+    if (w != s) (*delta_out)[w] += delta[w];
+  }
+}
+
+NodeValues BetweennessImpl(const DenseAdj& da,
+                           const std::vector<int64_t>& sources, double scale,
+                           bool halve_pairs) {
+  const int64_t n = da.size();
+  const int threads = NumThreads();
+  std::vector<std::vector<double>> partial(threads,
+                                           std::vector<double>(n, 0.0));
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+#pragma omp for schedule(dynamic, 4)
+    for (size_t i = 0; i < sources.size(); ++i) {
+      BrandesFromSource(da, sources[i], &partial[t]);
+    }
+  }
+  std::vector<double> bc(n, 0.0);
+  for (int t = 0; t < threads; ++t) {
+    for (int64_t v = 0; v < n; ++v) bc[v] += partial[t][v];
+  }
+  // Undirected: each pair was counted from both endpoints.
+  const double factor = (halve_pairs ? 0.5 : 1.0) * scale;
+  for (int64_t v = 0; v < n; ++v) bc[v] *= factor;
+  return da.ni.Zip(bc);
+}
+
+}  // namespace
+
+NodeValues BetweennessCentrality(const UndirectedGraph& g) {
+  const int64_t n = g.NumNodes();
+  std::vector<int64_t> sources(n);
+  std::iota(sources.begin(), sources.end(), 0);
+  return BetweennessImpl(DenseAdj(g), sources, 1.0, /*halve_pairs=*/true);
+}
+
+NodeValues BetweennessCentralityDirected(const DirectedGraph& g) {
+  const int64_t n = g.NumNodes();
+  std::vector<int64_t> sources(n);
+  std::iota(sources.begin(), sources.end(), 0);
+  return BetweennessImpl(DenseAdj(g), sources, 1.0, /*halve_pairs=*/false);
+}
+
+NodeValues ApproxBetweennessCentrality(const UndirectedGraph& g,
+                                       int64_t samples, uint64_t seed) {
+  const int64_t n = g.NumNodes();
+  if (n == 0) return {};
+  samples = std::min(samples, n);
+  std::vector<int64_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Rng rng(seed);
+  for (int64_t i = 0; i < samples; ++i) {
+    std::swap(all[i], all[rng.UniformInt(i, n - 1)]);
+  }
+  all.resize(samples);
+  return BetweennessImpl(DenseAdj(g), all,
+                         static_cast<double>(n) / static_cast<double>(samples),
+                         /*halve_pairs=*/true);
+}
+
+Result<NodeValues> EigenvectorCentrality(const UndirectedGraph& g,
+                                         int max_iters, double tol) {
+  if (max_iters < 1) {
+    return Status::InvalidArgument("EigenvectorCentrality: max_iters >= 1");
+  }
+  const DenseAdj da(g);
+  const int64_t n = da.size();
+  if (n == 0) return NodeValues{};
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n))), next(n);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Iterate on A + I rather than A: the shift leaves the principal
+    // eigenvector unchanged but kills the period-2 oscillation plain power
+    // iteration exhibits on bipartite graphs (e.g. stars).
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      double acc = x[i];
+      for (int64_t j : da.adj[i]) acc += x[j];
+      next[i] = acc;
+    });
+    double norm = 0.0;
+    for (int64_t i = 0; i < n; ++i) norm += next[i] * next[i];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      // No edges: centrality is uniform zero.
+      std::fill(next.begin(), next.end(), 0.0);
+      return da.ni.Zip(next);
+    }
+    double delta = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      next[i] /= norm;
+      delta += std::abs(next[i] - x[i]);
+    }
+    x.swap(next);
+    if (tol > 0 && delta < tol) break;
+  }
+  return da.ni.Zip(x);
+}
+
+NodeInts Eccentricities(const UndirectedGraph& g) {
+  const DenseAdj da(g);
+  const int64_t n = da.size();
+  std::vector<int64_t> ecc(n, 0);
+#pragma omp parallel
+  {
+    std::vector<int64_t> dist;
+#pragma omp for schedule(dynamic, 16)
+    for (int64_t u = 0; u < n; ++u) {
+      const std::vector<int64_t> order = DenseBfs(da, u, &dist);
+      int64_t e = 0;
+      for (int64_t v : order) e = std::max(e, dist[v]);
+      ecc[u] = e;
+    }
+  }
+  return da.ni.Zip(ecc);
+}
+
+}  // namespace ringo

@@ -1,0 +1,90 @@
+#include "algo/community.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/node_index.h"
+#include "util/rng.h"
+
+namespace ringo {
+
+NodeInts LabelPropagation(const UndirectedGraph& g, int max_rounds,
+                          uint64_t seed) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  std::vector<std::vector<int64_t>> adj(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (NodeId v : g.GetNode(ni.IdOf(i))->nbrs) {
+      const int64_t j = ni.IndexOf(v);
+      if (j != i) adj[i].push_back(j);
+    }
+  }
+
+  std::vector<int64_t> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  std::vector<int64_t> visit(n);
+  std::iota(visit.begin(), visit.end(), 0);
+  Rng rng(seed);
+
+  FlatHashMap<int64_t, int64_t> freq;
+  for (int round = 0; round < max_rounds; ++round) {
+    // Shuffle the visiting order (asynchronous updates).
+    for (int64_t i = n - 1; i > 0; --i) {
+      std::swap(visit[i], visit[rng.UniformInt(0, i)]);
+    }
+    bool changed = false;
+    for (int64_t u : visit) {
+      if (adj[u].empty()) continue;
+      freq.Clear();
+      for (int64_t v : adj[u]) ++freq.GetOrInsert(label[v]);
+      int64_t best_label = label[u], best_count = 0;
+      freq.ForEach([&](const int64_t& l, const int64_t& c) {
+        if (c > best_count || (c == best_count && l < best_label)) {
+          best_count = c;
+          best_label = l;
+        }
+      });
+      if (best_label != label[u]) {
+        label[u] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Renumber labels densely by first occurrence in index order.
+  FlatHashMap<int64_t, int64_t> dense;
+  std::vector<int64_t> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = *dense.Insert(label[i], dense.size()).first;
+  }
+  return ni.Zip(out);
+}
+
+double Modularity(const UndirectedGraph& g, const NodeInts& labels) {
+  const double m2 = 2.0 * static_cast<double>(g.NumEdges());
+  if (m2 == 0) return 0.0;
+  FlatHashMap<NodeId, int64_t> label_of;
+  int64_t max_label = 0;
+  for (const auto& [id, l] : labels) {
+    label_of.Insert(id, l);
+    max_label = std::max(max_label, l);
+  }
+  // Q = sum_c [ in_c / 2m - (deg_c / 2m)^2 ].
+  std::vector<double> internal2(max_label + 1, 0.0);  // 2 * internal edges.
+  std::vector<double> deg_sum(max_label + 1, 0.0);
+  g.ForEachNode([&](NodeId u, const UndirectedGraph::NodeData& nd) {
+    const int64_t lu = *label_of.Find(u);
+    for (NodeId v : nd.nbrs) {
+      deg_sum[lu] += 1.0;
+      if (*label_of.Find(v) == lu) internal2[lu] += 1.0;
+    }
+  });
+  double q = 0.0;
+  for (int64_t c = 0; c <= max_label; ++c) {
+    q += internal2[c] / m2 - (deg_sum[c] / m2) * (deg_sum[c] / m2);
+  }
+  return q;
+}
+
+}  // namespace ringo

@@ -1,0 +1,174 @@
+#include "algo/connectivity.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/node_index.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+// Union-find with path halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int64_t a, int64_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> size_;
+};
+
+// Renumbers per-index labels densely by first occurrence (index order =
+// ascending node id, so component 0 holds the smallest id).
+ComponentLabels Relabel(const NodeIndex& ni, std::vector<int64_t>& raw) {
+  const int64_t n = ni.size();
+  FlatHashMap<int64_t, int64_t> dense;
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    labels[i] = *dense.Insert(raw[i], dense.size()).first;
+  }
+  return ni.Zip(labels);
+}
+
+}  // namespace
+
+ComponentLabels WeaklyConnectedComponents(const DirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  UnionFind uf(ni.size());
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    uf.Union(ni.IndexOf(u), ni.IndexOf(v));
+  });
+  std::vector<int64_t> raw(ni.size());
+  for (int64_t i = 0; i < ni.size(); ++i) raw[i] = uf.Find(i);
+  return Relabel(ni, raw);
+}
+
+ComponentLabels ConnectedComponents(const UndirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  UnionFind uf(ni.size());
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    uf.Union(ni.IndexOf(u), ni.IndexOf(v));
+  });
+  std::vector<int64_t> raw(ni.size());
+  for (int64_t i = 0; i < ni.size(); ++i) raw[i] = uf.Find(i);
+  return Relabel(ni, raw);
+}
+
+ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+
+  // Dense out-adjacency.
+  std::vector<std::vector<int64_t>> out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& o = g.GetNode(ni.IdOf(i))->out;
+    out[i].reserve(o.size());
+    for (NodeId v : o) out[i].push_back(ni.IndexOf(v));
+  }
+
+  // Iterative Tarjan. An explicit frame stack replaces recursion so graphs
+  // with multi-million-node chains don't blow the C++ stack.
+  constexpr int64_t kUnvisited = -1;
+  std::vector<int64_t> low(n, kUnvisited), disc(n, kUnvisited);
+  std::vector<int64_t> scc(n, kUnvisited);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<int64_t> stack;           // Tarjan's node stack.
+  std::vector<std::pair<int64_t, size_t>> frames;  // (node, next-child).
+  int64_t timer = 0, components = 0;
+
+  for (int64_t root = 0; root < n; ++root) {
+    if (disc[root] != kUnvisited) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      auto& [u, child] = frames.back();
+      if (child == 0) {
+        disc[u] = low[u] = timer++;
+        stack.push_back(u);
+        on_stack[u] = 1;
+      }
+      if (child < out[u].size()) {
+        const int64_t v = out[u][child++];
+        if (disc[v] == kUnvisited) {
+          frames.emplace_back(v, 0);
+        } else if (on_stack[v]) {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        if (low[u] == disc[u]) {
+          while (true) {
+            const int64_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc[w] = components;
+            if (w == u) break;
+          }
+          ++components;
+        }
+        const int64_t done = u;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().first] =
+              std::min(low[frames.back().first], low[done]);
+        }
+      }
+    }
+  }
+  return Relabel(ni, scc);
+}
+
+std::vector<int64_t> ComponentSizes(const ComponentLabels& labels) {
+  int64_t max_label = -1;
+  for (const auto& [id, c] : labels) max_label = std::max(max_label, c);
+  std::vector<int64_t> sizes(max_label + 1, 0);
+  for (const auto& [id, c] : labels) ++sizes[c];
+  return sizes;
+}
+
+std::vector<NodeId> LargestComponent(const ComponentLabels& labels) {
+  const std::vector<int64_t> sizes = ComponentSizes(labels);
+  if (sizes.empty()) return {};
+  const int64_t best =
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin();
+  std::vector<NodeId> out;
+  out.reserve(sizes[best]);
+  for (const auto& [id, c] : labels) {
+    if (c == best) out.push_back(id);
+  }
+  return out;
+}
+
+bool IsWeaklyConnected(const DirectedGraph& g) {
+  if (g.NumNodes() == 0) return true;
+  const std::vector<int64_t> sizes =
+      ComponentSizes(WeaklyConnectedComponents(g));
+  return sizes.size() == 1;
+}
+
+bool IsConnected(const UndirectedGraph& g) {
+  if (g.NumNodes() == 0) return true;
+  return ComponentSizes(ConnectedComponents(g)).size() == 1;
+}
+
+}  // namespace ringo

@@ -1,0 +1,65 @@
+#include "algo/diameter.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "algo/bfs.h"
+#include "algo/centrality.h"
+#include "util/rng.h"
+
+namespace ringo {
+
+DiameterEstimate EstimateDiameter(const UndirectedGraph& g, int64_t samples,
+                                  uint64_t seed) {
+  DiameterEstimate est;
+  const int64_t n = g.NumNodes();
+  if (n == 0) return est;
+  std::vector<NodeId> ids = g.SortedNodeIds();
+  samples = std::min(samples, n);
+  Rng rng(seed);
+  for (int64_t i = 0; i < samples; ++i) {
+    std::swap(ids[i], ids[rng.UniformInt(i, n - 1)]);
+  }
+
+  // Histogram of pairwise distances from the pivots.
+  std::vector<int64_t> hist;
+  int64_t pairs = 0;
+  double dist_sum = 0;
+  for (int64_t i = 0; i < samples; ++i) {
+    for (const auto& [v, d] : BfsDistances(g, ids[i])) {
+      if (d == 0) continue;
+      if (d >= static_cast<int64_t>(hist.size())) hist.resize(d + 1, 0);
+      ++hist[d];
+      ++pairs;
+      dist_sum += static_cast<double>(d);
+      est.diameter = std::max(est.diameter, d);
+    }
+  }
+  if (pairs == 0) return est;
+  est.avg_distance = dist_sum / static_cast<double>(pairs);
+
+  // Effective diameter: smallest d* (linearly interpolated) such that 90%
+  // of reachable pairs are within distance d*.
+  const double target = 0.9 * static_cast<double>(pairs);
+  int64_t cum = 0;
+  for (size_t d = 1; d < hist.size(); ++d) {
+    if (cum + hist[d] >= target) {
+      const double need = target - static_cast<double>(cum);
+      est.effective_diameter =
+          static_cast<double>(d - 1) + need / static_cast<double>(hist[d]);
+      return est;
+    }
+    cum += hist[d];
+  }
+  est.effective_diameter = static_cast<double>(est.diameter);
+  return est;
+}
+
+int64_t ExactDiameter(const UndirectedGraph& g) {
+  int64_t best = 0;
+  for (const auto& [id, e] : Eccentricities(g)) best = std::max(best, e);
+  return best;
+}
+
+}  // namespace ringo

@@ -1,0 +1,28 @@
+// Diameter estimation by BFS from sampled pivots: approximate full
+// diameter (max eccentricity seen) and the 90th-percentile "effective
+// diameter" commonly reported for social networks.
+#ifndef RINGO_ALGO_DIAMETER_H_
+#define RINGO_ALGO_DIAMETER_H_
+
+#include <cstdint>
+
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+struct DiameterEstimate {
+  int64_t diameter = 0;          // Max BFS depth seen from any pivot.
+  double effective_diameter = 0; // Interpolated 90th percentile distance.
+  double avg_distance = 0;       // Mean over sampled reachable pairs.
+};
+
+// BFS from `samples` deterministic pivots (all nodes if samples >= n).
+DiameterEstimate EstimateDiameter(const UndirectedGraph& g, int64_t samples,
+                                  uint64_t seed = 1);
+
+// Exact diameter: BFS from every node. O(n*m) — small graphs only.
+int64_t ExactDiameter(const UndirectedGraph& g);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_DIAMETER_H_

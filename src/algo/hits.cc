@@ -1,0 +1,61 @@
+#include "algo/hits.h"
+
+#include <cmath>
+
+#include "algo/node_index.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+Result<HitsScores> Hits(const DirectedGraph& g, const HitsConfig& config) {
+  if (config.max_iters < 1) {
+    return Status::InvalidArgument("HITS needs at least one iteration");
+  }
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  if (n == 0) return HitsScores{};
+
+  std::vector<const DirectedGraph::NodeData*> node_ptr(n);
+  for (int64_t i = 0; i < n; ++i) node_ptr[i] = g.GetNode(ni.IdOf(i));
+
+  std::vector<double> hub(n, 1.0), auth(n, 1.0);
+  std::vector<double> hub_next(n), auth_next(n);
+  auto normalize = [n](std::vector<double>& v) {
+    double norm = 0.0;
+    for (int64_t i = 0; i < n; ++i) norm += v[i] * v[i];
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (int64_t i = 0; i < n; ++i) v[i] /= norm;
+    }
+  };
+  normalize(hub);
+  normalize(auth);
+
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    // auth(v) = sum of hub(u) over in-neighbors u.
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      double acc = 0.0;
+      for (NodeId u : node_ptr[i]->in) acc += hub[ni.IndexOf(u)];
+      auth_next[i] = acc;
+    });
+    // hub(u) = sum of auth(v) over out-neighbors v.
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      double acc = 0.0;
+      for (NodeId v : node_ptr[i]->out) acc += auth_next[ni.IndexOf(v)];
+      hub_next[i] = acc;
+    });
+    normalize(auth_next);
+    normalize(hub_next);
+
+    double delta = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      delta += std::abs(auth_next[i] - auth[i]) + std::abs(hub_next[i] - hub[i]);
+    }
+    auth.swap(auth_next);
+    hub.swap(hub_next);
+    if (config.tol > 0 && delta < config.tol) break;
+  }
+  return HitsScores{ni.Zip(hub), ni.Zip(auth)};
+}
+
+}  // namespace ringo

@@ -1,0 +1,87 @@
+#include "algo/kcore.h"
+
+#include <algorithm>
+
+#include "algo/node_index.h"
+
+namespace ringo {
+
+NodeInts CoreNumbers(const UndirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  if (n == 0) return {};
+
+  // Dense adjacency + degrees (self-loop counts once).
+  std::vector<std::vector<int64_t>> adj(n);
+  std::vector<int64_t> deg(n);
+  int64_t max_deg = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& nbrs = g.GetNode(ni.IdOf(i))->nbrs;
+    adj[i].reserve(nbrs.size());
+    for (NodeId v : nbrs) adj[i].push_back(ni.IndexOf(v));
+    deg[i] = static_cast<int64_t>(adj[i].size());
+    max_deg = std::max(max_deg, deg[i]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik).
+  std::vector<int64_t> bucket_start(max_deg + 2, 0);
+  for (int64_t i = 0; i < n; ++i) ++bucket_start[deg[i] + 1];
+  for (int64_t d = 0; d <= max_deg; ++d) bucket_start[d + 1] += bucket_start[d];
+  std::vector<int64_t> order(n), pos(n);
+  {
+    std::vector<int64_t> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (int64_t i = 0; i < n; ++i) {
+      pos[i] = cursor[deg[i]]++;
+      order[pos[i]] = i;
+    }
+  }
+
+  std::vector<int64_t> core(deg);
+  for (int64_t idx = 0; idx < n; ++idx) {
+    const int64_t u = order[idx];
+    core[u] = deg[u];
+    for (int64_t v : adj[u]) {
+      if (deg[v] > deg[u]) {
+        // Move v one bucket down: swap it with the first node of its
+        // current bucket, then shrink the bucket boundary.
+        const int64_t dv = deg[v];
+        const int64_t pv = pos[v];
+        const int64_t pw = bucket_start[dv];
+        const int64_t w = order[pw];
+        if (v != w) {
+          std::swap(order[pv], order[pw]);
+          pos[v] = pw;
+          pos[w] = pv;
+        }
+        ++bucket_start[dv];
+        --deg[v];
+      }
+    }
+  }
+  return ni.Zip(core);
+}
+
+UndirectedGraph KCoreSubgraph(const UndirectedGraph& g, int64_t k) {
+  const NodeInts cores = CoreNumbers(g);
+  UndirectedGraph out;
+  FlatHashSet<NodeId> keep;
+  keep.Reserve(static_cast<int64_t>(cores.size()));
+  for (const auto& [id, c] : cores) {
+    if (c >= k) {
+      keep.Insert(id);
+      out.AddNode(id);
+    }
+  }
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    if (keep.Contains(u) && keep.Contains(v)) out.AddEdge(u, v);
+  });
+  return out;
+}
+
+int64_t Degeneracy(const UndirectedGraph& g) {
+  int64_t best = 0;
+  for (const auto& [id, c] : CoreNumbers(g)) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace ringo

@@ -1,0 +1,53 @@
+#include "algo/mst.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/node_index.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+MstResult MinimumSpanningForest(const UndirectedGraph& g,
+                                const EdgeWeights& w) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  struct WEdge {
+    double weight;
+    NodeId u, v;
+  };
+  std::vector<WEdge> edges;
+  edges.reserve(g.NumEdges());
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    if (u == v) return;  // Self-loops never belong to a spanning tree.
+    edges.push_back(WEdge{w.Get(u, v), std::min(u, v), std::max(u, v)});
+  });
+  ParallelSort(edges.begin(), edges.end(), [](const WEdge& a, const WEdge& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  // Union-find over dense indices.
+  std::vector<int64_t> parent(ni.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  MstResult out;
+  for (const WEdge& e : edges) {
+    const int64_t ru = find(ni.IndexOf(e.u));
+    const int64_t rv = find(ni.IndexOf(e.v));
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    out.edges.emplace_back(e.u, e.v);
+    out.total_weight += e.weight;
+  }
+  return out;
+}
+
+}  // namespace ringo

@@ -1,0 +1,28 @@
+// Minimum spanning forest (Kruskal + union-find) over an undirected graph
+// with an EdgeWeights side table.
+#ifndef RINGO_ALGO_MST_H_
+#define RINGO_ALGO_MST_H_
+
+#include <vector>
+
+#include "graph/edge_weights.h"
+#include "graph/undirected_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+
+struct MstResult {
+  // Forest edges as (u, v) with u < v, in the order Kruskal accepted them.
+  std::vector<Edge> edges;
+  double total_weight = 0;
+};
+
+// Kruskal's algorithm. Edges missing from `w` default to weight 1.0; ties
+// are broken by (u, v) so the result is deterministic. Self-loops are
+// skipped. Returns a spanning forest (spanning tree per component).
+MstResult MinimumSpanningForest(const UndirectedGraph& g,
+                                const EdgeWeights& w);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_MST_H_

@@ -1,0 +1,59 @@
+// NodeIndex: dense renumbering of a graph's node ids, the internal working
+// representation of most algorithms (arrays indexed 0..n-1 instead of hash
+// lookups in inner loops). Ids are assigned in ascending id order so all
+// derived results are deterministic.
+#ifndef RINGO_ALGO_NODE_INDEX_H_
+#define RINGO_ALGO_NODE_INDEX_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_defs.h"
+#include "storage/flat_hash_map.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+class NodeIndex {
+ public:
+  // Builds from any graph exposing NodeIds(). Sorted by id.
+  template <typename Graph>
+  static NodeIndex FromGraph(const Graph& g) {
+    NodeIndex ni;
+    ni.ids_ = g.NodeIds();
+    ParallelSort(ni.ids_.begin(), ni.ids_.end());
+    ni.index_.Reserve(static_cast<int64_t>(ni.ids_.size()));
+    for (int64_t i = 0; i < static_cast<int64_t>(ni.ids_.size()); ++i) {
+      ni.index_.Insert(ni.ids_[i], i);
+    }
+    return ni;
+  }
+
+  int64_t size() const { return static_cast<int64_t>(ids_.size()); }
+  NodeId IdOf(int64_t index) const { return ids_[index]; }
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+  // Dense index of `id`; -1 if the node is not in the graph.
+  int64_t IndexOf(NodeId id) const {
+    const int64_t* i = index_.Find(id);
+    return i == nullptr ? -1 : *i;
+  }
+
+  // Pairs a dense value array back up with node ids (ascending id order).
+  template <typename T>
+  std::vector<std::pair<NodeId, T>> Zip(const std::vector<T>& values) const {
+    std::vector<std::pair<NodeId, T>> out(ids_.size());
+    ParallelFor(0, size(), [&](int64_t i) {
+      out[i] = {ids_[i], values[i]};
+    });
+    return out;
+  }
+
+ private:
+  std::vector<NodeId> ids_;
+  FlatHashMap<NodeId, int64_t> index_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_NODE_INDEX_H_

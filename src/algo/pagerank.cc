@@ -1,0 +1,195 @@
+#include "algo/pagerank.h"
+
+#include <cmath>
+
+#include "algo/node_index.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+Status ValidateConfig(const PageRankConfig& c) {
+  if (!(c.damping >= 0.0 && c.damping < 1.0)) {
+    return Status::InvalidArgument("PageRank damping must be in [0, 1)");
+  }
+  if (c.max_iters < 1) {
+    return Status::InvalidArgument("PageRank needs at least one iteration");
+  }
+  return Status::OK();
+}
+
+// Shared power iteration. `teleport` gives each node's jump probability
+// (sums to 1); `parallel` toggles OpenMP loops.
+NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
+                        const std::vector<double>& teleport, bool parallel) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  if (n == 0) return {};
+
+  // Dense CSR-ish view of in-neighbors and out-degrees for tight loops.
+  std::vector<int64_t> in_offsets(n + 1, 0);
+  std::vector<double> inv_out_deg(n, 0.0);
+  std::vector<const DirectedGraph::NodeData*> node_ptr(n);
+  for (int64_t i = 0; i < n; ++i) {
+    node_ptr[i] = g.GetNode(ni.IdOf(i));
+    in_offsets[i + 1] = static_cast<int64_t>(node_ptr[i]->in.size());
+    const int64_t od = static_cast<int64_t>(node_ptr[i]->out.size());
+    inv_out_deg[i] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
+  }
+  for (int64_t i = 0; i < n; ++i) in_offsets[i + 1] += in_offsets[i];
+  std::vector<int64_t> in_nbrs(in_offsets[n]);
+  ParallelFor(0, n, [&](int64_t i) {
+    int64_t o = in_offsets[i];
+    for (NodeId u : node_ptr[i]->in) in_nbrs[o++] = ni.IndexOf(u);
+  });
+
+  const double d = config.damping;
+  std::vector<double> pr(teleport), next(n);
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    // Mass parked on dangling nodes teleports like everything else.
+    double dangling = 0.0;
+    if (parallel) {
+#pragma omp parallel for reduction(+ : dangling) schedule(static)
+      for (int64_t i = 0; i < n; ++i) {
+        if (inv_out_deg[i] == 0.0) dangling += pr[i];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        if (inv_out_deg[i] == 0.0) dangling += pr[i];
+      }
+    }
+
+    auto pull = [&](int64_t i) {
+      double acc = 0.0;
+      for (int64_t o = in_offsets[i]; o < in_offsets[i + 1]; ++o) {
+        const int64_t u = in_nbrs[o];
+        acc += pr[u] * inv_out_deg[u];
+      }
+      next[i] = (1.0 - d) * teleport[i] + d * (acc + dangling * teleport[i]);
+    };
+    if (parallel) {
+      ParallelForDynamic(0, n, pull);
+    } else {
+      for (int64_t i = 0; i < n; ++i) pull(i);
+    }
+
+    double delta = 0.0;
+    if (parallel) {
+#pragma omp parallel for reduction(+ : delta) schedule(static)
+      for (int64_t i = 0; i < n; ++i) delta += std::abs(next[i] - pr[i]);
+    } else {
+      for (int64_t i = 0; i < n; ++i) delta += std::abs(next[i] - pr[i]);
+    }
+    pr.swap(next);
+    if (config.tol > 0 && delta < config.tol) break;
+  }
+  return ni.Zip(pr);
+}
+
+}  // namespace
+
+Result<NodeValues> PageRank(const DirectedGraph& g,
+                            const PageRankConfig& config) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  const int64_t n = g.NumNodes();
+  if (n == 0) return NodeValues{};
+  std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
+  return PowerIterate(g, config, teleport, /*parallel=*/false);
+}
+
+Result<NodeValues> ParallelPageRank(const DirectedGraph& g,
+                                    const PageRankConfig& config) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  const int64_t n = g.NumNodes();
+  if (n == 0) return NodeValues{};
+  std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
+  return PowerIterate(g, config, teleport, /*parallel=*/true);
+}
+
+Result<NodeValues> WeightedPageRank(const DirectedGraph& g,
+                                    const EdgeWeights& w,
+                                    const PageRankConfig& config) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  if (n == 0) return NodeValues{};
+
+  // Per-edge transition probabilities, stored with the in-adjacency so the
+  // iteration stays a pull (no atomics).
+  std::vector<int64_t> in_offsets(n + 1, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    in_offsets[i + 1] =
+        in_offsets[i] +
+        static_cast<int64_t>(g.GetNode(ni.IdOf(i))->in.size());
+  }
+  std::vector<int64_t> in_nbrs(in_offsets[n]);
+  std::vector<double> in_prob(in_offsets[n]);
+  std::vector<double> out_total(n, 0.0);
+  for (int64_t u = 0; u < n; ++u) {
+    for (NodeId v : g.GetNode(ni.IdOf(u))->out) {
+      const double wt = w.Get(ni.IdOf(u), v);
+      if (wt < 0) {
+        return Status::InvalidArgument("negative edge weight in PageRank");
+      }
+      out_total[u] += wt;
+    }
+  }
+  {
+    std::vector<int64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (int64_t u = 0; u < n; ++u) {
+      const NodeId uid = ni.IdOf(u);
+      for (NodeId vid : g.GetNode(uid)->out) {
+        const int64_t v = ni.IndexOf(vid);
+        const int64_t slot = cursor[v]++;
+        in_nbrs[slot] = u;
+        in_prob[slot] =
+            out_total[u] > 0 ? w.Get(uid, vid) / out_total[u] : 0.0;
+      }
+    }
+  }
+
+  const double d = config.damping;
+  const double teleport = 1.0 / static_cast<double>(n);
+  std::vector<double> pr(n, teleport), next(n);
+  for (int iter = 0; iter < config.max_iters; ++iter) {
+    double dangling = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (out_total[i] <= 0) dangling += pr[i];
+    }
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      double acc = 0.0;
+      for (int64_t o = in_offsets[i]; o < in_offsets[i + 1]; ++o) {
+        acc += pr[in_nbrs[o]] * in_prob[o];
+      }
+      next[i] = (1.0 - d) * teleport + d * (acc + dangling * teleport);
+    });
+    double delta = 0.0;
+    for (int64_t i = 0; i < n; ++i) delta += std::abs(next[i] - pr[i]);
+    pr.swap(next);
+    if (config.tol > 0 && delta < config.tol) break;
+  }
+  return ni.Zip(pr);
+}
+
+Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,
+                                        const std::vector<NodeId>& seeds,
+                                        const PageRankConfig& config) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  if (seeds.empty()) {
+    return Status::InvalidArgument("PersonalizedPageRank needs >= 1 seed");
+  }
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  std::vector<double> teleport(ni.size(), 0.0);
+  for (NodeId s : seeds) {
+    const int64_t i = ni.IndexOf(s);
+    if (i < 0) {
+      return Status::NotFound("seed node " + std::to_string(s) +
+                              " is not in the graph");
+    }
+    teleport[i] += 1.0 / static_cast<double>(seeds.size());
+  }
+  return PowerIterate(g, config, teleport, /*parallel=*/false);
+}
+
+}  // namespace ringo

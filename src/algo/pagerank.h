@@ -1,0 +1,51 @@
+// PageRank (Table 3's parallel benchmark and the §4.1 demo's ranking step).
+//
+// Both implementations are pull-based power iteration: each node gathers
+// rank mass from its in-neighbors, so the parallel variant needs no atomics
+// — exactly the "straightforward sequential algorithm with a few OpenMP
+// statements" the paper describes. Dangling-node mass is redistributed
+// uniformly each iteration, so ranks always sum to 1.
+#ifndef RINGO_ALGO_PAGERANK_H_
+#define RINGO_ALGO_PAGERANK_H_
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "graph/edge_weights.h"
+#include "util/result.h"
+
+namespace ringo {
+
+struct PageRankConfig {
+  double damping = 0.85;
+  int max_iters = 100;
+  // Stop when the L1 change between iterations drops below tol. Set tol=0
+  // to always run max_iters (the paper times exactly 10 iterations).
+  double tol = 1e-10;
+};
+
+// Sequential PageRank; (id, score) ascending by id, scores sum to 1.
+Result<NodeValues> PageRank(const DirectedGraph& g,
+                            const PageRankConfig& config = {});
+
+// OpenMP-parallel PageRank; identical results to PageRank (deterministic
+// apart from floating-point reduction order).
+Result<NodeValues> ParallelPageRank(const DirectedGraph& g,
+                                    const PageRankConfig& config = {});
+
+// Personalized PageRank: teleport jumps back to `seeds` (uniformly) instead
+// of to all nodes. Fails if seeds is empty or contains unknown nodes.
+Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,
+                                        const std::vector<NodeId>& seeds,
+                                        const PageRankConfig& config = {});
+
+// Weighted PageRank: rank mass flows along each edge u→v in proportion to
+// w(u, v) / Σ_x w(u, x) instead of 1/outdeg(u). Missing edges in `w`
+// default to weight 1; weights must be non-negative and a node's outgoing
+// total must be positive or the node is treated as dangling.
+Result<NodeValues> WeightedPageRank(const DirectedGraph& g,
+                                    const EdgeWeights& w,
+                                    const PageRankConfig& config = {});
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_PAGERANK_H_

@@ -1,0 +1,28 @@
+// Random walks and walk-based scores. Deterministic for a given seed.
+#ifndef RINGO_ALGO_RANDOM_WALK_H_
+#define RINGO_ALGO_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+
+// A single random walk of up to `length` steps following out-edges; stops
+// early at a node with no out-neighbors. The returned sequence starts at
+// `start`. Fails if `start` is missing.
+Result<std::vector<NodeId>> RandomWalk(const DirectedGraph& g, NodeId start,
+                                       int64_t length, uint64_t seed = 1);
+
+// Monte-Carlo personalized PageRank: `walks` walks from `seed_node`, each
+// restarting with probability (1 - damping) per step; score = visit
+// frequency. Converges to PersonalizedPageRank as walks grows.
+Result<NodeValues> RandomWalkScores(const DirectedGraph& g, NodeId seed_node,
+                                    int64_t walks, double damping = 0.85,
+                                    uint64_t seed = 1);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_RANDOM_WALK_H_

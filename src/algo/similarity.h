@@ -1,0 +1,23 @@
+// Neighborhood similarity measures (link-prediction scores): common
+// neighbors, Jaccard, Adamic–Adar.
+#ifndef RINGO_ALGO_SIMILARITY_H_
+#define RINGO_ALGO_SIMILARITY_H_
+
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+// |N(u) ∩ N(v)| over neighbors excluding u and v themselves. Missing nodes
+// score 0.
+int64_t CommonNeighbors(const UndirectedGraph& g, NodeId u, NodeId v);
+
+// |N(u) ∩ N(v)| / |N(u) ∪ N(v)| (0 when the union is empty).
+double JaccardSimilarity(const UndirectedGraph& g, NodeId u, NodeId v);
+
+// Adamic–Adar: sum over common neighbors w of 1/log(deg(w)); neighbors of
+// degree < 2 are skipped (log would be <= 0).
+double AdamicAdar(const UndirectedGraph& g, NodeId u, NodeId v);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_SIMILARITY_H_

@@ -1,0 +1,28 @@
+// Single-source shortest paths: unweighted (BFS, the Table 6 benchmark) and
+// weighted (Dijkstra over an EdgeWeights side table).
+#ifndef RINGO_ALGO_SSSP_H_
+#define RINGO_ALGO_SSSP_H_
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "graph/edge_weights.h"
+#include "graph/undirected_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+
+// Unweighted SSSP = BFS hop counts; (id, hops) for reachable nodes,
+// ascending by id. This is the paper's sequential "SSSP" benchmark.
+NodeInts SsspUnweighted(const DirectedGraph& g, NodeId src);
+
+// Dijkstra over non-negative edge weights (default weight 1.0 for edges
+// absent from `w`). Returns (id, distance) for reachable nodes. Fails with
+// InvalidArgument if a traversed edge has negative weight.
+Result<NodeValues> Dijkstra(const DirectedGraph& g, const EdgeWeights& w,
+                            NodeId src);
+Result<NodeValues> Dijkstra(const UndirectedGraph& g, const EdgeWeights& w,
+                            NodeId src);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_SSSP_H_

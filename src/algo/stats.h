@@ -1,0 +1,66 @@
+// Whole-graph statistics for interactive exploration — the numbers a data
+// scientist asks for first (degree distributions, reciprocity,
+// assortativity, density), bundled into one summary the way SNAP's
+// PrintInfo does.
+#ifndef RINGO_ALGO_STATS_H_
+#define RINGO_ALGO_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/algo_defs.h"
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+// (degree, #nodes with that degree), ascending by degree.
+using DegreeHistogram = std::vector<std::pair<int64_t, int64_t>>;
+
+DegreeHistogram OutDegreeHistogram(const DirectedGraph& g);
+DegreeHistogram InDegreeHistogram(const DirectedGraph& g);
+DegreeHistogram DegreeHistogram_(const UndirectedGraph& g);
+
+// Fraction of directed edges (u,v), u != v, whose reverse edge exists.
+// 1.0 on a symmetric graph, 0.0 when no edge is reciprocated.
+double Reciprocity(const DirectedGraph& g);
+
+// Pearson correlation of endpoint degrees over all edges (degree
+// assortativity, Newman 2002). Negative on hub-and-spoke graphs
+// (star → -1), positive when high-degree nodes attach to each other.
+// Returns 0 for degenerate graphs (no edges / constant degree).
+double DegreeAssortativity(const UndirectedGraph& g);
+
+// Edge density: |E| / (n * (n-1)) for directed, 2|E| / (n * (n-1)) for
+// undirected; self-loops excluded from the numerator.
+double Density(const DirectedGraph& g);
+double Density(const UndirectedGraph& g);
+
+int64_t CountSelfLoops(const DirectedGraph& g);
+int64_t CountSelfLoops(const UndirectedGraph& g);
+
+// One-stop structural summary.
+struct GraphSummary {
+  int64_t nodes = 0;
+  int64_t edges = 0;
+  int64_t self_loops = 0;
+  int64_t zero_deg_nodes = 0;
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  double avg_degree = 0;          // Out-degree average.
+  double density = 0;
+  double reciprocity = 0;
+  int64_t wcc_count = 0;
+  int64_t max_wcc_size = 0;
+  int64_t scc_count = 0;
+  int64_t max_scc_size = 0;
+};
+
+GraphSummary Summarize(const DirectedGraph& g);
+
+// Human-readable multi-line rendering of a summary.
+std::string SummaryToString(const GraphSummary& s);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_STATS_H_

@@ -1,0 +1,26 @@
+// DAG utilities: cycle detection and topological ordering.
+#ifndef RINGO_ALGO_TOPOLOGY_H_
+#define RINGO_ALGO_TOPOLOGY_H_
+
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+
+// True if the graph has no directed cycle (self-loops are cycles).
+bool IsDag(const DirectedGraph& g);
+
+// Topological order (Kahn's algorithm; ties broken by smallest node id, so
+// the order is deterministic and lexicographically smallest). Fails with
+// InvalidArgument if the graph has a cycle.
+Result<std::vector<NodeId>> TopologicalSort(const DirectedGraph& g);
+
+// Nodes of some directed cycle (empty if acyclic). The cycle is returned
+// in traversal order, first node repeated implicitly.
+std::vector<NodeId> FindCycle(const DirectedGraph& g);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_TOPOLOGY_H_

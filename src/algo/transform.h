@@ -1,0 +1,71 @@
+// Graph transformations: subgraphs, reversal, direction stripping, loop
+// removal, degree-preserving rewiring, and component extraction.
+#ifndef RINGO_ALGO_TRANSFORM_H_
+#define RINGO_ALGO_TRANSFORM_H_
+
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+// Induced subgraph on `nodes` (ids absent from g are ignored).
+DirectedGraph Subgraph(const DirectedGraph& g,
+                       const std::vector<NodeId>& nodes);
+UndirectedGraph Subgraph(const UndirectedGraph& g,
+                         const std::vector<NodeId>& nodes);
+
+// Reverses every edge.
+DirectedGraph Reverse(const DirectedGraph& g);
+
+// Forgets edge directions (u→v and v→u collapse to one undirected edge).
+UndirectedGraph ToUndirected(const DirectedGraph& g);
+
+// Interprets an undirected graph as directed with edges both ways.
+DirectedGraph ToDirected(const UndirectedGraph& g);
+
+// Copies without self-loops.
+DirectedGraph RemoveSelfLoops(const DirectedGraph& g);
+UndirectedGraph RemoveSelfLoops(const UndirectedGraph& g);
+
+// Largest weakly connected component as an induced subgraph.
+DirectedGraph MaxWccSubgraph(const DirectedGraph& g);
+UndirectedGraph MaxConnectedSubgraph(const UndirectedGraph& g);
+
+// Largest strongly connected component as an induced subgraph.
+DirectedGraph MaxSccSubgraph(const DirectedGraph& g);
+
+// Uniform node sample: the induced subgraph on min(k, n) random nodes.
+// Deterministic per seed.
+DirectedGraph SampleNodes(const DirectedGraph& g, int64_t k, uint64_t seed = 1);
+
+// Uniform edge sample: min(k, m) random edges (all original nodes kept).
+DirectedGraph SampleEdges(const DirectedGraph& g, int64_t k, uint64_t seed = 1);
+
+// Graph union: nodes and edges of both inputs.
+DirectedGraph GraphUnion(const DirectedGraph& a, const DirectedGraph& b);
+
+// Graph intersection: nodes present in both inputs and edges present in
+// both inputs.
+DirectedGraph GraphIntersection(const DirectedGraph& a,
+                                const DirectedGraph& b);
+
+// Graph difference: a's nodes, minus the edges that also appear in b.
+DirectedGraph GraphDifference(const DirectedGraph& a, const DirectedGraph& b);
+
+// Egonet: the induced subgraph on all nodes within `radius` hops of
+// `center` (following edges per `undirected`: true = ignore direction).
+// Missing center yields an empty graph.
+DirectedGraph Egonet(const DirectedGraph& g, NodeId center, int64_t radius,
+                     bool undirected = true);
+
+// Degree-preserving randomization: `swaps` random edge-pair swaps
+// (u1→v1, u2→v2) → (u1→v2, u2→v1), skipping swaps that would create
+// duplicates or self-loops. Deterministic per seed.
+DirectedGraph RewireEdges(const DirectedGraph& g, int64_t swaps,
+                          uint64_t seed = 1);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_TRANSFORM_H_

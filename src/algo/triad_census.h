@@ -1,0 +1,54 @@
+// Directed triad census: counts all C(n,3) node triples by their
+// isomorphism class — the classic 16 MAN types (Holland & Leinhardt),
+// computed with the subquadratic Batagelj–Mrvar algorithm (O(m·d_max)
+// rather than O(n^3)).
+//
+// Type conventions used here (x↔y = mutual dyad, x→y = asymmetric arc):
+//   003           empty
+//   012           single arc
+//   102           single mutual dyad
+//   021D          diverging pair   a←b→c   (same tail)
+//   021U          converging pair  a→b←c   (same head)
+//   021C          chain            a→b→c
+//   111D          a↔b ← c          (arc into the mutual dyad)
+//   111U          a↔b → c          (arc out of the mutual dyad)
+//   030T          transitive triangle a→b→c, a→c
+//   030C          cyclic triangle     a→b→c→a
+//   201           two mutual dyads
+//   120D          a↔b plus c→a, c→b
+//   120U          a↔b plus a→c, b→c
+//   120C          a↔b plus chain through c (a→c→b or b→c→a)
+//   210           mutual + mutual + asymmetric
+//   300           complete (all mutual)
+//
+// Self-loops are ignored.
+#ifndef RINGO_ALGO_TRIAD_CENSUS_H_
+#define RINGO_ALGO_TRIAD_CENSUS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "graph/directed_graph.h"
+
+namespace ringo {
+
+enum class TriadType : int {
+  k003 = 0, k012, k102, k021D, k021U, k021C, k111D, k111U,
+  k030T, k030C, k201, k120D, k120U, k120C, k210, k300,
+};
+
+inline constexpr int kNumTriadTypes = 16;
+
+const char* TriadTypeName(TriadType t);
+
+// Classifies a 6-bit triad adjacency code. Bit layout over nodes (u, v, w):
+// bit0 u→v, bit1 v→u, bit2 u→w, bit3 w→u, bit4 v→w, bit5 w→v.
+TriadType ClassifyTriadCode(int code);
+
+// Census over all node triples; result indexed by TriadType. Requires
+// n <= 3,000,000 (C(n,3) must fit in int64).
+std::array<int64_t, kNumTriadTypes> TriadCensus(const DirectedGraph& g);
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_TRIAD_CENSUS_H_

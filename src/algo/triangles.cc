@@ -1,0 +1,175 @@
+#include "algo/triangles.h"
+
+#include <algorithm>
+
+#include "algo/node_index.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+// Builds degree-ordered forward adjacency: node i keeps only neighbors j
+// with (deg(j), j) > (deg(i), i), as dense indices, sorted. Every triangle
+// then has exactly one vertex from which both others are "forward".
+struct ForwardAdjacency {
+  NodeIndex ni;
+  std::vector<std::vector<int64_t>> fwd;
+
+  explicit ForwardAdjacency(const UndirectedGraph& g)
+      : ni(NodeIndex::FromGraph(g)) {
+    const int64_t n = ni.size();
+    std::vector<int64_t> deg(n);
+    std::vector<const UndirectedGraph::NodeData*> node_ptr(n);
+    for (int64_t i = 0; i < n; ++i) {
+      node_ptr[i] = g.GetNode(ni.IdOf(i));
+      deg[i] = static_cast<int64_t>(node_ptr[i]->nbrs.size());
+    }
+    auto order_less = [&](int64_t a, int64_t b) {
+      return deg[a] != deg[b] ? deg[a] < deg[b] : a < b;
+    };
+    fwd.resize(n);
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      for (NodeId vid : node_ptr[i]->nbrs) {
+        const int64_t j = ni.IndexOf(vid);
+        if (j != i && order_less(i, j)) fwd[i].push_back(j);
+      }
+      std::sort(fwd[i].begin(), fwd[i].end());
+    });
+  }
+};
+
+int64_t SortedIntersectionSize(const std::vector<int64_t>& a,
+                               const std::vector<int64_t>& b) {
+  int64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+int64_t CountWithForward(const ForwardAdjacency& fa, bool parallel) {
+  const int64_t n = fa.ni.size();
+  int64_t total = 0;
+  if (parallel) {
+#pragma omp parallel for reduction(+ : total) schedule(dynamic, 64)
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j : fa.fwd[i]) {
+        total += SortedIntersectionSize(fa.fwd[i], fa.fwd[j]);
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j : fa.fwd[i]) {
+        total += SortedIntersectionSize(fa.fwd[i], fa.fwd[j]);
+      }
+    }
+  }
+  return total;
+}
+
+// Neighbors of u excluding self-loops, as sorted NodeId vector view.
+std::vector<NodeId> CleanNeighbors(const UndirectedGraph::NodeData& nd,
+                                   NodeId u) {
+  std::vector<NodeId> out;
+  out.reserve(nd.nbrs.size());
+  for (NodeId v : nd.nbrs) {
+    if (v != u) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int64_t TriangleCount(const UndirectedGraph& g) {
+  const ForwardAdjacency fa(g);
+  return CountWithForward(fa, /*parallel=*/false);
+}
+
+int64_t ParallelTriangleCount(const UndirectedGraph& g) {
+  const ForwardAdjacency fa(g);
+  return CountWithForward(fa, /*parallel=*/true);
+}
+
+NodeInts NodeTriangles(const UndirectedGraph& g) {
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  std::vector<int64_t> tri(n, 0);
+  ParallelForDynamic(0, n, [&](int64_t i) {
+    const NodeId u = ni.IdOf(i);
+    const std::vector<NodeId> nu = CleanNeighbors(*g.GetNode(u), u);
+    int64_t twice = 0;
+    for (NodeId v : nu) {
+      const std::vector<NodeId> nv = CleanNeighbors(*g.GetNode(v), v);
+      // |N(u) ∩ N(v)| counts each triangle through edge (u,v) once; summing
+      // over v counts each of u's triangles twice.
+      size_t a = 0, b = 0;
+      while (a < nu.size() && b < nv.size()) {
+        if (nu[a] < nv[b]) {
+          ++a;
+        } else if (nu[a] > nv[b]) {
+          ++b;
+        } else {
+          ++twice;
+          ++a;
+          ++b;
+        }
+      }
+    }
+    tri[i] = twice / 2;
+  });
+  return ni.Zip(tri);
+}
+
+NodeValues LocalClusteringCoefficients(const UndirectedGraph& g) {
+  const NodeInts tri = NodeTriangles(g);
+  NodeValues out(tri.size());
+  ParallelFor(0, static_cast<int64_t>(tri.size()), [&](int64_t i) {
+    const auto [id, t] = tri[i];
+    // Degree excluding self-loops.
+    const UndirectedGraph::NodeData* nd = g.GetNode(id);
+    int64_t deg = 0;
+    for (NodeId v : nd->nbrs) {
+      if (v != id) ++deg;
+    }
+    const double pairs = static_cast<double>(deg) * (deg - 1) / 2.0;
+    out[i] = {id, pairs > 0 ? static_cast<double>(t) / pairs : 0.0};
+  });
+  return out;
+}
+
+double AverageClusteringCoefficient(const UndirectedGraph& g) {
+  const NodeValues cc = LocalClusteringCoefficients(g);
+  if (cc.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [id, c] : cc) sum += c;
+  return sum / static_cast<double>(cc.size());
+}
+
+double GlobalClusteringCoefficient(const UndirectedGraph& g) {
+  const NodeInts tri = NodeTriangles(g);
+  int64_t triangles3 = 0;  // 3 * #triangles = closed wedges.
+  for (const auto& [id, t] : tri) triangles3 += t;
+  int64_t wedges = 0;
+  g.ForEachNode([&](NodeId u, const UndirectedGraph::NodeData& nd) {
+    int64_t deg = 0;
+    for (NodeId v : nd.nbrs) {
+      if (v != u) ++deg;
+    }
+    wedges += deg * (deg - 1) / 2;
+  });
+  return wedges > 0 ? static_cast<double>(triangles3) /
+                          static_cast<double>(wedges)
+                    : 0.0;
+}
+
+}  // namespace ringo

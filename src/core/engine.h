@@ -1,0 +1,103 @@
+// Ringo engine: the C++ equivalent of the paper's Python front-end module.
+// One Ringo instance owns a StringPool shared by every table it creates, so
+// string columns join and compare by interned id across the whole session.
+//
+// The method set mirrors the paper's demo (§4.1):
+//
+//   Ringo ringo;
+//   auto posts = ringo.LoadTableTSV(schema, "posts.tsv");
+//   auto jp    = ringo.Select(posts, "Tag = Java");
+//   auto q     = ringo.Select(jp, "Type = question");
+//   auto a     = ringo.Select(jp, "Type = answer");
+//   auto qa    = ringo.Join(q, a, "AcceptedAnswerId", "PostId");
+//   auto g     = ringo.ToGraph(qa, "UserId-1", "UserId-2");
+//   auto pr    = ringo.GetPageRank(g);
+//   auto s     = ringo.TableFromMap(pr, "User", "Scr");
+#ifndef RINGO_CORE_ENGINE_H_
+#define RINGO_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "algo/algo_defs.h"
+#include "algo/hits.h"
+#include "algo/stats.h"
+#include "core/conversion.h"
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+#include "table/table.h"
+#include "table/table_io.h"
+#include "util/result.h"
+
+namespace ringo {
+
+class Ringo {
+ public:
+  Ringo();
+
+  const std::shared_ptr<StringPool>& pool() const { return pool_; }
+
+  // ------------------------------------------------------------- tables
+  TablePtr NewTable(Schema schema) const;
+  Result<TablePtr> LoadTableTSV(const Schema& schema, const std::string& path,
+                                bool has_header = false) const;
+  Status SaveTableTSV(const Table& t, const std::string& path,
+                      bool write_header = false) const;
+
+  // Select with a textual predicate "col <op> literal"; ops: = != < <= > >=.
+  // The literal parses as int, then float, then string (quotes optional).
+  Result<TablePtr> Select(const TablePtr& t, std::string_view expr) const;
+  // In-place variant (the paper's select benchmark operates in place).
+  Status SelectInPlace(const TablePtr& t, std::string_view expr) const;
+
+  Result<TablePtr> Join(const TablePtr& left, const TablePtr& right,
+                        std::string_view left_col,
+                        std::string_view right_col) const;
+
+  // ------------------------------------------------------------- graphs
+  Result<DirectedGraph> ToGraph(const TablePtr& t, std::string_view src_col,
+                                std::string_view dst_col) const;
+  Result<UndirectedGraph> ToUndirectedGraph(const TablePtr& t,
+                                            std::string_view src_col,
+                                            std::string_view dst_col) const;
+  Result<WeightedGraphResult> ToWeightedGraph(
+      const TablePtr& t, std::string_view src_col, std::string_view dst_col,
+      std::string_view weight_col) const;
+  TablePtr ToEdgeTable(const DirectedGraph& g,
+                       const std::string& src_name = "SrcId",
+                       const std::string& dst_name = "DstId") const;
+  TablePtr ToNodeTable(const DirectedGraph& g,
+                       const std::string& id_name = "NodeId") const;
+
+  // ---------------------------------------------------------- analytics
+  // PageRank with default parameters (parallel implementation).
+  Result<NodeValues> GetPageRank(const DirectedGraph& g) const;
+
+  // HITS hub/authority scores with default parameters.
+  Result<HitsScores> GetHits(const DirectedGraph& g) const;
+
+  // Structural summary rendered as a (Stat:string, Value:float) table —
+  // handy for the interactive exploration loop.
+  TablePtr SummaryTable(const DirectedGraph& g) const;
+
+  // (id, value) pairs → two-column table.
+  TablePtr TableFromMap(const NodeValues& values, const std::string& id_name,
+                        const std::string& value_name) const;
+  TablePtr TableFromMap(const NodeInts& values, const std::string& id_name,
+                        const std::string& value_name) const;
+
+ private:
+  std::shared_ptr<StringPool> pool_;
+};
+
+// Parses "col <op> literal" into its pieces; shared with tests.
+struct ParsedPredicate {
+  std::string column;
+  CmpOp op;
+  Value value;
+};
+Result<ParsedPredicate> ParsePredicate(std::string_view expr);
+
+}  // namespace ringo
+
+#endif  // RINGO_CORE_ENGINE_H_

@@ -1,0 +1,359 @@
+#include "gen/graph_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "storage/flat_hash_map.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace gen {
+
+Result<std::vector<Edge>> RMatEdges(int scale, int64_t m, uint64_t seed,
+                                    const RMatParams& params) {
+  if (scale < 1 || scale > 40) {
+    return Status::InvalidArgument("RMat scale must be in [1, 40]");
+  }
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0) {
+    return Status::InvalidArgument("RMat probabilities must be >= 0, sum <= 1");
+  }
+  std::vector<Edge> edges(m);
+  // Fixed-size blocks with independent RNG streams: the result is
+  // deterministic for a given seed regardless of the thread count.
+  constexpr int64_t kBlock = 1 << 16;
+  const int64_t blocks = (m + kBlock - 1) / kBlock;
+  ParallelForDynamic(0, blocks, [&](int64_t b) {
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(b + 1)));
+    const int64_t end = std::min(m, (b + 1) * kBlock);
+    for (int64_t i = b * kBlock; i < end; ++i) {
+      while (true) {
+        NodeId src = 0, dst = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+          const double r = rng.UniformReal();
+          src <<= 1;
+          dst <<= 1;
+          if (r < params.a) {
+            // Top-left quadrant: no bits set.
+          } else if (r < params.a + params.b) {
+            dst |= 1;
+          } else if (r < params.a + params.b + params.c) {
+            src |= 1;
+          } else {
+            src |= 1;
+            dst |= 1;
+          }
+        }
+        if (src == dst && !params.allow_self_loops) continue;
+        edges[i] = {src, dst};
+        break;
+      }
+    }
+  }, /*chunk=*/1);
+  return edges;
+}
+
+std::vector<Edge> UniformEdges(int64_t n, int64_t m, uint64_t seed) {
+  std::vector<Edge> edges(m);
+  Rng rng(seed);
+  for (int64_t i = 0; i < m; ++i) {
+    edges[i] = {rng.UniformInt(0, n - 1), rng.UniformInt(0, n - 1)};
+  }
+  return edges;
+}
+
+DirectedGraph BuildDirected(const std::vector<Edge>& edges) {
+  DirectedGraph g;
+  for (const Edge& e : edges) g.AddEdge(e.first, e.second);
+  return g;
+}
+
+UndirectedGraph BuildUndirected(const std::vector<Edge>& edges) {
+  UndirectedGraph g;
+  for (const Edge& e : edges) g.AddEdge(e.first, e.second);
+  return g;
+}
+
+namespace {
+
+// Samples exactly m distinct non-loop pairs via rejection; requires m to be
+// comfortably below the number of possible pairs.
+Status CheckEdgeBudget(int64_t n, int64_t m, bool directed) {
+  const double cap = directed ? static_cast<double>(n) * (n - 1)
+                              : static_cast<double>(n) * (n - 1) / 2.0;
+  if (n < 2 || m < 0 || static_cast<double>(m) > cap) {
+    return Status::InvalidArgument("infeasible ErdosRenyi(n=" +
+                                   std::to_string(n) +
+                                   ", m=" + std::to_string(m) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DirectedGraph> ErdosRenyiDirected(int64_t n, int64_t m, uint64_t seed) {
+  RINGO_RETURN_NOT_OK(CheckEdgeBudget(n, m, /*directed=*/true));
+  DirectedGraph g;
+  g.ReserveNodes(n);
+  for (int64_t i = 0; i < n; ++i) g.AddNode(i);
+  Rng rng(seed);
+  int64_t added = 0;
+  while (added < m) {
+    const NodeId u = rng.UniformInt(0, n - 1);
+    const NodeId v = rng.UniformInt(0, n - 1);
+    if (u == v) continue;
+    if (g.AddEdge(u, v)) ++added;
+  }
+  return g;
+}
+
+Result<UndirectedGraph> ErdosRenyiUndirected(int64_t n, int64_t m,
+                                             uint64_t seed) {
+  RINGO_RETURN_NOT_OK(CheckEdgeBudget(n, m, /*directed=*/false));
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  for (int64_t i = 0; i < n; ++i) g.AddNode(i);
+  Rng rng(seed);
+  int64_t added = 0;
+  while (added < m) {
+    const NodeId u = rng.UniformInt(0, n - 1);
+    const NodeId v = rng.UniformInt(0, n - 1);
+    if (u == v) continue;
+    if (g.AddEdge(u, v)) ++added;
+  }
+  return g;
+}
+
+Result<UndirectedGraph> PreferentialAttachment(int64_t n, int64_t out_deg,
+                                               uint64_t seed) {
+  if (out_deg < 1 || n < out_deg + 1) {
+    return Status::InvalidArgument(
+        "PreferentialAttachment needs out_deg >= 1 and n > out_deg");
+  }
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  Rng rng(seed);
+  // Endpoint pool: every edge endpoint appears once, giving the
+  // degree-proportional sampling distribution.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * n * out_deg);
+  // Seed clique over the first out_deg + 1 nodes.
+  for (NodeId u = 0; u <= out_deg; ++u) {
+    for (NodeId v = u + 1; v <= out_deg; ++v) {
+      g.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (NodeId u = out_deg + 1; u < n; ++u) {
+    FlatHashSet<NodeId> targets;
+    while (targets.size() < out_deg) {
+      const NodeId v =
+          pool[rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1)];
+      targets.Insert(v);
+    }
+    targets.ForEach([&](NodeId v) {
+      g.AddEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    });
+  }
+  return g;
+}
+
+Result<UndirectedGraph> SmallWorld(int64_t n, int64_t k, double beta,
+                                   uint64_t seed) {
+  if (n < 3 || k < 1 || 2 * k >= n || beta < 0 || beta > 1) {
+    return Status::InvalidArgument("infeasible SmallWorld parameters");
+  }
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  for (int64_t i = 0; i < n; ++i) g.AddNode(i);
+  Rng rng(seed);
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t j = 1; j <= k; ++j) {
+      NodeId v = (u + j) % n;
+      if (rng.Bernoulli(beta)) {
+        // Rewire to a uniform non-self, non-duplicate target.
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          const NodeId w = rng.UniformInt(0, n - 1);
+          if (w != u && !g.HasEdge(u, w)) {
+            v = w;
+            break;
+          }
+        }
+      }
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph Complete(int64_t n) {
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) g.AddNode(u);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+DirectedGraph CompleteDirected(int64_t n) {
+  DirectedGraph g;
+  g.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) g.AddNode(u);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph Star(int64_t n) {
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  g.AddNode(0);
+  for (NodeId v = 1; v < n; ++v) g.AddEdge(0, v);
+  return g;
+}
+
+UndirectedGraph Ring(int64_t n) {
+  UndirectedGraph g;
+  g.ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) g.AddNode(u);
+  if (n == 2) {
+    g.AddEdge(0, 1);
+    return g;
+  }
+  for (NodeId u = 0; u < n && n >= 3; ++u) g.AddEdge(u, (u + 1) % n);
+  return g;
+}
+
+UndirectedGraph Grid(int64_t rows, int64_t cols) {
+  UndirectedGraph g;
+  g.ReserveNodes(rows * cols);
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      g.AddNode(id(r, c));
+      if (r > 0) g.AddEdge(id(r, c), id(r - 1, c));
+      if (c > 0) g.AddEdge(id(r, c), id(r, c - 1));
+    }
+  }
+  return g;
+}
+
+UndirectedGraph FullTree(int64_t fanout, int64_t levels) {
+  UndirectedGraph g;
+  g.AddNode(0);
+  // Level l spans ids [(f^l - 1)/(f - 1), (f^(l+1) - 1)/(f - 1)).
+  NodeId next = 1;
+  std::vector<NodeId> frontier{0};
+  for (int64_t l = 1; l < levels; ++l) {
+    std::vector<NodeId> fresh;
+    for (NodeId p : frontier) {
+      for (int64_t c = 0; c < fanout; ++c) {
+        g.AddEdge(p, next);
+        fresh.push_back(next++);
+      }
+    }
+    frontier = std::move(fresh);
+  }
+  return g;
+}
+
+Result<UndirectedGraph> Bipartite(int64_t n1, int64_t n2, double p,
+                                  uint64_t seed) {
+  if (n1 < 1 || n2 < 1 || p < 0 || p > 1) {
+    return Status::InvalidArgument("infeasible Bipartite parameters");
+  }
+  UndirectedGraph g;
+  g.ReserveNodes(n1 + n2);
+  for (NodeId u = 0; u < n1 + n2; ++u) g.AddNode(u);
+  Rng rng(seed);
+  for (NodeId u = 0; u < n1; ++u) {
+    for (NodeId v = n1; v < n1 + n2; ++v) {
+      if (rng.Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Result<UndirectedGraph> ConfigurationModel(const std::vector<int64_t>& degrees,
+                                           uint64_t seed) {
+  int64_t total = 0;
+  for (int64_t d : degrees) {
+    if (d < 0) {
+      return Status::InvalidArgument("degrees must be non-negative");
+    }
+    total += d;
+  }
+  if (total % 2 != 0) {
+    return Status::InvalidArgument("degree sum must be even");
+  }
+  // Stub list: node i appears degrees[i] times; a random perfect matching
+  // of stubs yields edges.
+  std::vector<NodeId> stubs;
+  stubs.reserve(total);
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    for (int64_t d = 0; d < degrees[i]; ++d) {
+      stubs.push_back(static_cast<NodeId>(i));
+    }
+  }
+  Rng rng(seed);
+  for (int64_t i = static_cast<int64_t>(stubs.size()) - 1; i > 0; --i) {
+    std::swap(stubs[i], stubs[rng.UniformInt(0, i)]);
+  }
+  UndirectedGraph g;
+  g.ReserveNodes(static_cast<int64_t>(degrees.size()));
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    g.AddNode(static_cast<NodeId>(i));
+  }
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const NodeId u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;      // Rejected self-loop.
+    g.AddEdge(u, v);           // Duplicate edges silently collapse.
+  }
+  return g;
+}
+
+namespace {
+
+// Shrinks the R-MAT scale along with the edge budget so the edge/node
+// density (and thus the per-node-overhead share of memory, the adjacency
+// lengths, etc.) stays comparable across scale factors.
+int AdjustedScale(int base_scale, double scale_factor) {
+  int adjust = 0;
+  double f = scale_factor;
+  while (f < 0.75 && base_scale + adjust > 10) {
+    f *= 2;
+    --adjust;
+  }
+  while (f > 1.5 && base_scale + adjust < 26) {
+    f /= 2;
+    ++adjust;
+  }
+  return base_scale + adjust;
+}
+
+}  // namespace
+
+std::vector<Edge> LiveJournalSimEdges(double scale_factor, uint64_t seed) {
+  const int64_t m = static_cast<int64_t>(1000000 * scale_factor);
+  return RMatEdges(AdjustedScale(17, scale_factor), std::max<int64_t>(m, 1),
+                   seed)
+      .ValueOrDie();
+}
+
+std::vector<Edge> TwitterSimEdges(double scale_factor, uint64_t seed) {
+  const int64_t m = static_cast<int64_t>(4000000 * scale_factor);
+  return RMatEdges(AdjustedScale(18, scale_factor), std::max<int64_t>(m, 1),
+                   seed)
+      .ValueOrDie();
+}
+
+}  // namespace gen
+}  // namespace ringo

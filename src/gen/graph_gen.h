@@ -1,0 +1,87 @@
+// Graph generators. These stand in for the paper's benchmark datasets
+// (LiveJournal, Twitter2010 — see DESIGN.md §3): R-MAT reproduces the
+// skewed degree distributions of those social graphs, and the classic
+// models (Erdős–Rényi, preferential attachment, small world) support the
+// test suite and examples. All generators are deterministic per seed.
+#ifndef RINGO_GEN_GRAPH_GEN_H_
+#define RINGO_GEN_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+namespace gen {
+
+// R-MAT parameters (Chakrabarti et al.); defaults are the Graph500 values
+// that produce social-network-like skew.
+struct RMatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c.
+  bool allow_self_loops = false;
+};
+
+// `m` directed edge samples over 2^scale nodes (duplicates possible — the
+// raw list models a real edge log; build a graph to dedupe).
+Result<std::vector<Edge>> RMatEdges(int scale, int64_t m, uint64_t seed,
+                                    const RMatParams& params = {});
+
+// Uniform directed edge list over [0, n) with m samples (duplicates and
+// self-loops possible unless filtered by graph construction).
+std::vector<Edge> UniformEdges(int64_t n, int64_t m, uint64_t seed);
+
+// Builds graphs from edge lists (duplicates collapse; all endpoint nodes
+// added).
+DirectedGraph BuildDirected(const std::vector<Edge>& edges);
+UndirectedGraph BuildUndirected(const std::vector<Edge>& edges);
+
+// Erdős–Rényi G(n, m): exactly m distinct edges (no self-loops).
+Result<DirectedGraph> ErdosRenyiDirected(int64_t n, int64_t m, uint64_t seed);
+Result<UndirectedGraph> ErdosRenyiUndirected(int64_t n, int64_t m,
+                                             uint64_t seed);
+
+// Barabási–Albert preferential attachment: each new node attaches to
+// `out_deg` existing nodes, preferring high degree.
+Result<UndirectedGraph> PreferentialAttachment(int64_t n, int64_t out_deg,
+                                               uint64_t seed);
+
+// Watts–Strogatz small world: ring of n nodes, each linked to k nearest
+// neighbors on each side, each edge rewired with probability beta.
+Result<UndirectedGraph> SmallWorld(int64_t n, int64_t k, double beta,
+                                   uint64_t seed);
+
+// Deterministic structured graphs.
+UndirectedGraph Complete(int64_t n);
+DirectedGraph CompleteDirected(int64_t n);  // All ordered pairs, no loops.
+UndirectedGraph Star(int64_t n);            // Node 0 is the hub.
+UndirectedGraph Ring(int64_t n);
+UndirectedGraph Grid(int64_t rows, int64_t cols);
+UndirectedGraph FullTree(int64_t fanout, int64_t levels);  // Root id 0.
+
+// Random bipartite graph: parts [0, n1) and [n1, n1+n2), each cross pair
+// present with probability p.
+Result<UndirectedGraph> Bipartite(int64_t n1, int64_t n2, double p,
+                                  uint64_t seed);
+
+// Configuration model: a random simple graph whose degree sequence
+// approximates `degrees` (node i targets degrees[i]). Stub matching with
+// rejection of self-loops and duplicate edges, so heavy-tailed sequences
+// may fall slightly short of their targets; the degree sum must be even.
+Result<UndirectedGraph> ConfigurationModel(const std::vector<int64_t>& degrees,
+                                           uint64_t seed);
+
+// The paper-benchmark stand-ins (DESIGN.md §3). `scale_factor` rescales
+// both nodes and edges; 1.0 gives the default simulation size of
+// 2^17 nodes / 1M edges (LiveJournalSim) and 2^18 nodes / 4M edges
+// (TwitterSim).
+std::vector<Edge> LiveJournalSimEdges(double scale_factor = 1.0,
+                                      uint64_t seed = 42);
+std::vector<Edge> TwitterSimEdges(double scale_factor = 1.0,
+                                  uint64_t seed = 43);
+
+}  // namespace gen
+}  // namespace ringo
+
+#endif  // RINGO_GEN_GRAPH_GEN_H_

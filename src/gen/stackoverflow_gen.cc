@@ -1,0 +1,127 @@
+#include "gen/stackoverflow_gen.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace gen {
+
+namespace {
+
+// Discrete Zipf-like sampler over [0, n) using inverse-CDF on precomputed
+// cumulative weights. Deterministic per Rng stream.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double skew) : cdf_(n) {
+    double acc = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_[i] = acc;
+    }
+    for (int64_t i = 0; i < n; ++i) cdf_[i] /= acc;
+  }
+
+  int64_t Sample(Rng& rng) const {
+    const double r = rng.UniformReal();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    return it == cdf_.end() ? static_cast<int64_t>(cdf_.size()) - 1
+                            : it - cdf_.begin();
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+TablePtr GenerateStackOverflowPosts(const StackOverflowConfig& config,
+                                    std::shared_ptr<StringPool> pool) {
+  RINGO_CHECK_GE(config.num_users, 1);
+  RINGO_CHECK_GE(config.num_questions, 1);
+  RINGO_CHECK(!config.tags.empty());
+
+  Schema schema{{"PostId", ColumnType::kInt},
+                {"Type", ColumnType::kString},
+                {"UserId", ColumnType::kInt},
+                {"Tag", ColumnType::kString},
+                {"AcceptedAnswerId", ColumnType::kInt},
+                {"ParentId", ColumnType::kInt},
+                {"Time", ColumnType::kInt}};
+  TablePtr posts = Table::Create(std::move(schema), std::move(pool));
+
+  Rng rng(config.seed);
+  const ZipfSampler asker(config.num_users, config.user_skew * 0.7);
+  const ZipfSampler tag_sampler(static_cast<int64_t>(config.tags.size()), 1.0);
+  // Per-tag answerer pools: each tag's experts are a skewed slice of the
+  // user base, offset per tag so different tags have different experts.
+  const ZipfSampler answerer(config.num_users, config.user_skew);
+
+  const StringPool::Id type_q = posts->pool()->GetOrAdd("question");
+  const StringPool::Id type_a = posts->pool()->GetOrAdd("answer");
+  std::vector<StringPool::Id> tag_ids;
+  for (const std::string& t : config.tags) {
+    tag_ids.push_back(posts->pool()->GetOrAdd(t));
+  }
+
+  Column& c_post = posts->mutable_column(0);
+  Column& c_type = posts->mutable_column(1);
+  Column& c_user = posts->mutable_column(2);
+  Column& c_tag = posts->mutable_column(3);
+  Column& c_accept = posts->mutable_column(4);
+  Column& c_parent = posts->mutable_column(5);
+  Column& c_time = posts->mutable_column(6);
+
+  int64_t next_post_id = 1;
+  int64_t clock = 0;
+  int64_t rows = 0;
+  for (int64_t q = 0; q < config.num_questions; ++q) {
+    const int64_t tag_idx = tag_sampler.Sample(rng);
+    const int64_t question_id = next_post_id++;
+    const int64_t asker_id = asker.Sample(rng);
+    const int64_t q_row = rows;
+
+    c_post.AppendInt(question_id);
+    c_type.AppendStr(type_q);
+    c_user.AppendInt(asker_id);
+    c_tag.AppendStr(tag_ids[tag_idx]);
+    c_accept.AppendInt(-1);  // Patched below if an answer is accepted.
+    c_parent.AppendInt(-1);
+    c_time.AppendInt(clock++);
+    ++rows;
+
+    // Poisson-ish answer count (geometric around the mean).
+    int64_t answers = 0;
+    const double p = 1.0 / (1.0 + config.mean_answers_per_question);
+    while (!rng.Bernoulli(p)) ++answers;
+
+    std::vector<int64_t> answer_ids;
+    for (int64_t a = 0; a < answers; ++a) {
+      const int64_t answer_id = next_post_id++;
+      // Tag expertise: shift the skewed sampler by a tag-dependent offset
+      // so each tag has its own expert cluster.
+      int64_t answerer_id =
+          (answerer.Sample(rng) + tag_idx * 37) % config.num_users;
+      c_post.AppendInt(answer_id);
+      c_type.AppendStr(type_a);
+      c_user.AppendInt(answerer_id);
+      c_tag.AppendStr(tag_ids[tag_idx]);
+      c_accept.AppendInt(-1);
+      c_parent.AppendInt(question_id);
+      c_time.AppendInt(clock++);
+      ++rows;
+      answer_ids.push_back(answer_id);
+    }
+    if (!answer_ids.empty() && rng.Bernoulli(config.accept_fraction)) {
+      const int64_t chosen = answer_ids[rng.UniformInt(
+          0, static_cast<int64_t>(answer_ids.size()) - 1)];
+      c_accept.SetInt(q_row, chosen);
+    }
+  }
+  RINGO_CHECK_OK(posts->SealAppendedRows(rows));
+  return posts;
+}
+
+}  // namespace gen
+}  // namespace ringo

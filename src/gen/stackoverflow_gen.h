@@ -1,0 +1,47 @@
+// Synthetic StackOverflow dataset generator — the offline stand-in for the
+// real data dump the paper's §4.1 demo loads (see DESIGN.md §3). Produces a
+// posts table with the same relational shape the demo manipulates:
+//
+//   PostId:int  Type:string("question"|"answer")  UserId:int  Tag:string
+//   AcceptedAnswerId:int  ParentId:int  Time:int
+//
+// Questions have AcceptedAnswerId = the PostId of their accepted answer
+// (or -1); answers have ParentId = their question's PostId (questions: -1).
+// User activity is power-law distributed so "expert" users exist, and
+// per-tag expertise is skewed so a tag's top answerers are discoverable.
+#ifndef RINGO_GEN_STACKOVERFLOW_GEN_H_
+#define RINGO_GEN_STACKOVERFLOW_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ringo {
+namespace gen {
+
+struct StackOverflowConfig {
+  int64_t num_users = 2000;
+  int64_t num_questions = 10000;
+  double mean_answers_per_question = 1.8;
+  // Fraction of questions whose asker accepts one answer.
+  double accept_fraction = 0.7;
+  std::vector<std::string> tags = {"Java",   "Python", "C++",  "SQL",
+                                   "Rust",   "Go",     "Ruby", "Haskell"};
+  // Zipf skew of user activity (higher = fewer users dominate).
+  double user_skew = 1.1;
+  uint64_t seed = 7;
+};
+
+// Returns the posts table (schema above), built in the given pool (fresh
+// pool if null).
+TablePtr GenerateStackOverflowPosts(
+    const StackOverflowConfig& config,
+    std::shared_ptr<StringPool> pool = nullptr);
+
+}  // namespace gen
+}  // namespace ringo
+
+#endif  // RINGO_GEN_STACKOVERFLOW_GEN_H_

@@ -1,0 +1,79 @@
+// CsrGraph: Compressed Sparse Row representation — the static baseline the
+// paper contrasts with its dynamic hash-table-of-nodes design (§2.2). Two
+// flat arrays (offsets indexed by dense node index, neighbor array sorted
+// within each node) give the best possible traversal locality, but a single
+// edge deletion costs O(|E|) because the edge array must be compacted.
+//
+// Used by bench_ablation_representation to reproduce that trade-off, and as
+// an alternative substrate for read-only analytics.
+#ifndef RINGO_GRAPH_CSR_GRAPH_H_
+#define RINGO_GRAPH_CSR_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph_defs.h"
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+
+class DirectedGraph;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds from an arbitrary directed edge list. Node ids may be sparse;
+  // they are mapped to dense indices [0, n). Duplicate edges are collapsed.
+  static CsrGraph FromEdges(std::vector<Edge> edges);
+
+  // Builds from a Ringo dynamic graph (preserves the same edge set).
+  static CsrGraph FromGraph(const DirectedGraph& g);
+
+  int64_t NumNodes() const { return static_cast<int64_t>(ids_.size()); }
+  int64_t NumEdges() const { return static_cast<int64_t>(out_nbrs_.size()); }
+
+  // Dense index of a node id, or -1 if absent.
+  int64_t IndexOf(NodeId id) const {
+    const int64_t* idx = index_.Find(id);
+    return idx == nullptr ? -1 : *idx;
+  }
+  NodeId IdOf(int64_t index) const { return ids_[index]; }
+
+  // Out-/in-neighborhoods by dense index; sorted by dense index.
+  std::span<const int64_t> OutNeighbors(int64_t index) const {
+    return {out_nbrs_.data() + out_offsets_[index],
+            static_cast<size_t>(out_offsets_[index + 1] - out_offsets_[index])};
+  }
+  std::span<const int64_t> InNeighbors(int64_t index) const {
+    return {in_nbrs_.data() + in_offsets_[index],
+            static_cast<size_t>(in_offsets_[index + 1] - in_offsets_[index])};
+  }
+
+  int64_t OutDegree(int64_t index) const {
+    return out_offsets_[index + 1] - out_offsets_[index];
+  }
+  int64_t InDegree(int64_t index) const {
+    return in_offsets_[index + 1] - in_offsets_[index];
+  }
+
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  // Deletes one edge by rebuilding/compacting the flat arrays — O(|E|), the
+  // cost the paper's dynamic representation avoids.
+  bool DelEdge(NodeId src, NodeId dst);
+
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<NodeId> ids_;            // dense index -> node id (ascending)
+  FlatHashMap<NodeId, int64_t> index_;  // node id -> dense index
+  std::vector<int64_t> out_offsets_;   // n + 1
+  std::vector<int64_t> out_nbrs_;      // dense indices
+  std::vector<int64_t> in_offsets_;    // n + 1
+  std::vector<int64_t> in_nbrs_;       // dense indices
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_CSR_GRAPH_H_

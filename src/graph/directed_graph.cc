@@ -1,0 +1,123 @@
+#include "graph/directed_graph.h"
+
+namespace ringo {
+
+bool DirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) return false;
+  vec.insert(it, v);
+  return true;
+}
+
+bool DirectedGraph::SortedErase(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) return false;
+  vec.erase(it);
+  return true;
+}
+
+bool DirectedGraph::SortedContains(const std::vector<NodeId>& vec, NodeId v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+bool DirectedGraph::AddNode(NodeId id) {
+  const bool inserted = nodes_.Insert(id, NodeData{}).second;
+  if (inserted) NoteMaxNodeId(id);
+  return inserted;
+}
+
+NodeId DirectedGraph::AddNode() {
+  while (nodes_.Contains(next_node_id_)) ++next_node_id_;
+  const NodeId id = next_node_id_++;
+  nodes_.Insert(id, NodeData{});
+  return id;
+}
+
+bool DirectedGraph::AddEdge(NodeId src, NodeId dst) {
+  AddNode(src);
+  AddNode(dst);
+  NodeData* s = nodes_.Find(src);
+  if (!SortedInsert(s->out, dst)) return false;
+  // Pointer `s` may be invalidated by nothing here (no insertions between),
+  // but re-find dst because AddNode above may have rehashed before we took
+  // `s` — order matters: both AddNode calls precede both Finds.
+  NodeData* d = nodes_.Find(dst);
+  SortedInsert(d->in, src);
+  ++num_edges_;
+  return true;
+}
+
+bool DirectedGraph::DelEdge(NodeId src, NodeId dst) {
+  NodeData* s = nodes_.Find(src);
+  if (s == nullptr || !SortedErase(s->out, dst)) return false;
+  NodeData* d = nodes_.Find(dst);
+  SortedErase(d->in, src);
+  --num_edges_;
+  return true;
+}
+
+bool DirectedGraph::DelNode(NodeId id) {
+  NodeData* nd = nodes_.Find(id);
+  if (nd == nullptr) return false;
+  // Detach from neighbors. Self-loop appears in both vectors; guard so the
+  // edge count drops exactly once for it.
+  int64_t removed = 0;
+  for (NodeId dst : nd->out) {
+    ++removed;
+    if (dst == id) continue;
+    SortedErase(nodes_.Find(dst)->in, id);
+  }
+  for (NodeId src : nd->in) {
+    if (src == id) continue;  // Self-loop already counted via `out`.
+    ++removed;
+    SortedErase(nodes_.Find(src)->out, id);
+  }
+  num_edges_ -= removed;
+  nodes_.Erase(id);
+  return true;
+}
+
+bool DirectedGraph::HasEdge(NodeId src, NodeId dst) const {
+  const NodeData* s = nodes_.Find(src);
+  return s != nullptr && SortedContains(s->out, dst);
+}
+
+int64_t DirectedGraph::OutDegree(NodeId id) const {
+  const NodeData* nd = nodes_.Find(id);
+  return nd == nullptr ? 0 : static_cast<int64_t>(nd->out.size());
+}
+
+int64_t DirectedGraph::InDegree(NodeId id) const {
+  const NodeData* nd = nodes_.Find(id);
+  return nd == nullptr ? 0 : static_cast<int64_t>(nd->in.size());
+}
+
+std::vector<NodeId> DirectedGraph::SortedNodeIds() const {
+  std::vector<NodeId> ids = nodes_.Keys();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int64_t DirectedGraph::MemoryUsageBytes() const {
+  int64_t bytes = nodes_.MemoryUsageBytes();
+  nodes_.ForEach([&](NodeId, const NodeData& nd) {
+    bytes += static_cast<int64_t>((nd.in.capacity() + nd.out.capacity()) *
+                                  sizeof(NodeId));
+  });
+  return bytes;
+}
+
+bool DirectedGraph::SameStructure(const DirectedGraph& other) const {
+  if (NumNodes() != other.NumNodes() || NumEdges() != other.NumEdges()) {
+    return false;
+  }
+  bool same = true;
+  nodes_.ForEach([&](NodeId id, const NodeData& nd) {
+    if (!same) return;
+    const NodeData* o = other.GetNode(id);
+    if (o == nullptr || o->in != nd.in || o->out != nd.out) same = false;
+  });
+  return same;
+}
+
+}  // namespace ringo

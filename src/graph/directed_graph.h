@@ -1,0 +1,116 @@
+// DirectedGraph: the Ringo in-memory graph representation (§2.2).
+//
+// The graph is a hash table of nodes; every node keeps two *sorted*
+// adjacency vectors (in-neighbors and out-neighbors). This balances the
+// paper's two opposing requirements:
+//   * fast neighborhood access — adjacency is contiguous and sorted, so
+//     membership tests are O(log deg) and intersections (triangles) are
+//     linear merges;
+//   * dynamic updates — deleting an edge costs O(deg), not O(|E|) as in
+//     CSR (see graph/csr_graph.h for that baseline).
+//
+// Space is comparable to CSR: 2 vectors per node + one hash slot.
+//
+// Semantics: simple directed graph. Self-loops are allowed; parallel
+// (duplicate) edges are not.
+#ifndef RINGO_GRAPH_DIRECTED_GRAPH_H_
+#define RINGO_GRAPH_DIRECTED_GRAPH_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_defs.h"
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+
+class DirectedGraph {
+ public:
+  struct NodeData {
+    std::vector<NodeId> in;   // Sorted ascending.
+    std::vector<NodeId> out;  // Sorted ascending.
+  };
+  using NodeTable = FlatHashMap<NodeId, NodeData>;
+
+  DirectedGraph() = default;
+
+  // Pre-sizes the node hash table for `n` nodes.
+  void ReserveNodes(int64_t n) { nodes_.Reserve(n); }
+
+  // Adds a node with the given id; returns false if it already exists.
+  bool AddNode(NodeId id);
+
+  // Adds a fresh node with an unused id and returns it.
+  NodeId AddNode();
+
+  // Adds the edge src→dst, creating missing endpoints. Returns true if the
+  // edge was new, false if it already existed.
+  bool AddEdge(NodeId src, NodeId dst);
+
+  // Removes a single edge; O(deg). Returns false if absent.
+  bool DelEdge(NodeId src, NodeId dst);
+
+  // Removes a node and all incident edges. Returns false if absent.
+  bool DelNode(NodeId id);
+
+  bool HasNode(NodeId id) const { return nodes_.Contains(id); }
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  int64_t NumNodes() const { return nodes_.size(); }
+  int64_t NumEdges() const { return num_edges_; }
+
+  // Degree queries; 0 for missing nodes.
+  int64_t OutDegree(NodeId id) const;
+  int64_t InDegree(NodeId id) const;
+
+  // Neighborhood access; nullptr for missing nodes. Vectors are sorted.
+  const NodeData* GetNode(NodeId id) const { return nodes_.Find(id); }
+
+  // All node ids, unsorted (hash order). See SortedNodeIds for stable order.
+  std::vector<NodeId> NodeIds() const { return nodes_.Keys(); }
+  std::vector<NodeId> SortedNodeIds() const;
+
+  // Applies fn(NodeId, const NodeData&) to every node.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    nodes_.ForEach(fn);
+  }
+
+  // Applies fn(src, dst) to every directed edge (grouped by source, each
+  // source's destinations in ascending order).
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    nodes_.ForEach([&](NodeId src, const NodeData& nd) {
+      for (NodeId dst : nd.out) fn(src, dst);
+    });
+  }
+
+  // Direct slot access to the node table for OpenMP partitioned loops.
+  const NodeTable& node_table() const { return nodes_; }
+  NodeTable& mutable_node_table() { return nodes_; }
+
+  // Registers `count` edges added externally via mutable_node_table() (the
+  // sort-first conversion fills adjacency vectors directly, §2.4).
+  void BumpEdgeCount(int64_t count) { num_edges_ += count; }
+  void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
+
+  // Structure-only heap usage in bytes (node table + adjacency vectors).
+  int64_t MemoryUsageBytes() const;
+
+  // Structural equality: same node set and same edge set.
+  bool SameStructure(const DirectedGraph& other) const;
+
+ private:
+  // Inserts v into sorted vec if absent; returns false if present.
+  static bool SortedInsert(std::vector<NodeId>& vec, NodeId v);
+  static bool SortedErase(std::vector<NodeId>& vec, NodeId v);
+  static bool SortedContains(const std::vector<NodeId>& vec, NodeId v);
+
+  NodeTable nodes_;
+  int64_t num_edges_ = 0;
+  NodeId next_node_id_ = 0;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_DIRECTED_GRAPH_H_

@@ -1,0 +1,4 @@
+#include "graph/edge_weights.h"
+
+// EdgeWeights is header-only today; this translation unit anchors the
+// library target and reserves room for out-of-line growth.

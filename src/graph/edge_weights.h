@@ -1,0 +1,47 @@
+// EdgeWeights: a side table mapping directed edges to double weights.
+// Ringo graphs are unweighted (matching SNAP's TNGraph); weighted
+// algorithms (Dijkstra, MST) take an EdgeWeights alongside the graph.
+#ifndef RINGO_GRAPH_EDGE_WEIGHTS_H_
+#define RINGO_GRAPH_EDGE_WEIGHTS_H_
+
+#include "graph/graph_defs.h"
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+
+class EdgeWeights {
+ public:
+  EdgeWeights() = default;
+
+  void Reserve(int64_t n) { w_.Reserve(n); }
+
+  // Sets the weight of src→dst (inserting or overwriting).
+  void Set(NodeId src, NodeId dst, double w) {
+    *w_.Insert({src, dst}, w).first = w;
+  }
+
+  // Sets the weight in both directions (for undirected use).
+  void SetSymmetric(NodeId u, NodeId v, double w) {
+    Set(u, v, w);
+    Set(v, u, w);
+  }
+
+  // Returns the weight, or `fallback` if the edge has no entry.
+  double Get(NodeId src, NodeId dst, double fallback = 1.0) const {
+    const double* w = w_.Find({src, dst});
+    return w == nullptr ? fallback : *w;
+  }
+
+  bool Contains(NodeId src, NodeId dst) const {
+    return w_.Contains({src, dst});
+  }
+
+  int64_t size() const { return w_.size(); }
+
+ private:
+  FlatHashMap<Edge, double, PairHash> w_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_EDGE_WEIGHTS_H_

@@ -1,0 +1,31 @@
+// Shared graph-engine type definitions.
+#ifndef RINGO_GRAPH_GRAPH_DEFS_H_
+#define RINGO_GRAPH_GRAPH_DEFS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace ringo {
+
+// Node identifiers are arbitrary 64-bit integers chosen by the user (they
+// typically come straight out of a table column, §2.4); they need not be
+// dense or contiguous.
+using NodeId = int64_t;
+
+// A directed edge (source, destination).
+using Edge = std::pair<NodeId, NodeId>;
+
+struct PairHash {
+  size_t operator()(const Edge& e) const {
+    // Combine with the 64-bit golden-ratio multiplier; the flat map applies
+    // a finalizing mixer on top.
+    return static_cast<size_t>(
+        static_cast<uint64_t>(e.first) * 0x9E3779B97F4A7C15ULL +
+        static_cast<uint64_t>(e.second));
+  }
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_GRAPH_DEFS_H_

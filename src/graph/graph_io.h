@@ -1,0 +1,29 @@
+// Graph persistence: the SNAP-style text edge-list format the benchmark
+// datasets ship in (one "src<TAB>dst" line per edge, '#' comments), plus a
+// compact binary snapshot format for fast reloads in interactive sessions
+// (§4.2's demo pre-loads datasets this way).
+#ifndef RINGO_GRAPH_GRAPH_IO_H_
+#define RINGO_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/directed_graph.h"
+#include "util/result.h"
+
+namespace ringo {
+
+// Text edge list. Lines starting with '#' and blank lines are skipped;
+// isolated nodes are not representable (matching the SNAP dataset files).
+Status SaveEdgeList(const DirectedGraph& g, const std::string& path);
+Result<DirectedGraph> LoadEdgeList(const std::string& path);
+
+// Binary snapshot: magic + node/edge counts + per-node id and sorted
+// out-adjacency. Restores the exact structure including isolated nodes.
+// The format is little-endian and versioned; loading rejects foreign or
+// truncated files with IOError.
+Status SaveGraphBinary(const DirectedGraph& g, const std::string& path);
+Result<DirectedGraph> LoadGraphBinary(const std::string& path);
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_GRAPH_IO_H_

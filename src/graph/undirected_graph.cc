@@ -1,0 +1,99 @@
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+bool UndirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it != vec.end() && *it == v) return false;
+  vec.insert(it, v);
+  return true;
+}
+
+bool UndirectedGraph::SortedErase(std::vector<NodeId>& vec, NodeId v) {
+  auto it = std::lower_bound(vec.begin(), vec.end(), v);
+  if (it == vec.end() || *it != v) return false;
+  vec.erase(it);
+  return true;
+}
+
+bool UndirectedGraph::AddNode(NodeId id) {
+  const bool inserted = nodes_.Insert(id, NodeData{}).second;
+  if (inserted) NoteMaxNodeId(id);
+  return inserted;
+}
+
+NodeId UndirectedGraph::AddNode() {
+  while (nodes_.Contains(next_node_id_)) ++next_node_id_;
+  const NodeId id = next_node_id_++;
+  nodes_.Insert(id, NodeData{});
+  return id;
+}
+
+bool UndirectedGraph::AddEdge(NodeId src, NodeId dst) {
+  AddNode(src);
+  AddNode(dst);
+  if (!SortedInsert(nodes_.Find(src)->nbrs, dst)) return false;
+  if (src != dst) SortedInsert(nodes_.Find(dst)->nbrs, src);
+  ++num_edges_;
+  return true;
+}
+
+bool UndirectedGraph::DelEdge(NodeId src, NodeId dst) {
+  NodeData* s = nodes_.Find(src);
+  if (s == nullptr || !SortedErase(s->nbrs, dst)) return false;
+  if (src != dst) SortedErase(nodes_.Find(dst)->nbrs, src);
+  --num_edges_;
+  return true;
+}
+
+bool UndirectedGraph::DelNode(NodeId id) {
+  NodeData* nd = nodes_.Find(id);
+  if (nd == nullptr) return false;
+  num_edges_ -= static_cast<int64_t>(nd->nbrs.size());
+  for (NodeId v : nd->nbrs) {
+    if (v == id) continue;  // Self-loop: nothing to detach elsewhere.
+    SortedErase(nodes_.Find(v)->nbrs, id);
+  }
+  nodes_.Erase(id);
+  return true;
+}
+
+bool UndirectedGraph::HasEdge(NodeId src, NodeId dst) const {
+  const NodeData* s = nodes_.Find(src);
+  return s != nullptr &&
+         std::binary_search(s->nbrs.begin(), s->nbrs.end(), dst);
+}
+
+int64_t UndirectedGraph::Degree(NodeId id) const {
+  const NodeData* nd = nodes_.Find(id);
+  return nd == nullptr ? 0 : static_cast<int64_t>(nd->nbrs.size());
+}
+
+std::vector<NodeId> UndirectedGraph::SortedNodeIds() const {
+  std::vector<NodeId> ids = nodes_.Keys();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+int64_t UndirectedGraph::MemoryUsageBytes() const {
+  int64_t bytes = nodes_.MemoryUsageBytes();
+  nodes_.ForEach([&](NodeId, const NodeData& nd) {
+    bytes += static_cast<int64_t>(nd.nbrs.capacity() * sizeof(NodeId));
+  });
+  return bytes;
+}
+
+bool UndirectedGraph::SameStructure(const UndirectedGraph& other) const {
+  if (NumNodes() != other.NumNodes() || NumEdges() != other.NumEdges()) {
+    return false;
+  }
+  bool same = true;
+  nodes_.ForEach([&](NodeId id, const NodeData& nd) {
+    if (!same) return;
+    const NodeData* o = other.GetNode(id);
+    if (o == nullptr || o->nbrs != nd.nbrs) same = false;
+  });
+  return same;
+}
+
+}  // namespace ringo

@@ -1,0 +1,85 @@
+// UndirectedGraph: hash-table-of-nodes representation with one sorted
+// adjacency vector per node. Each edge {u, v} appears in both endpoints'
+// vectors (a self-loop appears once). Used for triangle counting,
+// clustering coefficients, k-core and community algorithms.
+#ifndef RINGO_GRAPH_UNDIRECTED_GRAPH_H_
+#define RINGO_GRAPH_UNDIRECTED_GRAPH_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_defs.h"
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+
+class DirectedGraph;
+
+class UndirectedGraph {
+ public:
+  struct NodeData {
+    std::vector<NodeId> nbrs;  // Sorted ascending.
+  };
+  using NodeTable = FlatHashMap<NodeId, NodeData>;
+
+  UndirectedGraph() = default;
+
+  void ReserveNodes(int64_t n) { nodes_.Reserve(n); }
+
+  bool AddNode(NodeId id);
+  NodeId AddNode();
+
+  // Adds the undirected edge {src, dst}, creating missing endpoints.
+  // Returns true if new.
+  bool AddEdge(NodeId src, NodeId dst);
+  bool DelEdge(NodeId src, NodeId dst);
+  bool DelNode(NodeId id);
+
+  bool HasNode(NodeId id) const { return nodes_.Contains(id); }
+  bool HasEdge(NodeId src, NodeId dst) const;
+
+  int64_t NumNodes() const { return nodes_.size(); }
+  // Each undirected edge counted once.
+  int64_t NumEdges() const { return num_edges_; }
+
+  int64_t Degree(NodeId id) const;
+  const NodeData* GetNode(NodeId id) const { return nodes_.Find(id); }
+
+  std::vector<NodeId> NodeIds() const { return nodes_.Keys(); }
+  std::vector<NodeId> SortedNodeIds() const;
+
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    nodes_.ForEach(fn);
+  }
+
+  // Applies fn(u, v) once per undirected edge with u <= v.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    nodes_.ForEach([&](NodeId u, const NodeData& nd) {
+      for (NodeId v : nd.nbrs) {
+        if (u <= v) fn(u, v);
+      }
+    });
+  }
+
+  const NodeTable& node_table() const { return nodes_; }
+  NodeTable& mutable_node_table() { return nodes_; }
+  void BumpEdgeCount(int64_t count) { num_edges_ += count; }
+  void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
+
+  int64_t MemoryUsageBytes() const;
+  bool SameStructure(const UndirectedGraph& other) const;
+
+ private:
+  static bool SortedInsert(std::vector<NodeId>& vec, NodeId v);
+  static bool SortedErase(std::vector<NodeId>& vec, NodeId v);
+
+  NodeTable nodes_;
+  int64_t num_edges_ = 0;
+  NodeId next_node_id_ = 0;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_UNDIRECTED_GRAPH_H_

@@ -1,0 +1,112 @@
+// ConcurrentInsertMap: a fixed-capacity, open-addressing, linear-probing
+// hash map supporting lock-free concurrent *insertions* (§2.5). Keys are
+// claimed with a compare-and-swap on the slot key; values are written by
+// the claiming thread. Lookups are wait-free.
+//
+// This mirrors the structure the paper builds graph node tables with: the
+// capacity is sized up-front (the sort-first conversion knows the exact
+// node count before it fills the table, §2.4), so no concurrent rehash is
+// needed.
+//
+// Restrictions: integral keys, one reserved key value (kEmptyKey) that may
+// never be inserted, no deletion, capacity fixed at construction.
+#ifndef RINGO_STORAGE_CONCURRENT_MAP_H_
+#define RINGO_STORAGE_CONCURRENT_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "storage/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace ringo {
+
+template <typename V>
+class ConcurrentInsertMap {
+ public:
+  using Key = int64_t;
+  static constexpr Key kEmptyKey = std::numeric_limits<Key>::min();
+
+  // Capacity is sized to hold `max_elements` at a load factor <= 0.7.
+  explicit ConcurrentInsertMap(int64_t max_elements) {
+    int64_t cap = 16;
+    while (cap * 7 < max_elements * 10) cap <<= 1;
+    capacity_ = cap;
+    keys_ = std::make_unique<std::atomic<Key>[]>(cap);
+    values_.resize(cap);
+    for (int64_t i = 0; i < cap; ++i) {
+      keys_[i].store(kEmptyKey, std::memory_order_relaxed);
+    }
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Inserts (key, value) if the key is absent. Returns {slot, inserted}.
+  // When the key was already present the existing slot is returned and the
+  // value is left untouched. Safe to call concurrently from many threads.
+  std::pair<int64_t, bool> Insert(Key key, const V& value) {
+    RINGO_DCHECK(key != kEmptyKey);
+    const int64_t mask = capacity_ - 1;
+    int64_t i = static_cast<int64_t>(internal::MixHash(
+                    static_cast<uint64_t>(key))) &
+                mask;
+    while (true) {
+      Key cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) return {i, false};
+      if (cur == kEmptyKey) {
+        Key expected = kEmptyKey;
+        if (keys_[i].compare_exchange_strong(expected, key,
+                                             std::memory_order_acq_rel)) {
+          values_[i] = value;
+          const int64_t n = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+          RINGO_CHECK_LE(n, capacity_) << "ConcurrentInsertMap overfull";
+          return {i, true};
+        }
+        if (expected == key) return {i, false};
+        // Lost the race to a different key; keep probing from this slot.
+        continue;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  // Returns the slot index of `key`, or -1 if absent. Wait-free. NOTE: a
+  // concurrent Insert of the same key may not be visible yet; lookups are
+  // linearizable only against completed insertions.
+  int64_t FindSlot(Key key) const {
+    const int64_t mask = capacity_ - 1;
+    int64_t i = static_cast<int64_t>(internal::MixHash(
+                    static_cast<uint64_t>(key))) &
+                mask;
+    while (true) {
+      const Key cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) return i;
+      if (cur == kEmptyKey) return -1;
+      i = (i + 1) & mask;
+    }
+  }
+
+  bool Contains(Key key) const { return FindSlot(key) >= 0; }
+
+  // Value access by slot index (as returned by Insert / FindSlot).
+  V& ValueAt(int64_t slot) { return values_[slot]; }
+  const V& ValueAt(int64_t slot) const { return values_[slot]; }
+  Key KeyAt(int64_t slot) const {
+    return keys_[slot].load(std::memory_order_acquire);
+  }
+  bool SlotOccupied(int64_t slot) const { return KeyAt(slot) != kEmptyKey; }
+
+ private:
+  int64_t capacity_ = 0;
+  std::unique_ptr<std::atomic<Key>[]> keys_;
+  std::vector<V> values_;
+  std::atomic<int64_t> size_{0};
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_STORAGE_CONCURRENT_MAP_H_

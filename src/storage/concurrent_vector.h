@@ -1,0 +1,63 @@
+// ConcurrentVector: fixed-capacity vector with thread-safe appends
+// implemented exactly as the paper describes (§2.5): "concurrent insertions
+// to a vector are implemented by using an atomic increment instruction to
+// claim an index of a cell to which a new value is inserted."
+//
+// Capacity is fixed at construction — the paper's conversion pipeline
+// computes exact sizes before filling (§2.4), so growth is never needed on
+// the hot path.
+#ifndef RINGO_STORAGE_CONCURRENT_VECTOR_H_
+#define RINGO_STORAGE_CONCURRENT_VECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ringo {
+
+template <typename T>
+class ConcurrentVector {
+ public:
+  explicit ConcurrentVector(int64_t capacity) : data_(capacity) {}
+
+  int64_t capacity() const { return static_cast<int64_t>(data_.size()); }
+  int64_t size() const { return size_.load(std::memory_order_acquire); }
+
+  // Claims the next cell with an atomic increment and writes `value` into
+  // it. Returns the index written. Thread-safe.
+  int64_t PushBack(const T& value) {
+    const int64_t i = size_.fetch_add(1, std::memory_order_acq_rel);
+    RINGO_CHECK_LT(i, capacity()) << "ConcurrentVector overflow";
+    data_[i] = value;
+    return i;
+  }
+
+  // Claims `count` contiguous cells; returns the first index. The caller
+  // fills them via operator[]. Useful for bulk appends.
+  int64_t Claim(int64_t count) {
+    const int64_t i = size_.fetch_add(count, std::memory_order_acq_rel);
+    RINGO_CHECK_LE(i + count, capacity()) << "ConcurrentVector overflow";
+    return i;
+  }
+
+  T& operator[](int64_t i) { return data_[i]; }
+  const T& operator[](int64_t i) const { return data_[i]; }
+
+  // Takes the underlying storage, truncated to the claimed size. The vector
+  // must not be used concurrently with this call.
+  std::vector<T> TakeVector() {
+    data_.resize(size());
+    size_.store(0, std::memory_order_release);
+    return std::move(data_);
+  }
+
+ private:
+  std::vector<T> data_;
+  std::atomic<int64_t> size_{0};
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_STORAGE_CONCURRENT_VECTOR_H_

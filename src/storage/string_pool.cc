@@ -1,0 +1,89 @@
+#include "storage/string_pool.h"
+
+#include "storage/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace ringo {
+
+StringPool::StringPool() {
+  offsets_.push_back(0);
+  slots_.assign(64, kInvalidId);
+}
+
+uint64_t StringPool::HashBytes(std::string_view s) {
+  // FNV-1a, finalized with the SplitMix64 mixer for probe dispersion.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return internal::MixHash(h);
+}
+
+StringPool::Id StringPool::FindLocked(std::string_view s,
+                                      uint64_t hash) const {
+  const int64_t mask = static_cast<int64_t>(slots_.size()) - 1;
+  int64_t i = static_cast<int64_t>(hash) & mask;
+  while (slots_[i] != kInvalidId) {
+    const Id id = slots_[i];
+    const std::string_view candidate(buf_.data() + offsets_[id],
+                                     offsets_[id + 1] - offsets_[id]);
+    if (candidate == s) return id;
+    i = (i + 1) & mask;
+  }
+  return kInvalidId;
+}
+
+void StringPool::RehashLocked(int64_t new_cap) {
+  std::vector<Id> fresh(new_cap, kInvalidId);
+  const int64_t mask = new_cap - 1;
+  for (Id id : slots_) {
+    if (id == kInvalidId) continue;
+    const std::string_view s(buf_.data() + offsets_[id],
+                             offsets_[id + 1] - offsets_[id]);
+    int64_t i = static_cast<int64_t>(HashBytes(s)) & mask;
+    while (fresh[i] != kInvalidId) i = (i + 1) & mask;
+    fresh[i] = id;
+  }
+  slots_ = std::move(fresh);
+}
+
+StringPool::Id StringPool::GetOrAdd(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t hash = HashBytes(s);
+  Id id = FindLocked(s, hash);
+  if (id != kInvalidId) return id;
+
+  id = static_cast<Id>(size());
+  RINGO_CHECK_GE(id, 0) << "StringPool overflow (2^31 strings)";
+  buf_.insert(buf_.end(), s.begin(), s.end());
+  offsets_.push_back(static_cast<int64_t>(buf_.size()));
+
+  if ((size() + 1) * 10 > static_cast<int64_t>(slots_.size()) * 7) {
+    RehashLocked(static_cast<int64_t>(slots_.size()) * 2);
+  }
+  const int64_t mask = static_cast<int64_t>(slots_.size()) - 1;
+  int64_t i = static_cast<int64_t>(hash) & mask;
+  while (slots_[i] != kInvalidId) i = (i + 1) & mask;
+  slots_[i] = id;
+  return id;
+}
+
+StringPool::Id StringPool::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(s, HashBytes(s));
+}
+
+std::string_view StringPool::Get(Id id) const {
+  RINGO_DCHECK(id >= 0 && id < size());
+  return std::string_view(buf_.data() + offsets_[id],
+                          offsets_[id + 1] - offsets_[id]);
+}
+
+int64_t StringPool::MemoryUsageBytes() const {
+  return static_cast<int64_t>(buf_.capacity() +
+                              offsets_.capacity() * sizeof(int64_t) +
+                              slots_.capacity() * sizeof(Id));
+}
+
+}  // namespace ringo

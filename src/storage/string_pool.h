@@ -1,0 +1,55 @@
+// StringPool: interned string storage for table string columns. Columns
+// store fixed-width int32 ids; the bytes live once in a shared pool. This
+// keeps string columns as cheap to scan, group and join as integer columns
+// (comparisons are id comparisons when both sides share a pool) — the same
+// design SNAP/Ringo use for their table engine (§2.3).
+#ifndef RINGO_STORAGE_STRING_POOL_H_
+#define RINGO_STORAGE_STRING_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringo {
+
+class StringPool {
+ public:
+  using Id = int32_t;
+  static constexpr Id kInvalidId = -1;
+
+  StringPool();
+
+  // Returns the id of `s`, interning it first if unseen. Thread-safe.
+  Id GetOrAdd(std::string_view s);
+
+  // Returns the id of `s`, or kInvalidId if it has never been interned.
+  // Thread-safe against concurrent GetOrAdd.
+  Id Find(std::string_view s) const;
+
+  // Resolves an id to its bytes. The returned view is valid for the life of
+  // the pool. Must not race with GetOrAdd (callers snapshot ids first).
+  std::string_view Get(Id id) const;
+
+  // Number of distinct interned strings.
+  int64_t size() const { return static_cast<int64_t>(offsets_.size()) - 1; }
+
+  // Approximate heap usage in bytes.
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  Id FindLocked(std::string_view s, uint64_t hash) const;
+  void RehashLocked(int64_t new_cap);
+  static uint64_t HashBytes(std::string_view s);
+
+  std::vector<char> buf_;
+  std::vector<int64_t> offsets_;  // size() + 1 entries; id i spans
+                                  // [offsets_[i], offsets_[i+1]).
+  std::vector<Id> slots_;         // open addressing, kInvalidId = empty.
+  mutable std::mutex mu_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_STORAGE_STRING_POOL_H_

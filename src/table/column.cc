@@ -1,0 +1,77 @@
+#include "table/column.h"
+
+#include "util/parallel.h"
+
+namespace ringo {
+
+Column::Column(ColumnType type) : type_(type) {
+  switch (type) {
+    case ColumnType::kInt: data_ = IntVec{}; break;
+    case ColumnType::kFloat: data_ = FloatVec{}; break;
+    case ColumnType::kString: data_ = StrVec{}; break;
+  }
+}
+
+int64_t Column::size() const {
+  return std::visit(
+      [](const auto& v) { return static_cast<int64_t>(v.size()); }, data_);
+}
+
+void Column::Reserve(int64_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+void Column::Resize(int64_t n) {
+  std::visit([n](auto& v) { v.resize(n); }, data_);
+}
+
+void Column::Clear() {
+  std::visit([](auto& v) { v.clear(); }, data_);
+}
+
+Column Column::Gather(const std::vector<int64_t>& idx) const {
+  Column out(type_);
+  const int64_t n = static_cast<int64_t>(idx.size());
+  std::visit(
+      [&](const auto& src) {
+        auto& dst = std::get<std::decay_t<decltype(src)>>(out.data_);
+        dst.resize(n);
+        ParallelFor(0, n, [&](int64_t i) { dst[i] = src[idx[i]]; });
+      },
+      data_);
+  return out;
+}
+
+void Column::CompactKeep(const std::vector<int64_t>& keep) {
+  std::visit(
+      [&](auto& v) {
+        const int64_t n = static_cast<int64_t>(keep.size());
+        for (int64_t i = 0; i < n; ++i) {
+          RINGO_DCHECK(keep[i] >= i);
+          v[i] = v[keep[i]];
+        }
+        v.resize(n);
+      },
+      data_);
+}
+
+void Column::AppendColumn(const Column& other) {
+  RINGO_CHECK(type_ == other.type_);
+  std::visit(
+      [&](auto& dst) {
+        const auto& src = std::get<std::decay_t<decltype(dst)>>(other.data_);
+        dst.insert(dst.end(), src.begin(), src.end());
+      },
+      data_);
+}
+
+int64_t Column::MemoryUsageBytes() const {
+  return std::visit(
+      [](const auto& v) {
+        return static_cast<int64_t>(v.capacity() *
+                                    sizeof(typename std::decay_t<decltype(v)>::value_type));
+      },
+      data_);
+}
+
+}  // namespace ringo

@@ -1,0 +1,83 @@
+// Column: the typed column store behind Ringo tables (§2.3). A column is a
+// dense vector of int64, double, or interned string ids. All table
+// operations iterate over columns, so access paths are branch-free inner
+// loops over one vector.
+#ifndef RINGO_TABLE_COLUMN_H_
+#define RINGO_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "storage/string_pool.h"
+#include "table/schema.h"
+#include "util/logging.h"
+
+namespace ringo {
+
+class Column {
+ public:
+  explicit Column(ColumnType type);
+
+  ColumnType type() const { return type_; }
+  int64_t size() const;
+  void Reserve(int64_t n);
+  void Resize(int64_t n);
+  void Clear();
+
+  // Typed appends / accessors. Type agreement is a precondition (DCHECKed):
+  // the table layer validates before dispatching to columns.
+  void AppendInt(int64_t v) {
+    RINGO_DCHECK(type_ == ColumnType::kInt);
+    std::get<IntVec>(data_).push_back(v);
+  }
+  void AppendFloat(double v) {
+    RINGO_DCHECK(type_ == ColumnType::kFloat);
+    std::get<FloatVec>(data_).push_back(v);
+  }
+  void AppendStr(StringPool::Id v) {
+    RINGO_DCHECK(type_ == ColumnType::kString);
+    std::get<StrVec>(data_).push_back(v);
+  }
+
+  int64_t GetInt(int64_t i) const { return std::get<IntVec>(data_)[i]; }
+  double GetFloat(int64_t i) const { return std::get<FloatVec>(data_)[i]; }
+  StringPool::Id GetStr(int64_t i) const { return std::get<StrVec>(data_)[i]; }
+
+  void SetInt(int64_t i, int64_t v) { std::get<IntVec>(data_)[i] = v; }
+  void SetFloat(int64_t i, double v) { std::get<FloatVec>(data_)[i] = v; }
+  void SetStr(int64_t i, StringPool::Id v) { std::get<StrVec>(data_)[i] = v; }
+
+  // Raw vector access for hot loops (type checked in debug builds).
+  std::vector<int64_t>& ints() { return std::get<IntVec>(data_); }
+  const std::vector<int64_t>& ints() const { return std::get<IntVec>(data_); }
+  std::vector<double>& floats() { return std::get<FloatVec>(data_); }
+  const std::vector<double>& floats() const { return std::get<FloatVec>(data_); }
+  std::vector<StringPool::Id>& strs() { return std::get<StrVec>(data_); }
+  const std::vector<StringPool::Id>& strs() const { return std::get<StrVec>(data_); }
+
+  // Returns a new column with rows picked by `idx` (values are indices into
+  // this column). Parallel for large gathers.
+  Column Gather(const std::vector<int64_t>& idx) const;
+
+  // Keeps exactly the rows listed in `keep` (ascending), discarding the
+  // rest; in-place, O(n). Backbone of in-place Select.
+  void CompactKeep(const std::vector<int64_t>& keep);
+
+  // Appends all rows of `other` (same type) to this column.
+  void AppendColumn(const Column& other);
+
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  using IntVec = std::vector<int64_t>;
+  using FloatVec = std::vector<double>;
+  using StrVec = std::vector<StringPool::Id>;
+
+  ColumnType type_;
+  std::variant<IntVec, FloatVec, StrVec> data_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_TABLE_COLUMN_H_

@@ -1,0 +1,205 @@
+// Hash equi-join (§2.3), single- and multi-column. Build side: the right
+// table (chained hash table keyed by a normalized 64-bit key, composite
+// keys mixed together and verified by exact comparison); probe side: the
+// left table, partitioned across threads with per-thread match buffers,
+// then materialized with parallel gathers. Output order is deterministic:
+// left row order, matches within a left row in right row order.
+#include <cmath>
+#include <cstring>
+
+#include "storage/flat_hash_map.h"
+#include "table/row_compare.h"
+#include "table/table.h"
+#include "table/table_build.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+using internal::AppendSuffixedColumns;
+using internal::EmitColumns;
+
+// Normalizes one join cell to a 64-bit key such that key equality is
+// necessary (and for a single column, sufficient) for value equality.
+// Strings are normalized to ids in `key_pool`. Rows whose key can never
+// match (float NaN; a string absent from the key pool) are flagged.
+class KeyExtractor {
+ public:
+  KeyExtractor(const Table& t, int col, const StringPool* key_pool)
+      : col_(t.column(col)), pool_(t.pool().get()), key_pool_(key_pool) {}
+
+  // Returns false when this row can never join.
+  bool Key(int64_t row, uint64_t* out) const {
+    switch (col_.type()) {
+      case ColumnType::kInt:
+        *out = static_cast<uint64_t>(col_.GetInt(row));
+        return true;
+      case ColumnType::kFloat: {
+        double v = col_.GetFloat(row);
+        if (std::isnan(v)) return false;  // NaN != NaN: never joins.
+        if (v == 0.0) v = 0.0;            // Collapse -0.0 onto +0.0.
+        std::memcpy(out, &v, sizeof(*out));
+        return true;
+      }
+      case ColumnType::kString: {
+        const StringPool::Id id = col_.GetStr(row);
+        if (pool_ == key_pool_) {
+          *out = static_cast<uint64_t>(id);
+          return true;
+        }
+        const StringPool::Id mapped = key_pool_->Find(pool_->Get(id));
+        if (mapped == StringPool::kInvalidId) return false;
+        *out = static_cast<uint64_t>(mapped);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Column& col_;
+  const StringPool* pool_;
+  const StringPool* key_pool_;
+};
+
+// Mixes one key into a running composite hash.
+inline uint64_t MixKey(uint64_t h, uint64_t k) {
+  h ^= k + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Composite key over all join columns of one row.
+bool CompositeKey(const std::vector<KeyExtractor>& extractors, int64_t row,
+                  uint64_t* out) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const KeyExtractor& e : extractors) {
+    uint64_t k = 0;
+    if (!e.Key(row, &k)) return false;
+    h = MixKey(h, k);
+  }
+  *out = h;
+  return true;
+}
+
+}  // namespace
+
+Result<TablePtr> Table::Join(const Table& left, const Table& right,
+                             std::string_view left_col,
+                             std::string_view right_col,
+                             bool keep_provenance) {
+  return JoinMulti(left, right, {std::string(left_col)},
+                   {std::string(right_col)}, keep_provenance);
+}
+
+Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
+                                  const std::vector<std::string>& left_cols,
+                                  const std::vector<std::string>& right_cols,
+                                  bool keep_provenance) {
+  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
+    return Status::InvalidArgument(
+        "join requires equally many (>=1) key columns on both sides");
+  }
+  std::vector<int> lci, rci;
+  RINGO_RETURN_NOT_OK(ResolveColumns(left, left_cols, &lci));
+  RINGO_RETURN_NOT_OK(ResolveColumns(right, right_cols, &rci));
+  for (size_t c = 0; c < lci.size(); ++c) {
+    const ColumnType lt = left.schema().column(lci[c]).type;
+    const ColumnType rt = right.schema().column(rci[c]).type;
+    if (lt != rt) {
+      return Status::TypeMismatch(
+          std::string("join key types differ on '") + left_cols[c] + "': " +
+          ColumnTypeToString(lt) + " vs " + ColumnTypeToString(rt));
+    }
+  }
+  const bool composite = lci.size() > 1;
+
+  // Output schema: left columns then right columns, collisions suffixed.
+  Schema out_schema;
+  RINGO_RETURN_NOT_OK(
+      AppendSuffixedColumns(left.schema(), right.schema(), "-1", &out_schema));
+  RINGO_RETURN_NOT_OK(
+      AppendSuffixedColumns(right.schema(), left.schema(), "-2", &out_schema));
+  if (keep_provenance) {
+    RINGO_RETURN_NOT_OK(out_schema.AddColumn("_lrow", ColumnType::kInt));
+    RINGO_RETURN_NOT_OK(out_schema.AddColumn("_rrow", ColumnType::kInt));
+  }
+
+  const std::shared_ptr<StringPool>& out_pool = left.pool();
+  std::vector<KeyExtractor> lkeys, rkeys;
+  for (size_t c = 0; c < lci.size(); ++c) {
+    lkeys.emplace_back(left, lci[c], out_pool.get());
+    rkeys.emplace_back(right, rci[c], out_pool.get());
+  }
+  // Exact verification for composite keys (hash equality is not enough).
+  const RowComparator verify(&left, &right, lci, rci);
+
+  // Build a chained hash table over right rows; inserting in reverse row
+  // order makes every chain come out ascending when walked from its head.
+  const int64_t nr = right.NumRows();
+  FlatHashMap<uint64_t, int64_t> heads(nr);
+  std::vector<int64_t> next(nr, -1);
+  for (int64_t r = nr - 1; r >= 0; --r) {
+    uint64_t k = 0;
+    if (!CompositeKey(rkeys, r, &k)) continue;
+    auto [slot, inserted] = heads.Insert(k, r);
+    if (!inserted) {
+      next[r] = *slot;
+      *slot = r;
+    }
+  }
+
+  // Probe left rows, partitioned; per-thread buffers keep the output
+  // deterministic after in-order concatenation.
+  const int64_t nl = left.NumRows();
+  const int threads = NumThreads();
+  const std::vector<int64_t> bounds = PartitionRange(nl, threads);
+  std::vector<std::vector<int64_t>> lbuf(threads), rbuf(threads);
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+    if (t < threads) {
+      std::vector<int64_t>& lo = lbuf[t];
+      std::vector<int64_t>& ro = rbuf[t];
+      for (int64_t l = bounds[t]; l < bounds[t + 1]; ++l) {
+        uint64_t k = 0;
+        if (!CompositeKey(lkeys, l, &k)) continue;
+        const int64_t* head = heads.Find(k);
+        if (head == nullptr) continue;
+        for (int64_t r = *head; r >= 0; r = next[r]) {
+          if (composite && !verify.Equal(l, r)) continue;
+          lo.push_back(l);
+          ro.push_back(r);
+        }
+      }
+    }
+  }
+  std::vector<int64_t> lrows, rrows;
+  for (int t = 0; t < threads; ++t) {
+    lrows.insert(lrows.end(), lbuf[t].begin(), lbuf[t].end());
+    rrows.insert(rrows.end(), rbuf[t].begin(), rbuf[t].end());
+  }
+
+  // Materialize: join always produces a new table object (paper §3).
+  TablePtr out = Create(std::move(out_schema), out_pool);
+  EmitColumns(left, lrows, out_pool, out.get(), 0);
+  EmitColumns(right, rrows, out_pool, out.get(), left.num_columns());
+  if (keep_provenance) {
+    const int64_t n = static_cast<int64_t>(lrows.size());
+    Column& lprov =
+        out->mutable_column(left.num_columns() + right.num_columns());
+    Column& rprov =
+        out->mutable_column(left.num_columns() + right.num_columns() + 1);
+    lprov.Resize(n);
+    rprov.Resize(n);
+    ParallelFor(0, n, [&](int64_t i) {
+      lprov.SetInt(i, left.RowId(lrows[i]));
+      rprov.SetInt(i, right.RowId(rrows[i]));
+    });
+  }
+  RINGO_RETURN_NOT_OK(
+      out->SealAppendedRows(static_cast<int64_t>(lrows.size())));
+  return out;
+}
+
+}  // namespace ringo

@@ -1,0 +1,50 @@
+// NextK (§2.3): Ringo's temporal graph-construction operator. Rows are
+// grouped by `group_col` and ordered by `order_col` within each group; each
+// row is then joined to its up-to-k immediate successors. Typical use:
+// connect a user's consecutive actions, or each question to the next k
+// posts in a thread.
+#include <numeric>
+
+#include "table/row_compare.h"
+#include "table/table.h"
+#include "table/table_build.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+Result<TablePtr> Table::NextK(const Table& t, std::string_view group_col,
+                              std::string_view order_col, int k) {
+  if (k < 1) {
+    return Status::InvalidArgument("NextK requires k >= 1");
+  }
+  RINGO_ASSIGN_OR_RETURN(const int gci,
+                         t.FindColumn(group_col));
+  RINGO_ASSIGN_OR_RETURN(const int oci, t.FindColumn(order_col));
+
+  // Sort rows by (group, order, position) — the position tiebreak keeps
+  // ties deterministic and respects input order.
+  const std::vector<int> cols{gci, oci};
+  RowComparator cmp(&t, &t, cols, cols);
+  std::vector<int64_t> perm(t.NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+    const int c = cmp.Compare(a, b);
+    return c != 0 ? c < 0 : a < b;
+  });
+
+  // Group boundaries = runs of equal group column.
+  const std::vector<int> gcols{gci};
+  RowComparator gcmp(&t, &t, gcols, gcols);
+  std::vector<int64_t> pred_rows, succ_rows;
+  const int64_t n = t.NumRows();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j <= i + k && j < n; ++j) {
+      if (!gcmp.Equal(perm[i], perm[j])) break;  // Left the group.
+      pred_rows.push_back(perm[i]);
+      succ_rows.push_back(perm[j]);
+    }
+  }
+  return internal::BuildPairedOutput(t, t, pred_rows, succ_rows);
+}
+
+}  // namespace ringo

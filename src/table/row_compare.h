@@ -1,0 +1,90 @@
+// RowComparator: shared row-content comparison used by OrderBy, Unique,
+// GroupBy and the set operations. Compares rows of one or two tables over
+// parallel lists of column indices; strings are compared by their bytes
+// (resolved through each table's pool), so cross-pool comparisons are
+// semantically correct.
+#ifndef RINGO_TABLE_ROW_COMPARE_H_
+#define RINGO_TABLE_ROW_COMPARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace ringo {
+
+class RowComparator {
+ public:
+  // Compares rows of `a` against rows of `b` (which may be the same table)
+  // on columns cols_a[i] vs cols_b[i]; the column types must agree
+  // pairwise. `ascending` applies per column; empty means all ascending.
+  RowComparator(const Table* a, const Table* b, std::vector<int> cols_a,
+                std::vector<int> cols_b, std::vector<bool> ascending = {})
+      : a_(a),
+        b_(b),
+        cols_a_(std::move(cols_a)),
+        cols_b_(std::move(cols_b)) {
+    dir_.assign(cols_a_.size(), 1);
+    for (size_t i = 0; i < ascending.size() && i < dir_.size(); ++i) {
+      dir_[i] = ascending[i] ? 1 : -1;
+    }
+  }
+
+  // Three-way comparison of a-row `ra` vs b-row `rb`: <0, 0, >0.
+  int Compare(int64_t ra, int64_t rb) const {
+    for (size_t c = 0; c < cols_a_.size(); ++c) {
+      const int cmp = CompareCell(c, ra, rb);
+      if (cmp != 0) return cmp * dir_[c];
+    }
+    return 0;
+  }
+
+  bool Less(int64_t ra, int64_t rb) const { return Compare(ra, rb) < 0; }
+  bool Equal(int64_t ra, int64_t rb) const { return Compare(ra, rb) == 0; }
+
+ private:
+  int CompareCell(size_t c, int64_t ra, int64_t rb) const {
+    const Column& ca = a_->column(cols_a_[c]);
+    const Column& cb = b_->column(cols_b_[c]);
+    switch (ca.type()) {
+      case ColumnType::kInt: {
+        const int64_t va = ca.GetInt(ra), vb = cb.GetInt(rb);
+        return va < vb ? -1 : (va > vb ? 1 : 0);
+      }
+      case ColumnType::kFloat: {
+        const double va = ca.GetFloat(ra), vb = cb.GetFloat(rb);
+        return va < vb ? -1 : (va > vb ? 1 : 0);
+      }
+      case ColumnType::kString: {
+        const StringPool::Id ia = ca.GetStr(ra), ib = cb.GetStr(rb);
+        // Same pool + same id → equal without resolving bytes.
+        if (a_->pool() == b_->pool() && ia == ib) return 0;
+        const auto sa = a_->pool()->Get(ia);
+        const auto sb = b_->pool()->Get(ib);
+        return sa.compare(sb) < 0 ? -1 : (sa == sb ? 0 : 1);
+      }
+    }
+    return 0;
+  }
+
+  const Table* a_;
+  const Table* b_;
+  std::vector<int> cols_a_, cols_b_;
+  std::vector<int8_t> dir_;
+};
+
+// Resolves column names to indices, checking existence; on success appends
+// the indices to `out`.
+inline Status ResolveColumns(const Table& t,
+                             const std::vector<std::string>& names,
+                             std::vector<int>* out) {
+  for (const std::string& name : names) {
+    RINGO_ASSIGN_OR_RETURN(const int idx, t.FindColumn(name));
+    out->push_back(idx);
+  }
+  return Status::OK();
+}
+
+}  // namespace ringo
+
+#endif  // RINGO_TABLE_ROW_COMPARE_H_

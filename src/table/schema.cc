@@ -1,0 +1,75 @@
+#include "table/schema.h"
+
+namespace ringo {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt: return "int";
+    case ColumnType::kFloat: return "float";
+    case ColumnType::kString: return "string";
+  }
+  return "?";
+}
+
+Result<ColumnType> ColumnTypeFromString(std::string_view s) {
+  if (s == "int") return ColumnType::kInt;
+  if (s == "float") return ColumnType::kFloat;
+  if (s == "string") return ColumnType::kString;
+  return Status::InvalidArgument("unknown column type: '" + std::string(s) +
+                                 "'");
+}
+
+Schema::Schema(std::initializer_list<ColumnSpec> cols) {
+  for (const ColumnSpec& c : cols) {
+    AddColumn(c.name, c.type).Abort("Schema initializer");
+  }
+}
+
+Status Schema::AddColumn(std::string name, ColumnType type) {
+  if (name.empty()) {
+    return Status::InvalidArgument("column name must not be empty");
+  }
+  if (HasColumn(name)) {
+    return Status::AlreadyExists("duplicate column name: '" + name + "'");
+  }
+  cols_.push_back(ColumnSpec{std::move(name), type});
+  return Status::OK();
+}
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  return -1;
+}
+
+Result<int> Schema::FindColumn(std::string_view name) const {
+  const int i = ColumnIndex(name);
+  if (i < 0) {
+    return Status::NotFound("no column named '" + std::string(name) +
+                            "' in schema [" + ToString() + "]");
+  }
+  return i;
+}
+
+Status Schema::RenameColumn(std::string_view from, std::string name) {
+  RINGO_ASSIGN_OR_RETURN(const int i, FindColumn(from));
+  if (name != cols_[i].name && HasColumn(name)) {
+    return Status::AlreadyExists("duplicate column name: '" + name + "'");
+  }
+  cols_[i].name = std::move(name);
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += cols_[i].name;
+    out += ':';
+    out += ColumnTypeToString(cols_[i].type);
+  }
+  return out;
+}
+
+}  // namespace ringo

@@ -1,0 +1,68 @@
+// Table schemas (§2.3): ordered, named, typed columns. Ringo columns are
+// integer (int64), floating point (double) or string (interned ids into a
+// shared StringPool).
+#ifndef RINGO_TABLE_SCHEMA_H_
+#define RINGO_TABLE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ringo {
+
+enum class ColumnType : char {
+  kInt = 0,
+  kFloat = 1,
+  kString = 2,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+Result<ColumnType> ColumnTypeFromString(std::string_view s);
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const ColumnSpec&) const = default;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  // Convenience literal construction:
+  //   Schema({{"UserId", ColumnType::kInt}, {"Tag", ColumnType::kString}})
+  Schema(std::initializer_list<ColumnSpec> cols);
+
+  // Appends a column; fails with AlreadyExists on a duplicate name.
+  Status AddColumn(std::string name, ColumnType type);
+
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+  const ColumnSpec& column(int i) const { return cols_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return cols_; }
+
+  // Index of the named column, or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  // Index of the named column, or NotFound.
+  Result<int> FindColumn(std::string_view name) const;
+
+  bool HasColumn(std::string_view name) const {
+    return ColumnIndex(name) >= 0;
+  }
+
+  Status RenameColumn(std::string_view from, std::string name);
+
+  bool operator==(const Schema&) const = default;
+
+  // "name:type, name:type, ..." — used in error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSpec> cols_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_TABLE_SCHEMA_H_

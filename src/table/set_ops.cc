@@ -1,0 +1,140 @@
+// Set operations over whole rows (§2.3): Union, Intersect, Minus with set
+// (distinct) semantics. Implemented by sorting a row permutation of each
+// input and merging — no hashing of composite rows needed, and string
+// columns compare correctly across different pools.
+#include <numeric>
+
+#include "table/row_compare.h"
+#include "table/table.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+Status CheckSameSchema(const Table& a, const Table& b) {
+  if (!(a.schema() == b.schema())) {
+    return Status::TypeMismatch("set operation on incompatible schemas: [" +
+                                a.schema().ToString() + "] vs [" +
+                                b.schema().ToString() + "]");
+  }
+  return Status::OK();
+}
+
+std::vector<int> AllColumns(const Table& t) {
+  std::vector<int> idx(t.num_columns());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+// Sorted permutation of all rows by full row content (position tiebreak).
+std::vector<int64_t> SortedPerm(const Table& t, const RowComparator& cmp) {
+  std::vector<int64_t> perm(t.NumRows());
+  std::iota(perm.begin(), perm.end(), 0);
+  ParallelSort(perm.begin(), perm.end(), [&](int64_t x, int64_t y) {
+    const int c = cmp.Compare(x, y);
+    return c != 0 ? c < 0 : x < y;
+  });
+  return perm;
+}
+
+// Walks `perm` keeping the first physical row of each distinct-key run.
+std::vector<int64_t> DistinctFirsts(const std::vector<int64_t>& perm,
+                                    const RowComparator& cmp) {
+  std::vector<int64_t> firsts;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) firsts.push_back(perm[i]);
+  }
+  return firsts;
+}
+
+}  // namespace
+
+Result<TablePtr> Table::UnionTables(const Table& a, const Table& b) {
+  RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  // Concatenate (interning b's strings into a's pool), then dedupe.
+  TablePtr cat = Create(a.schema(), a.pool());
+  std::vector<std::string> names;
+  for (const ColumnSpec& c : a.schema().columns()) names.push_back(c.name);
+  for (int c = 0; c < a.num_columns(); ++c) {
+    cat->mutable_column(c).AppendColumn(a.column(c));
+  }
+  const bool same_pool = a.pool() == b.pool();
+  for (int c = 0; c < b.num_columns(); ++c) {
+    Column& dst = cat->mutable_column(c);
+    const Column& src = b.column(c);
+    if (src.type() == ColumnType::kString && !same_pool) {
+      for (int64_t r = 0; r < b.NumRows(); ++r) {
+        dst.AppendStr(a.pool()->GetOrAdd(b.pool()->Get(src.GetStr(r))));
+      }
+    } else {
+      dst.AppendColumn(src);
+    }
+  }
+  RINGO_RETURN_NOT_OK(cat->SealAppendedRows(a.NumRows() + b.NumRows()));
+  return cat->Unique(names);
+}
+
+Result<TablePtr> Table::IntersectTables(const Table& a, const Table& b) {
+  RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  const std::vector<int> cols_a = AllColumns(a);
+  const std::vector<int> cols_b = AllColumns(b);
+  RowComparator cmp_a(&a, &a, cols_a, cols_a);
+  RowComparator cmp_b(&b, &b, cols_b, cols_b);
+  RowComparator cross(&a, &b, cols_a, cols_b);
+
+  const std::vector<int64_t> da = DistinctFirsts(SortedPerm(a, cmp_a), cmp_a);
+  const std::vector<int64_t> db = DistinctFirsts(SortedPerm(b, cmp_b), cmp_b);
+
+  // Merge-walk the two sorted distinct row lists.
+  std::vector<int64_t> keep;
+  size_t i = 0, j = 0;
+  while (i < da.size() && j < db.size()) {
+    const int c = cross.Compare(da[i], db[j]);
+    if (c == 0) {
+      keep.push_back(da[i]);
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  std::sort(keep.begin(), keep.end());  // First-occurrence order in a.
+  return a.GatherRows(keep);
+}
+
+Result<TablePtr> Table::MinusTables(const Table& a, const Table& b) {
+  RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  const std::vector<int> cols_a = AllColumns(a);
+  const std::vector<int> cols_b = AllColumns(b);
+  RowComparator cmp_a(&a, &a, cols_a, cols_a);
+  RowComparator cmp_b(&b, &b, cols_b, cols_b);
+  RowComparator cross(&a, &b, cols_a, cols_b);
+
+  const std::vector<int64_t> da = DistinctFirsts(SortedPerm(a, cmp_a), cmp_a);
+  const std::vector<int64_t> db = DistinctFirsts(SortedPerm(b, cmp_b), cmp_b);
+
+  std::vector<int64_t> keep;
+  size_t i = 0, j = 0;
+  while (i < da.size()) {
+    if (j >= db.size()) {
+      keep.push_back(da[i++]);
+      continue;
+    }
+    const int c = cross.Compare(da[i], db[j]);
+    if (c == 0) {
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      keep.push_back(da[i++]);
+    } else {
+      ++j;
+    }
+  }
+  std::sort(keep.begin(), keep.end());
+  return a.GatherRows(keep);
+}
+
+}  // namespace ringo

@@ -1,0 +1,156 @@
+// SimJoin (§2.3): joins a left record to a right record when the distance
+// between their numeric key vectors is strictly below a threshold. This is
+// Ringo's similarity-based graph construction operator — e.g. connect
+// measurements taken at nearby positions or times.
+//
+// Implementation:
+//   * 1 dimension — both sides are sorted by key and swept with a sliding
+//     window: O((n + m) log + output).
+//   * k dimensions — right rows are bucketed into a grid with cell width =
+//     threshold; each left row inspects its 3^k neighboring cells and
+//     verifies the exact metric. Distance < threshold implies per-dimension
+//     difference < threshold for L1/L2/L∞, so the neighborhood is exact.
+#include <cmath>
+#include <numeric>
+
+#include "storage/flat_hash_map.h"
+#include "table/table.h"
+#include "table/table_build.h"
+#include "util/parallel.h"
+
+namespace ringo {
+
+namespace {
+
+// Extracts numeric key columns as doubles.
+Status ExtractKeys(const Table& t, const std::vector<std::string>& cols,
+                   std::vector<std::vector<double>>* out) {
+  for (const std::string& name : cols) {
+    RINGO_ASSIGN_OR_RETURN(const int ci, t.FindColumn(name));
+    const Column& c = t.column(ci);
+    if (c.type() == ColumnType::kString) {
+      return Status::TypeMismatch("SimJoin key column '" + name +
+                                  "' must be numeric");
+    }
+    std::vector<double> v(t.NumRows());
+    ParallelFor(0, t.NumRows(), [&](int64_t i) {
+      v[i] = c.type() == ColumnType::kInt ? static_cast<double>(c.GetInt(i))
+                                          : c.GetFloat(i);
+    });
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+double Distance(const std::vector<std::vector<double>>& a, int64_t ra,
+                const std::vector<std::vector<double>>& b, int64_t rb,
+                DistanceMetric metric) {
+  double acc = 0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = std::abs(a[d][ra] - b[d][rb]);
+    switch (metric) {
+      case DistanceMetric::kL1: acc += diff; break;
+      case DistanceMetric::kL2: acc += diff * diff; break;
+      case DistanceMetric::kLInf: acc = std::max(acc, diff); break;
+    }
+  }
+  return metric == DistanceMetric::kL2 ? std::sqrt(acc) : acc;
+}
+
+// Grid cell key for kD bucketing; hash collisions are harmless (candidates
+// are verified against the exact metric).
+uint64_t CellKey(const std::vector<int64_t>& coords) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (int64_t c : coords) {
+    h ^= static_cast<uint64_t>(c) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<TablePtr> Table::SimJoin(const Table& left, const Table& right,
+                                const std::vector<std::string>& left_cols,
+                                const std::vector<std::string>& right_cols,
+                                double threshold, DistanceMetric metric) {
+  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
+    return Status::InvalidArgument(
+        "SimJoin requires equally many (>=1) key columns on both sides");
+  }
+  if (!(threshold > 0) || !std::isfinite(threshold)) {
+    return Status::InvalidArgument("SimJoin threshold must be positive");
+  }
+  std::vector<std::vector<double>> lk, rk;
+  RINGO_RETURN_NOT_OK(ExtractKeys(left, left_cols, &lk));
+  RINGO_RETURN_NOT_OK(ExtractKeys(right, right_cols, &rk));
+  const size_t dims = lk.size();
+
+  std::vector<int64_t> lrows, rrows;
+
+  if (dims == 1) {
+    // Sort-merge sweep over one dimension.
+    std::vector<int64_t> lp(left.NumRows()), rp(right.NumRows());
+    std::iota(lp.begin(), lp.end(), 0);
+    std::iota(rp.begin(), rp.end(), 0);
+    ParallelSort(lp.begin(), lp.end(),
+                 [&](int64_t a, int64_t b) { return lk[0][a] < lk[0][b]; });
+    ParallelSort(rp.begin(), rp.end(),
+                 [&](int64_t a, int64_t b) { return rk[0][a] < rk[0][b]; });
+    size_t lo = 0;
+    for (int64_t l : lp) {
+      const double v = lk[0][l];
+      while (lo < rp.size() && rk[0][rp[lo]] <= v - threshold) ++lo;
+      for (size_t j = lo; j < rp.size() && rk[0][rp[j]] < v + threshold; ++j) {
+        lrows.push_back(l);
+        rrows.push_back(rp[j]);
+      }
+    }
+  } else {
+    // Grid hash over k dimensions, cell width = threshold.
+    FlatHashMap<uint64_t, std::vector<int64_t>> grid(right.NumRows());
+    std::vector<int64_t> coords(dims);
+    for (int64_t r = 0; r < right.NumRows(); ++r) {
+      for (size_t d = 0; d < dims; ++d) {
+        coords[d] = static_cast<int64_t>(std::floor(rk[d][r] / threshold));
+      }
+      grid.GetOrInsert(CellKey(coords)).push_back(r);
+    }
+    std::vector<int64_t> probe(dims);
+    for (int64_t l = 0; l < left.NumRows(); ++l) {
+      for (size_t d = 0; d < dims; ++d) {
+        coords[d] = static_cast<int64_t>(std::floor(lk[d][l] / threshold));
+      }
+      // Enumerate the 3^k neighborhood.
+      std::vector<int> offset(dims, -1);
+      while (true) {
+        for (size_t d = 0; d < dims; ++d) probe[d] = coords[d] + offset[d];
+        if (const auto* bucket = grid.Find(CellKey(probe))) {
+          for (int64_t r : *bucket) {
+            if (Distance(lk, l, rk, r, metric) < threshold) {
+              lrows.push_back(l);
+              rrows.push_back(r);
+            }
+          }
+        }
+        size_t d = 0;
+        while (d < dims && ++offset[d] > 1) offset[d++] = -1;
+        if (d == dims) break;
+      }
+    }
+  }
+
+  // Deterministic output: (left row, right row) ascending.
+  std::vector<int64_t> order(lrows.size());
+  std::iota(order.begin(), order.end(), 0);
+  ParallelSort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return lrows[a] != lrows[b] ? lrows[a] < lrows[b] : rrows[a] < rrows[b];
+  });
+  std::vector<int64_t> lo(order.size()), ro(order.size());
+  ParallelFor(0, static_cast<int64_t>(order.size()), [&](int64_t i) {
+    lo[i] = lrows[order[i]];
+    ro[i] = rrows[order[i]];
+  });
+  return internal::BuildPairedOutput(left, right, lo, ro);
+}
+
+}  // namespace ringo

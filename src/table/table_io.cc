@@ -1,0 +1,151 @@
+#include "table/table_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace ringo {
+
+namespace {
+
+// Splits `text` into line views, skipping comments/blank lines.
+std::vector<std::string_view> DataLines(std::string_view text,
+                                        bool has_header) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  bool header_pending = has_header;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty() && line.front() != '#') {
+      if (header_pending) {
+        header_pending = false;
+      } else {
+        lines.push_back(line);
+      }
+    }
+    start = end + 1;
+  }
+  return lines;
+}
+
+Status ParseLine(const Schema& schema, std::string_view line, int64_t lineno,
+                 StringPool* pool, std::vector<Column>* cols) {
+  const std::vector<std::string_view> fields = SplitFields(line, '\t');
+  if (static_cast<int>(fields.size()) != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(lineno) + ": expected " +
+        std::to_string(schema.num_columns()) + " fields, got " +
+        std::to_string(fields.size()));
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    switch (schema.column(c).type) {
+      case ColumnType::kInt: {
+        RINGO_ASSIGN_OR_RETURN(const int64_t v, ParseInt64(fields[c]));
+        (*cols)[c].AppendInt(v);
+        break;
+      }
+      case ColumnType::kFloat: {
+        RINGO_ASSIGN_OR_RETURN(const double v, ParseDouble(fields[c]));
+        (*cols)[c].AppendFloat(v);
+        break;
+      }
+      case ColumnType::kString:
+        (*cols)[c].AppendStr(pool->GetOrAdd(fields[c]));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TablePtr> LoadTableTSV(const Schema& schema, const std::string& path,
+                              std::shared_ptr<StringPool> pool,
+                              bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::vector<std::string_view> lines = DataLines(text, has_header);
+  const int64_t n = static_cast<int64_t>(lines.size());
+
+  TablePtr table = Table::Create(schema, std::move(pool));
+  StringPool* out_pool = table->pool().get();
+
+  // Chunk-parallel parse into per-thread column fragments.
+  const int threads = NumThreads();
+  const std::vector<int64_t> bounds = PartitionRange(n, threads);
+  std::vector<std::vector<Column>> frag(threads);
+  std::vector<Status> frag_status(threads);
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+    if (t < threads) {
+      std::vector<Column>& cols = frag[t];
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        cols.emplace_back(schema.column(c).type);
+        cols.back().Reserve(bounds[t + 1] - bounds[t]);
+      }
+      for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        Status st = ParseLine(schema, lines[i], i + 1, out_pool, &cols);
+        if (!st.ok()) {
+          frag_status[t] = std::move(st);
+          break;
+        }
+      }
+    }
+  }
+  for (const Status& st : frag_status) {
+    RINGO_RETURN_NOT_OK(st);
+  }
+  for (int t = 0; t < threads; ++t) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      table->mutable_column(c).AppendColumn(frag[t][c]);
+    }
+  }
+  RINGO_RETURN_NOT_OK(table->SealAppendedRows(n));
+  return table;
+}
+
+Status SaveTableTSV(const Table& t, const std::string& path,
+                    bool write_header) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  if (write_header) {
+    std::vector<std::string> names;
+    for (const ColumnSpec& c : t.schema().columns()) names.push_back(c.name);
+    out << JoinStrings(names, "\t") << '\n';
+  }
+  for (int64_t r = 0; r < t.NumRows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      if (c > 0) out << '\t';
+      // Floats are written with max_digits10 precision so a save/load
+      // round trip is bit-exact (FormatCell's %.6g is for display only).
+      if (t.schema().column(c).type == ColumnType::kFloat) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", t.column(c).GetFloat(r));
+        out << buf;
+      } else {
+        out << t.FormatCell(r, c);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failure on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace ringo

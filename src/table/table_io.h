@@ -1,0 +1,25 @@
+// TSV input/output for tables (the paper's LoadTableTSV front-end call).
+#ifndef RINGO_TABLE_TABLE_IO_H_
+#define RINGO_TABLE_TABLE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "table/table.h"
+
+namespace ringo {
+
+// Loads a tab-separated file into a table with the given schema. Lines
+// starting with '#' and empty lines are skipped; with `has_header` the
+// first non-comment line is skipped too. Parsing is chunk-parallel.
+Result<TablePtr> LoadTableTSV(const Schema& schema, const std::string& path,
+                              std::shared_ptr<StringPool> pool = nullptr,
+                              bool has_header = false);
+
+// Writes the table as TSV; optionally with a header row of column names.
+Status SaveTableTSV(const Table& t, const std::string& path,
+                    bool write_header = false);
+
+}  // namespace ringo
+
+#endif  // RINGO_TABLE_TABLE_IO_H_

@@ -1,0 +1,79 @@
+// Minimal leveled logging plus CHECK macros, in the style of glog-lite
+// loggers used by Arrow and RocksDB. Logging goes to stderr; the level is
+// configurable at runtime (default: WARNING, so library use is quiet).
+#ifndef RINGO_UTIL_LOGGING_H_
+#define RINGO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ringo {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Sets / reads the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();  // Emits the message; aborts the process for kFatal.
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Swallows a streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace ringo
+
+#define RINGO_LOG(level)                                                    \
+  ::ringo::internal::LogMessage(::ringo::LogLevel::k##level, __FILE__,      \
+                                __LINE__)
+
+// CHECK: always-on invariant assertion. Prefer these over assert() for
+// conditions that guard memory safety; they survive release builds.
+#define RINGO_CHECK(cond)                                                   \
+  if (cond) {                                                               \
+  } else                                                                    \
+    RINGO_LOG(Fatal) << "Check failed: " #cond " "
+
+#define RINGO_CHECK_EQ(a, b) RINGO_CHECK((a) == (b))
+#define RINGO_CHECK_NE(a, b) RINGO_CHECK((a) != (b))
+#define RINGO_CHECK_LT(a, b) RINGO_CHECK((a) < (b))
+#define RINGO_CHECK_LE(a, b) RINGO_CHECK((a) <= (b))
+#define RINGO_CHECK_GT(a, b) RINGO_CHECK((a) > (b))
+#define RINGO_CHECK_GE(a, b) RINGO_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define RINGO_DCHECK(cond) RINGO_CHECK(cond)
+#else
+#define RINGO_DCHECK(cond) \
+  if (true) {              \
+  } else                   \
+    ::ringo::internal::NullStream()
+#endif
+
+#endif  // RINGO_UTIL_LOGGING_H_

@@ -1,0 +1,83 @@
+#include "util/parallel.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace ringo {
+
+namespace {
+std::atomic<int> g_thread_cap{0};  // 0 = use OpenMP default.
+}  // namespace
+
+int NumThreads() {
+  const int cap = g_thread_cap.load(std::memory_order_relaxed);
+  const int omp = omp_get_max_threads();
+  return cap > 0 ? std::min(cap, omp) : omp;
+}
+
+void SetNumThreads(int n) {
+  RINGO_CHECK_GE(n, 0);
+  g_thread_cap.store(n, std::memory_order_relaxed);
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int64_t ExclusivePrefixSum(const int64_t* in, int64_t* out, int64_t n) {
+  if (n == 0) return 0;
+  const int threads = NumThreads();
+  if (threads <= 1 || n < (1 << 15)) {
+    int64_t acc = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t v = in[i];
+      out[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+
+  const std::vector<int64_t> bounds = PartitionRange(n, threads);
+  std::vector<int64_t> part_totals(threads, 0);
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+    if (t < threads) {
+      int64_t acc = 0;
+      for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        const int64_t v = in[i];
+        out[i] = acc;
+        acc += v;
+      }
+      part_totals[t] = acc;
+    }
+  }
+  std::vector<int64_t> offsets(threads, 0);
+  int64_t total = 0;
+  for (int t = 0; t < threads; ++t) {
+    offsets[t] = total;
+    total += part_totals[t];
+  }
+#pragma omp parallel num_threads(threads)
+  {
+    const int t = omp_get_thread_num();
+    if (t < threads && offsets[t] != 0) {
+      for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
+        out[i] += offsets[t];
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<int64_t> PartitionRange(int64_t n, int parts) {
+  RINGO_CHECK_GT(parts, 0);
+  std::vector<int64_t> bounds(parts + 1);
+  const int64_t base = n / parts;
+  const int64_t extra = n % parts;
+  bounds[0] = 0;
+  for (int t = 0; t < parts; ++t) {
+    bounds[t + 1] = bounds[t] + base + (t < extra ? 1 : 0);
+  }
+  return bounds;
+}
+
+}  // namespace ringo

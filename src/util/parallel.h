@@ -1,0 +1,112 @@
+// OpenMP-backed parallel primitives. The paper parallelizes critical loops
+// with "a few OpenMP statements" (§2.5); this header centralizes those
+// patterns: parallel-for over index ranges, parallel comparison sort (the
+// backbone of the sort-first table→graph conversion, §2.4), parallel prefix
+// sums, and thread-count plumbing.
+//
+// Everything here degrades gracefully to sequential execution when OpenMP
+// has a single thread available.
+#ifndef RINGO_UTIL_PARALLEL_H_
+#define RINGO_UTIL_PARALLEL_H_
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace ringo {
+
+// Number of threads a parallel region will use (honors OMP_NUM_THREADS and
+// SetNumThreads).
+int NumThreads();
+
+// Caps the number of threads used by subsequent parallel regions.
+void SetNumThreads(int n);
+
+// Applies fn(i) for i in [begin, end), statically partitioned across
+// threads. fn must be safe to run concurrently for distinct i.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, Fn&& fn) {
+#pragma omp parallel for schedule(static)
+  for (int64_t i = begin; i < end; ++i) {
+    fn(i);
+  }
+}
+
+// Dynamic-scheduled variant for skewed per-item costs (e.g. per-node work on
+// power-law graphs, where hub nodes dominate).
+template <typename Fn>
+void ParallelForDynamic(int64_t begin, int64_t end, Fn&& fn,
+                        int64_t chunk = 256) {
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (int64_t i = begin; i < end; ++i) {
+    fn(i);
+  }
+}
+
+namespace internal {
+
+constexpr int64_t kParallelSortCutoff = 1 << 14;
+
+template <typename Iter, typename Cmp>
+void ParallelSortTask(Iter begin, Iter end, Cmp cmp, int depth) {
+  const int64_t n = end - begin;
+  if (n <= kParallelSortCutoff || depth <= 0) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  Iter mid = begin + n / 2;
+#pragma omp task default(none) firstprivate(begin, mid, cmp, depth)
+  ParallelSortTask(begin, mid, cmp, depth - 1);
+#pragma omp task default(none) firstprivate(mid, end, cmp, depth)
+  ParallelSortTask(mid, end, cmp, depth - 1);
+#pragma omp taskwait
+  std::inplace_merge(begin, mid, end, cmp);
+}
+
+}  // namespace internal
+
+// Parallel comparison sort: task-parallel merge sort with std::sort leaves.
+// Stable ordering is NOT guaranteed. Falls back to std::sort for small
+// inputs or single-threaded runs.
+template <typename Iter, typename Cmp>
+void ParallelSort(Iter begin, Iter end, Cmp cmp) {
+  const int64_t n = end - begin;
+  if (n <= internal::kParallelSortCutoff || NumThreads() <= 1) {
+    std::sort(begin, end, cmp);
+    return;
+  }
+  // Depth chosen so leaf count ≈ 4x threads for load balance.
+  int depth = 2;
+  while ((int64_t{1} << depth) < int64_t{4} * NumThreads()) ++depth;
+#pragma omp parallel default(none) shared(begin, end, cmp, depth)
+  {
+#pragma omp single nowait
+    internal::ParallelSortTask(begin, end, cmp, depth);
+  }
+}
+
+template <typename Iter>
+void ParallelSort(Iter begin, Iter end) {
+  using T = typename std::iterator_traits<Iter>::value_type;
+  ParallelSort(begin, end, std::less<T>());
+}
+
+// Exclusive prefix sum: out[i] = sum of in[0..i); returns the total. `out`
+// may alias `in`. Runs in two parallel passes for large inputs.
+int64_t ExclusivePrefixSum(const int64_t* in, int64_t* out, int64_t n);
+
+inline int64_t ExclusivePrefixSum(std::vector<int64_t>& v) {
+  return ExclusivePrefixSum(v.data(), v.data(), static_cast<int64_t>(v.size()));
+}
+
+// Splits [0, n) into NumThreads() near-equal contiguous ranges; returns the
+// (thread_count + 1) boundaries. Used by partitioned writers (graph→table
+// conversion, §2.4).
+std::vector<int64_t> PartitionRange(int64_t n, int parts);
+
+}  // namespace ringo
+
+#endif  // RINGO_UTIL_PARALLEL_H_

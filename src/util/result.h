@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the companion of util/status.h for functions
+// that produce a value. Mirrors arrow::Result semantics.
+#ifndef RINGO_UTIL_RESULT_H_
+#define RINGO_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ringo {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or from a (non-OK) Status keeps call
+  // sites natural: `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  // Accessors require ok(); checked in debug builds.
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value, aborting the process if the Result holds an error.
+  T ValueOrDie() && {
+    if (!ok()) status().Abort("Result::ValueOrDie");
+    return std::get<T>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace ringo
+
+// Evaluates `rexpr` (a Result<T>), propagating its Status on error;
+// otherwise assigns the value to `lhs`. `lhs` may include a declaration:
+//   RINGO_ASSIGN_OR_RETURN(auto table, LoadTableTSV(...));
+#define RINGO_CONCAT_IMPL_(x, y) x##y
+#define RINGO_CONCAT_(x, y) RINGO_CONCAT_IMPL_(x, y)
+#define RINGO_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto RINGO_CONCAT_(_ringo_result_, __LINE__) = (rexpr);           \
+  if (!RINGO_CONCAT_(_ringo_result_, __LINE__).ok())                \
+    return RINGO_CONCAT_(_ringo_result_, __LINE__).status();        \
+  lhs = std::move(RINGO_CONCAT_(_ringo_result_, __LINE__)).value()
+
+#endif  // RINGO_UTIL_RESULT_H_

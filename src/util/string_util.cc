@@ -1,0 +1,78 @@
+#include "util/string_util.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace ringo {
+
+std::vector<std::string_view> SplitFields(std::string_view line, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = line.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  int64_t value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || s.empty()) {
+    return Status::InvalidArgument("cannot parse integer: '" +
+                                   std::string(s) + "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  double value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || s.empty()) {
+    return Status::InvalidArgument("cannot parse float: '" + std::string(s) +
+                                   "'");
+  }
+  return value;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace ringo

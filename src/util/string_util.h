@@ -1,0 +1,35 @@
+// Small string helpers shared by the TSV loader and the table engine.
+#ifndef RINGO_UTIL_STRING_UTIL_H_
+#define RINGO_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ringo {
+
+// Splits `line` on `delim` without copying. Empty fields are preserved.
+std::vector<std::string_view> SplitFields(std::string_view line, char delim);
+
+// Strict numeric parsers: the whole field must parse, surrounding
+// whitespace is rejected.
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Human-readable byte count, e.g. "13.2GB" — used to print Table 2 the way
+// the paper formats it.
+std::string FormatBytes(int64_t bytes);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace ringo
+
+#endif  // RINGO_UTIL_STRING_UTIL_H_

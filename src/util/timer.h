@@ -1,0 +1,41 @@
+// Wall-clock timing helpers used by the benchmark harness and by the
+// examples to report interactive-use latencies the way the paper does.
+#ifndef RINGO_UTIL_TIMER_H_
+#define RINGO_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ringo {
+
+// A simple monotonic stopwatch. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_UTIL_TIMER_H_

@@ -1,0 +1,86 @@
+#include "algo/anf.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+// Exact neighborhood function via BFS from every node.
+std::vector<double> ExactNeighborhood(const UndirectedGraph& g,
+                                      int64_t max_h) {
+  std::vector<double> nf(max_h + 1, 0.0);
+  for (NodeId u : g.SortedNodeIds()) {
+    for (const auto& [v, d] : BfsDistances(g, u)) {
+      for (int64_t h = d; h <= max_h; ++h) nf[h] += 1.0;
+    }
+  }
+  return nf;
+}
+
+TEST(AnfTest, Validation) {
+  UndirectedGraph g = gen::Ring(5);
+  EXPECT_TRUE(
+      ApproxNeighborhoodFunction(g, -1, 8).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ApproxNeighborhoodFunction(g, 3, 0).status().IsInvalidArgument());
+}
+
+TEST(AnfTest, EmptyGraph) {
+  UndirectedGraph g;
+  auto r = ApproxNeighborhoodFunction(g, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->neighborhood.size(), 4u);
+  EXPECT_DOUBLE_EQ(r->neighborhood[0], 0.0);
+}
+
+TEST(AnfTest, MonotoneNonDecreasing) {
+  UndirectedGraph g = testing::RandomUndirected(100, 300, 5);
+  auto r = ApproxNeighborhoodFunction(g, 8, 32, 3);
+  ASSERT_TRUE(r.ok());
+  for (size_t h = 1; h < r->neighborhood.size(); ++h) {
+    EXPECT_GE(r->neighborhood[h], r->neighborhood[h - 1] - 1e-9);
+  }
+}
+
+TEST(AnfTest, ApproximatesExactWithinTolerance) {
+  // FM sketches have ~1/sqrt(k) relative error once neighborhoods are
+  // reasonably sized; tiny cardinalities (h <= 1) carry a known upward
+  // bias, so the check starts at h = 2.
+  UndirectedGraph g = testing::RandomUndirected(80, 200, 7);
+  const int64_t max_h = 6;
+  const auto exact = ExactNeighborhood(g, max_h);
+  auto r = ApproxNeighborhoodFunction(g, max_h, 256, 1);
+  ASSERT_TRUE(r.ok());
+  for (int64_t h = 2; h <= max_h; ++h) {
+    EXPECT_NEAR(r->neighborhood[h], exact[h], 0.25 * exact[h]) << "h=" << h;
+  }
+  // h = 0 still lands within a small constant factor of n.
+  EXPECT_GT(r->neighborhood[0], 0.5 * exact[0]);
+  EXPECT_LT(r->neighborhood[0], 2.5 * exact[0]);
+}
+
+TEST(AnfTest, EffectiveDiameterOnRing) {
+  // Ring of 20: distances are uniform over 1..10, so the 90th percentile
+  // (incl. self-pairs) sits around 9.
+  const UndirectedGraph g = gen::Ring(20);
+  auto r = ApproxNeighborhoodFunction(g, 12, 256, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->effective_diameter, 6.0);
+  EXPECT_LE(r->effective_diameter, 10.0);
+}
+
+TEST(AnfTest, DeterministicPerSeed) {
+  UndirectedGraph g = testing::RandomUndirected(60, 200, 9);
+  auto a = ApproxNeighborhoodFunction(g, 5, 32, 11);
+  auto b = ApproxNeighborhoodFunction(g, 5, 32, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighborhood, b->neighborhood);
+}
+
+}  // namespace
+}  // namespace ringo

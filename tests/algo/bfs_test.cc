@@ -1,0 +1,150 @@
+#include "algo/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+DirectedGraph Chain(int64_t n) {
+  DirectedGraph g;
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(BfsTest, DistancesOnChain) {
+  DirectedGraph g = Chain(5);
+  const NodeInts d = BfsDistances(g, 0);
+  ASSERT_EQ(d.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(d[i].first, i);
+    EXPECT_EQ(d[i].second, i);
+  }
+}
+
+TEST(BfsTest, DirectionPolicies) {
+  DirectedGraph g = Chain(4);
+  EXPECT_EQ(BfsDistances(g, 3, BfsDir::kOut).size(), 1u);
+  EXPECT_EQ(BfsDistances(g, 3, BfsDir::kIn).size(), 4u);
+  EXPECT_EQ(BfsDistances(g, 1, BfsDir::kBoth).size(), 4u);
+}
+
+TEST(BfsTest, MissingSourceEmpty) {
+  DirectedGraph g = Chain(3);
+  EXPECT_TRUE(BfsDistances(g, 99).empty());
+  EXPECT_EQ(BfsDepth(g, 99), -1);
+}
+
+TEST(BfsTest, UnreachableNodesOmitted) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(10, 11);
+  const NodeInts d = BfsDistances(g, 1);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].first, 1);
+  EXPECT_EQ(d[1].first, 2);
+}
+
+TEST(BfsTest, UndirectedDistances) {
+  UndirectedGraph g = gen::Ring(6);
+  const NodeInts d = BfsDistances(g, 0);
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[3].second, 3);  // Opposite side of the ring.
+  EXPECT_EQ(d[5].second, 1);
+}
+
+TEST(BfsTest, ShortestPathReconstruction) {
+  DirectedGraph g = Chain(5);
+  g.AddEdge(0, 3);  // Shortcut.
+  const auto path = ShortestPath(g, 0, 4);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 3, 4}));
+}
+
+TEST(BfsTest, ShortestPathToSelf) {
+  DirectedGraph g = Chain(3);
+  EXPECT_EQ(ShortestPath(g, 1, 1), (std::vector<NodeId>{1}));
+}
+
+TEST(BfsTest, ShortestPathUnreachable) {
+  DirectedGraph g = Chain(3);
+  EXPECT_TRUE(ShortestPath(g, 2, 0).empty());
+  EXPECT_TRUE(ShortestPath(g, 0, 99).empty());
+}
+
+TEST(BfsTest, DepthOfStarIsOne) {
+  UndirectedGraph star = gen::Star(10);
+  EXPECT_EQ(BfsDepth(star, 0), 1);
+  EXPECT_EQ(BfsDepth(star, 5), 2);
+}
+
+TEST(BfsTest, ReachableSetMatchesDistances) {
+  DirectedGraph g = testing::RandomDirected(60, 200, 5);
+  const auto reach = BfsReachable(g, 0);
+  const auto dist = BfsDistances(g, 0);
+  ASSERT_EQ(reach.size(), dist.size());
+  for (size_t i = 0; i < reach.size(); ++i) {
+    EXPECT_EQ(reach[i], dist[i].first);
+  }
+}
+
+TEST(DfsTest, PreorderOnTree) {
+  // Root 0 with children 1, 2; 1 has children 3, 4.
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(1, 4);
+  EXPECT_EQ(DfsPreorder(g, 0), (std::vector<NodeId>{0, 1, 3, 4, 2}));
+  EXPECT_EQ(DfsPostorder(g, 0), (std::vector<NodeId>{3, 4, 1, 2, 0}));
+}
+
+TEST(DfsTest, HandlesCyclesAndMissingSource) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  const auto pre = DfsPreorder(g, 0);
+  EXPECT_EQ(pre, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(DfsPreorder(g, 42).empty());
+}
+
+TEST(DfsTest, VisitsExactlyTheReachableSet) {
+  DirectedGraph g = testing::RandomDirected(60, 180, 8);
+  const auto reach = BfsReachable(g, 0);
+  auto pre = DfsPreorder(g, 0);
+  auto post = DfsPostorder(g, 0);
+  std::sort(pre.begin(), pre.end());
+  std::sort(post.begin(), post.end());
+  EXPECT_EQ(pre, reach);
+  EXPECT_EQ(post, reach);
+}
+
+// Property: undirected BFS distances match the all-pairs reference.
+class BfsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BfsProperty, MatchesBruteForceAllPairs) {
+  UndirectedGraph g = testing::RandomUndirected(40, 80, GetParam());
+  const auto ref = testing::BruteAllPairs(g);
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  for (size_t s = 0; s < ids.size(); s += 7) {
+    const NodeInts d = BfsDistances(g, ids[s]);
+    FlatHashMap<NodeId, int64_t> dm;
+    for (const auto& [id, dist] : d) dm.Insert(id, dist);
+    for (size_t v = 0; v < ids.size(); ++v) {
+      const int64_t* got = dm.Find(ids[v]);
+      if (ref[s][v] >= INT64_MAX / 8) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, ref[s][v]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsProperty, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ringo

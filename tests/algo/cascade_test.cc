@@ -1,0 +1,147 @@
+#include "algo/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+DirectedGraph Chain(int64_t n) {
+  DirectedGraph g;
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+TEST(IndependentCascadeTest, ProbabilityOneFloodsReachableSet) {
+  DirectedGraph g = Chain(6);
+  g.AddEdge(10, 11);  // Unreachable side component.
+  auto r = IndependentCascade(g, {0}, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TotalActivated(), 6);
+  EXPECT_EQ(r->rounds, 5);
+  // Activation round equals BFS distance when p = 1.
+  for (const auto& [id, round] : r->activation_round) {
+    EXPECT_EQ(round, id);
+  }
+}
+
+TEST(IndependentCascadeTest, ProbabilityZeroOnlySeeds) {
+  DirectedGraph g = Chain(5);
+  auto r = IndependentCascade(g, {0, 2}, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->TotalActivated(), 2);
+  EXPECT_EQ(r->rounds, 0);
+}
+
+TEST(IndependentCascadeTest, Validation) {
+  DirectedGraph g = Chain(3);
+  EXPECT_TRUE(IndependentCascade(g, {}, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(IndependentCascade(g, {77}, 0.5).status().IsNotFound());
+  EXPECT_TRUE(IndependentCascade(g, {0}, 1.5).status().IsInvalidArgument());
+}
+
+TEST(IndependentCascadeTest, DeterministicPerSeed) {
+  DirectedGraph g = testing::RandomDirected(100, 500, 3);
+  auto a = IndependentCascade(g, {0}, 0.3, 42);
+  auto b = IndependentCascade(g, {0}, 0.3, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->activation_round, b->activation_round);
+}
+
+TEST(IndependentCascadeTest, PerEdgeProbabilitiesOverrideDefault) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EdgeWeights w;
+  w.Set(0, 1, 1.0);
+  w.Set(0, 2, 0.0);
+  auto r = IndependentCascade(g, {0}, 0.5, 1, &w);
+  ASSERT_TRUE(r.ok());
+  // Edge 0→1 always fires, 0→2 never.
+  EXPECT_EQ(r->TotalActivated(), 2);
+  EXPECT_EQ(r->activation_round[1].first, 1);
+}
+
+TEST(EstimateInfluenceTest, MonotoneInProbability) {
+  DirectedGraph g = testing::RandomDirected(120, 600, 5);
+  auto low = EstimateInfluence(g, {0}, 0.05, 200, 1);
+  auto high = EstimateInfluence(g, {0}, 0.6, 200, 1);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GE(*high, *low);
+  EXPECT_GE(*low, 1.0);  // The seed itself always activates.
+}
+
+TEST(EstimateInfluenceTest, BoundsAndValidation) {
+  DirectedGraph g = Chain(4);
+  auto inf = EstimateInfluence(g, {0}, 1.0, 10);
+  ASSERT_TRUE(inf.ok());
+  EXPECT_DOUBLE_EQ(*inf, 4.0);
+  EXPECT_TRUE(EstimateInfluence(g, {0}, 0.5, 0).status().IsInvalidArgument());
+}
+
+TEST(GreedySeedSelectionTest, PicksTheObviousHub) {
+  // Hub 0 reaches 30 leaves; node 100 reaches nothing.
+  DirectedGraph g;
+  for (NodeId leaf = 1; leaf <= 30; ++leaf) g.AddEdge(0, leaf);
+  g.AddNode(100);
+  auto seeds = GreedySeedSelection(g, {0, 100, 5}, 1, 1.0, 5, 3);
+  ASSERT_TRUE(seeds.ok());
+  ASSERT_EQ(seeds->size(), 1u);
+  EXPECT_EQ((*seeds)[0], 0);
+}
+
+TEST(GreedySeedSelectionTest, SecondSeedCoversNewGround) {
+  // Two disjoint stars: greedy should take one hub from each.
+  DirectedGraph g;
+  for (NodeId leaf = 1; leaf <= 10; ++leaf) g.AddEdge(0, leaf);
+  for (NodeId leaf = 101; leaf <= 110; ++leaf) g.AddEdge(100, leaf);
+  auto seeds = GreedySeedSelection(g, {0, 100, 1, 101}, 2, 1.0, 3, 3);
+  ASSERT_TRUE(seeds.ok());
+  ASSERT_EQ(seeds->size(), 2u);
+  EXPECT_TRUE(((*seeds)[0] == 0 && (*seeds)[1] == 100) ||
+              ((*seeds)[0] == 100 && (*seeds)[1] == 0));
+}
+
+TEST(SirTest, FullInfectionOnCompleteGraphBetaOne) {
+  const DirectedGraph g = gen::CompleteDirected(10);
+  auto r = SirSimulation(g, {0}, 1.0, 1.0, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_infected, 10);
+  int64_t infected_flags = 0;
+  for (const auto& [id, f] : r->ever_infected) infected_flags += f;
+  EXPECT_EQ(infected_flags, 10);
+}
+
+TEST(SirTest, BetaZeroInfectsOnlySeeds) {
+  const DirectedGraph g = gen::CompleteDirected(8);
+  auto r = SirSimulation(g, {0, 1}, 0.0, 0.5, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->total_infected, 2);
+}
+
+TEST(SirTest, ValidationAndTermination) {
+  DirectedGraph g = Chain(5);
+  EXPECT_TRUE(SirSimulation(g, {0}, 0.5, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(SirSimulation(g, {}, 0.5, 0.5).status().IsInvalidArgument());
+  auto r = SirSimulation(g, {0}, 0.9, 0.2, 11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->steps, 0);
+  EXPECT_LE(r->peak_infected, 5);
+}
+
+TEST(SirTest, DeterministicPerSeed) {
+  DirectedGraph g = testing::RandomDirected(80, 400, 9);
+  auto a = SirSimulation(g, {0}, 0.3, 0.4, 21);
+  auto b = SirSimulation(g, {0}, 0.3, 0.4, 21);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ever_infected, b->ever_infected);
+  EXPECT_EQ(a->steps, b->steps);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,62 @@
+#include "algo/diameter.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+TEST(ExactDiameterTest, KnownShapes) {
+  EXPECT_EQ(ExactDiameter(gen::Ring(10)), 5);
+  EXPECT_EQ(ExactDiameter(gen::Star(10)), 2);
+  EXPECT_EQ(ExactDiameter(gen::Complete(10)), 1);
+  EXPECT_EQ(ExactDiameter(gen::Grid(3, 4)), 5);  // Manhattan corners.
+}
+
+TEST(EstimateDiameterTest, FullSamplingIsExact) {
+  UndirectedGraph g = gen::Grid(6, 6);
+  const DiameterEstimate est = EstimateDiameter(g, g.NumNodes());
+  EXPECT_EQ(est.diameter, 10);
+  EXPECT_GT(est.effective_diameter, 0.0);
+  EXPECT_LE(est.effective_diameter, 10.0);
+  EXPECT_GT(est.avg_distance, 0.0);
+}
+
+TEST(EstimateDiameterTest, SampledLowerBoundsExact) {
+  UndirectedGraph g = testing::RandomUndirected(150, 400, 7);
+  const int64_t exact = ExactDiameter(g);
+  const DiameterEstimate est = EstimateDiameter(g, 20);
+  EXPECT_LE(est.diameter, exact);
+  EXPECT_GE(est.diameter, 1);
+}
+
+TEST(EstimateDiameterTest, EmptyAndSingleton) {
+  UndirectedGraph empty;
+  EXPECT_EQ(EstimateDiameter(empty, 10).diameter, 0);
+  UndirectedGraph one;
+  one.AddNode(1);
+  const DiameterEstimate est = EstimateDiameter(one, 10);
+  EXPECT_EQ(est.diameter, 0);
+  EXPECT_DOUBLE_EQ(est.avg_distance, 0.0);
+}
+
+TEST(EstimateDiameterTest, EffectiveBelowFull) {
+  // Star: nearly all pairs at distance 2, so effective ≈ 2 == diameter.
+  const DiameterEstimate est = EstimateDiameter(gen::Star(50), 50);
+  EXPECT_EQ(est.diameter, 2);
+  EXPECT_LE(est.effective_diameter, 2.0);
+  EXPECT_GT(est.effective_diameter, 1.0);
+}
+
+TEST(EstimateDiameterTest, DeterministicPerSeed) {
+  UndirectedGraph g = testing::RandomUndirected(100, 300, 4);
+  const DiameterEstimate a = EstimateDiameter(g, 10, 3);
+  const DiameterEstimate b = EstimateDiameter(g, 10, 3);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_DOUBLE_EQ(a.effective_diameter, b.effective_diameter);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,80 @@
+#include "algo/hits.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+TEST(HitsTest, EmptyGraph) {
+  DirectedGraph g;
+  auto h = Hits(g);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->hubs.empty());
+  EXPECT_TRUE(h->authorities.empty());
+}
+
+TEST(HitsTest, StarAuthority) {
+  // Everyone points at node 0: node 0 is the authority, others are hubs.
+  DirectedGraph g;
+  for (NodeId i = 1; i <= 5; ++i) g.AddEdge(i, 0);
+  auto h = Hits(g);
+  ASSERT_TRUE(h.ok());
+  // Results ascending by id; node 0 first.
+  EXPECT_GT(h->authorities[0].second, 0.99);
+  EXPECT_LT(h->hubs[0].second, 1e-9);
+  for (size_t i = 1; i < h->hubs.size(); ++i) {
+    EXPECT_GT(h->hubs[i].second, 0.1);
+    EXPECT_LT(h->authorities[i].second, 1e-9);
+  }
+}
+
+TEST(HitsTest, BipartiteHubsAndAuthorities) {
+  // Hubs {1,2} each point to authorities {10, 11, 12}.
+  DirectedGraph g;
+  for (NodeId h : {1, 2}) {
+    for (NodeId a : {10, 11, 12}) g.AddEdge(h, a);
+  }
+  auto r = Hits(g);
+  ASSERT_TRUE(r.ok());
+  FlatHashMap<NodeId, double> hub, auth;
+  for (const auto& [id, v] : r->hubs) hub.Insert(id, v);
+  for (const auto& [id, v] : r->authorities) auth.Insert(id, v);
+  EXPECT_NEAR(*hub.Find(1), *hub.Find(2), 1e-9);
+  EXPECT_NEAR(*auth.Find(10), *auth.Find(11), 1e-9);
+  EXPECT_GT(*hub.Find(1), *hub.Find(10));
+  EXPECT_GT(*auth.Find(10), *auth.Find(1));
+}
+
+TEST(HitsTest, ScoresAreL2Normalized) {
+  DirectedGraph g = testing::RandomDirected(100, 500, 21);
+  auto h = Hits(g);
+  ASSERT_TRUE(h.ok());
+  double hub2 = 0, auth2 = 0;
+  for (const auto& [id, v] : h->hubs) hub2 += v * v;
+  for (const auto& [id, v] : h->authorities) auth2 += v * v;
+  EXPECT_NEAR(hub2, 1.0, 1e-6);
+  EXPECT_NEAR(auth2, 1.0, 1e-6);
+}
+
+TEST(HitsTest, ConfigValidation) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  HitsConfig bad;
+  bad.max_iters = 0;
+  EXPECT_TRUE(Hits(g, bad).status().IsInvalidArgument());
+}
+
+TEST(HitsTest, DeterministicAcrossRuns) {
+  DirectedGraph g = testing::RandomDirected(80, 300, 31);
+  auto a = Hits(g);
+  auto b = Hits(g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->hubs, b->hubs);
+  EXPECT_EQ(a->authorities, b->authorities);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,123 @@
+#include "algo/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/community.h"
+#include "gen/graph_gen.h"
+#include "storage/flat_hash_map.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+UndirectedGraph Cliques(int64_t cliques, int64_t size) {
+  UndirectedGraph g;
+  for (int64_t c = 0; c < cliques; ++c) {
+    const NodeId base = c * size;
+    for (NodeId u = 0; u < size; ++u) {
+      for (NodeId v = u + 1; v < size; ++v) {
+        g.AddEdge(base + u, base + v);
+      }
+    }
+    // Ring of bridges between consecutive cliques.
+    g.AddEdge(base, ((c + 1) % cliques) * size);
+  }
+  return g;
+}
+
+TEST(LouvainTest, RecoversPlantedCliques) {
+  const UndirectedGraph g = Cliques(6, 8);
+  auto r = Louvain(g);
+  ASSERT_TRUE(r.ok());
+  // Every clique should be a single community.
+  FlatHashMap<NodeId, int64_t> m;
+  for (const auto& [id, c] : r->communities) m.Insert(id, c);
+  for (int64_t c = 0; c < 6; ++c) {
+    const int64_t label = *m.Find(c * 8);
+    for (NodeId u = 1; u < 8; ++u) {
+      EXPECT_EQ(*m.Find(c * 8 + u), label) << "clique " << c;
+    }
+  }
+  EXPECT_GT(r->modularity, 0.6);
+  EXPECT_GE(r->levels, 1);
+}
+
+TEST(LouvainTest, BeatsOrMatchesLabelPropagation) {
+  const UndirectedGraph g = Cliques(5, 6);
+  auto louvain = Louvain(g);
+  ASSERT_TRUE(louvain.ok());
+  const double lp_q = Modularity(g, LabelPropagation(g));
+  EXPECT_GE(louvain->modularity, lp_q - 1e-9);
+}
+
+TEST(LouvainTest, ModularityMatchesReportedPartition) {
+  UndirectedGraph g = testing::RandomUndirected(80, 300, 7);
+  auto r = Louvain(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->modularity, Modularity(g, r->communities), 1e-9);
+}
+
+TEST(LouvainTest, LabelsAreDense) {
+  UndirectedGraph g = testing::RandomUndirected(60, 150, 4);
+  auto r = Louvain(g);
+  ASSERT_TRUE(r.ok());
+  int64_t max_label = -1;
+  FlatHashSet<int64_t> distinct;
+  for (const auto& [id, c] : r->communities) {
+    EXPECT_GE(c, 0);
+    max_label = std::max(max_label, c);
+    distinct.Insert(c);
+  }
+  EXPECT_EQ(distinct.size(), max_label + 1);
+  EXPECT_EQ(static_cast<int64_t>(r->communities.size()), g.NumNodes());
+}
+
+TEST(LouvainTest, DeterministicPerSeed) {
+  UndirectedGraph g = testing::RandomUndirected(70, 250, 8);
+  LouvainConfig cfg;
+  cfg.seed = 5;
+  auto a = Louvain(g, cfg);
+  auto b = Louvain(g, cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->communities, b->communities);
+}
+
+TEST(LouvainTest, EdgeCases) {
+  UndirectedGraph empty;
+  auto r = Louvain(empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->communities.empty());
+
+  UndirectedGraph singleton;
+  singleton.AddNode(5);
+  r = Louvain(singleton);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->communities.size(), 1u);
+
+  LouvainConfig bad;
+  bad.max_levels = 0;
+  UndirectedGraph g = gen::Ring(5);
+  EXPECT_TRUE(Louvain(g, bad).status().IsInvalidArgument());
+}
+
+TEST(LouvainTest, DisconnectedComponentsStaySeparate) {
+  UndirectedGraph g;
+  // Two disjoint triangles.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(10, 11);
+  g.AddEdge(11, 12);
+  g.AddEdge(10, 12);
+  auto r = Louvain(g);
+  ASSERT_TRUE(r.ok());
+  FlatHashMap<NodeId, int64_t> m;
+  for (const auto& [id, c] : r->communities) m.Insert(id, c);
+  EXPECT_EQ(*m.Find(0), *m.Find(1));
+  EXPECT_EQ(*m.Find(10), *m.Find(12));
+  EXPECT_NE(*m.Find(0), *m.Find(10));
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,200 @@
+#include "algo/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+double Sum(const NodeValues& v) {
+  double s = 0;
+  for (const auto& [id, x] : v) s += x;
+  return s;
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  DirectedGraph g;
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_TRUE(pr->empty());
+}
+
+TEST(PageRankTest, SymmetricGraphIsUniform) {
+  DirectedGraph g = gen::CompleteDirected(5);
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  for (const auto& [id, score] : *pr) {
+    EXPECT_NEAR(score, 0.2, 1e-9);
+  }
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  DirectedGraph g = testing::RandomDirected(200, 1000, 3);
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(*pr), 1.0, 1e-6);
+}
+
+TEST(PageRankTest, DanglingNodesDoNotLeakMass) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);  // 2 and 3 are dangling.
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(Sum(*pr), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SinkAccumulatesMoreThanSource) {
+  DirectedGraph g;
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  auto pr = PageRank(g);
+  ASSERT_TRUE(pr.ok());
+  // Result ascending by id: 1, 2, 3.
+  EXPECT_GT((*pr)[2].second, (*pr)[0].second);
+  EXPECT_NEAR((*pr)[0].second, (*pr)[1].second, 1e-12);
+}
+
+TEST(PageRankTest, KnownThreeNodeChainValues) {
+  // Chain 1→2→3 with damping 0.85 converged values (analytic fixpoint of
+  // the dangling-redistribution formulation).
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  PageRankConfig cfg;
+  cfg.max_iters = 500;
+  cfg.tol = 0;
+  auto pr = PageRank(g, cfg);
+  ASSERT_TRUE(pr.ok());
+  const double x1 = (*pr)[0].second;
+  const double x2 = (*pr)[1].second;
+  const double x3 = (*pr)[2].second;
+  const double d = 0.85, t = 1.0 / 3.0;
+  // Fixpoint equations with dangling node 3 teleporting uniformly.
+  EXPECT_NEAR(x1, (1 - d) * t + d * x3 * t, 1e-9);
+  EXPECT_NEAR(x2, (1 - d) * t + d * (x1 + x3 * t), 1e-9);
+  EXPECT_NEAR(x3, (1 - d) * t + d * (x2 + x3 * t), 1e-9);
+  EXPECT_NEAR(x1 + x2 + x3, 1.0, 1e-12);
+}
+
+TEST(PageRankTest, ParallelMatchesSequential) {
+  DirectedGraph g = testing::RandomDirected(300, 2500, 11);
+  PageRankConfig cfg;
+  cfg.max_iters = 50;
+  auto seq = PageRank(g, cfg);
+  auto par = ParallelPageRank(g, cfg);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  ASSERT_EQ(seq->size(), par->size());
+  for (size_t i = 0; i < seq->size(); ++i) {
+    EXPECT_EQ((*seq)[i].first, (*par)[i].first);
+    EXPECT_NEAR((*seq)[i].second, (*par)[i].second, 1e-9);
+  }
+}
+
+TEST(PageRankTest, ConfigValidation) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  PageRankConfig bad;
+  bad.damping = 1.0;
+  EXPECT_TRUE(PageRank(g, bad).status().IsInvalidArgument());
+  bad.damping = 0.85;
+  bad.max_iters = 0;
+  EXPECT_TRUE(PageRank(g, bad).status().IsInvalidArgument());
+}
+
+TEST(PersonalizedPageRankTest, ConcentratesAroundSeed) {
+  // Ring: mass should decay with distance from the seed.
+  DirectedGraph g;
+  for (NodeId i = 0; i < 10; ++i) g.AddEdge(i, (i + 1) % 10);
+  auto pr = PersonalizedPageRank(g, {0});
+  ASSERT_TRUE(pr.ok());
+  EXPECT_GT((*pr)[0].second, (*pr)[5].second);
+  EXPECT_GT((*pr)[1].second, (*pr)[5].second);
+  EXPECT_NEAR(Sum(*pr), 1.0, 1e-6);
+}
+
+TEST(PersonalizedPageRankTest, Validation) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(PersonalizedPageRank(g, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(PersonalizedPageRank(g, {42}).status().IsNotFound());
+}
+
+TEST(WeightedPageRankTest, UnitWeightsMatchPlainPageRank) {
+  DirectedGraph g = testing::RandomDirected(120, 700, 7);
+  EdgeWeights w;  // Empty: every edge defaults to weight 1.
+  PageRankConfig cfg;
+  cfg.max_iters = 60;
+  auto plain = PageRank(g, cfg);
+  auto weighted = WeightedPageRank(g, w, cfg);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_EQ(plain->size(), weighted->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_EQ((*plain)[i].first, (*weighted)[i].first);
+    EXPECT_NEAR((*plain)[i].second, (*weighted)[i].second, 1e-9);
+  }
+}
+
+TEST(WeightedPageRankTest, HeavyEdgeAttractsMass) {
+  // 0 → 1 (weight 9) and 0 → 2 (weight 1): node 1 must outrank node 2.
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  EdgeWeights w;
+  w.Set(0, 1, 9.0);
+  w.Set(0, 2, 1.0);
+  auto pr = WeightedPageRank(g, w);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_GT((*pr)[1].second, (*pr)[2].second);
+  double sum = 0;
+  for (const auto& [id, s] : *pr) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(WeightedPageRankTest, ZeroTotalWeightIsDangling) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EdgeWeights w;
+  w.Set(0, 1, 0.0);  // All of node 0's mass teleports.
+  auto pr = WeightedPageRank(g, w);
+  ASSERT_TRUE(pr.ok());
+  double sum = 0;
+  for (const auto& [id, s] : *pr) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR((*pr)[0].second, (*pr)[1].second, 1e-9)
+      << "no preferential flow when the edge has zero weight";
+}
+
+TEST(WeightedPageRankTest, NegativeWeightRejected) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EdgeWeights w;
+  w.Set(0, 1, -1.0);
+  EXPECT_TRUE(WeightedPageRank(g, w).status().IsInvalidArgument());
+}
+
+TEST(PageRankTest, ToleranceStopsEarlyWithSameFixpoint) {
+  DirectedGraph g = testing::RandomDirected(100, 600, 5);
+  PageRankConfig tight;
+  tight.max_iters = 1000;
+  tight.tol = 1e-14;
+  PageRankConfig loose;
+  loose.max_iters = 1000;
+  loose.tol = 1e-8;
+  auto a = PageRank(g, tight);
+  auto b = PageRank(g, loose);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_NEAR((*a)[i].second, (*b)[i].second, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,86 @@
+#include "algo/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/pagerank.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+TEST(RandomWalkTest, FollowsEdges) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  auto walk = RandomWalk(g, 0, 10, 1);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(walk->size(), 11u);
+  for (size_t i = 0; i + 1 < walk->size(); ++i) {
+    EXPECT_TRUE(g.HasEdge((*walk)[i], (*walk)[i + 1]));
+  }
+}
+
+TEST(RandomWalkTest, StopsAtDeadEnd) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);  // 1 has no out-edges.
+  auto walk = RandomWalk(g, 0, 100, 1);
+  ASSERT_TRUE(walk.ok());
+  EXPECT_EQ(*walk, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(RandomWalkTest, MissingStartRejected) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(RandomWalk(g, 9, 5, 1).status().IsNotFound());
+}
+
+TEST(RandomWalkTest, DeterministicPerSeed) {
+  DirectedGraph g = testing::RandomDirected(50, 400, 5);
+  auto a = RandomWalk(g, 0, 50, 33);
+  auto b = RandomWalk(g, 0, 50, 33);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RandomWalkScoresTest, ValidatesInputs) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(RandomWalkScores(g, 9, 10).status().IsNotFound());
+  EXPECT_TRUE(RandomWalkScores(g, 0, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(RandomWalkScores(g, 0, 10, 1.5).status().IsInvalidArgument());
+}
+
+TEST(RandomWalkScoresTest, FrequenciesSumToOne) {
+  DirectedGraph g = testing::RandomDirected(30, 200, 7);
+  auto s = RandomWalkScores(g, 0, 2000);
+  ASSERT_TRUE(s.ok());
+  double sum = 0;
+  for (const auto& [id, f] : *s) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomWalkScoresTest, ApproximatesPersonalizedPageRank) {
+  // On a strongly-connected graph with no dangling complications, the
+  // visit distribution of restart walks converges to PPR.
+  DirectedGraph g;
+  for (NodeId i = 0; i < 12; ++i) {
+    g.AddEdge(i, (i + 1) % 12);
+    g.AddEdge(i, (i + 3) % 12);
+  }
+  auto mc = RandomWalkScores(g, 0, 60000, 0.85, 5);
+  auto exact = PersonalizedPageRank(g, {0});
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(exact.ok());
+  FlatHashMap<NodeId, double> mc_map;
+  for (const auto& [id, v] : *mc) mc_map.Insert(id, v);
+  for (const auto& [id, v] : *exact) {
+    const double* est = mc_map.Find(id);
+    ASSERT_NE(est, nullptr);
+    EXPECT_NEAR(*est, v, 0.02) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,128 @@
+#include "algo/sssp.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+TEST(SsspTest, UnweightedEqualsBfs) {
+  DirectedGraph g = testing::RandomDirected(80, 400, 3);
+  EXPECT_EQ(SsspUnweighted(g, 0), BfsDistances(g, 0));
+}
+
+TEST(DijkstraTest, SimpleWeightedPath) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EdgeWeights w;
+  w.Set(0, 1, 1.0);
+  w.Set(1, 2, 1.0);
+  w.Set(0, 2, 5.0);
+  auto d = Dijkstra(g, w, 0);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->size(), 3u);
+  EXPECT_DOUBLE_EQ((*d)[2].second, 2.0) << "indirect path is shorter";
+}
+
+TEST(DijkstraTest, DefaultWeightIsOne) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EdgeWeights w;  // Empty.
+  auto d = Dijkstra(g, w, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)[2].second, 2.0);
+}
+
+TEST(DijkstraTest, UnitWeightsMatchBfs) {
+  DirectedGraph g = testing::RandomDirected(60, 300, 9);
+  EdgeWeights w;
+  auto d = Dijkstra(g, w, 0);
+  ASSERT_TRUE(d.ok());
+  const NodeInts bfs = BfsDistances(g, 0);
+  ASSERT_EQ(d->size(), bfs.size());
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    EXPECT_EQ((*d)[i].first, bfs[i].first);
+    EXPECT_DOUBLE_EQ((*d)[i].second, static_cast<double>(bfs[i].second));
+  }
+}
+
+TEST(DijkstraTest, NegativeWeightRejected) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EdgeWeights w;
+  w.Set(0, 1, -2.0);
+  EXPECT_TRUE(Dijkstra(g, w, 0).status().IsInvalidArgument());
+}
+
+TEST(DijkstraTest, MissingSourceEmpty) {
+  DirectedGraph g;
+  g.AddEdge(0, 1);
+  EdgeWeights w;
+  auto d = Dijkstra(g, w, 42);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+}
+
+TEST(DijkstraTest, UndirectedVariant) {
+  UndirectedGraph g;
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EdgeWeights w;
+  w.SetSymmetric(0, 1, 2.5);
+  w.SetSymmetric(1, 2, 0.5);
+  auto d = Dijkstra(g, w, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)[0].second, 3.0);
+}
+
+// Property: Dijkstra matches brute-force Bellman–Ford on random weighted
+// graphs.
+class DijkstraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraProperty, MatchesBellmanFord) {
+  Rng rng(GetParam());
+  DirectedGraph g = testing::RandomDirected(30, 120, GetParam());
+  EdgeWeights w;
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  g.ForEachEdge([&](NodeId u, NodeId v) {
+    const double weight = rng.UniformReal(0.1, 5.0);
+    w.Set(u, v, weight);
+    edges.emplace_back(u, v, weight);
+  });
+
+  // Bellman–Ford from node 0 over dense id space [0, 30).
+  constexpr double kInf = 1e18;
+  std::vector<double> dist(30, kInf);
+  dist[0] = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    for (const auto& [u, v, weight] : edges) {
+      if (dist[u] + weight < dist[v]) dist[v] = dist[u] + weight;
+    }
+  }
+
+  auto d = Dijkstra(g, w, 0);
+  ASSERT_TRUE(d.ok());
+  FlatHashMap<NodeId, double> dm;
+  for (const auto& [id, dd] : *d) dm.Insert(id, dd);
+  for (NodeId v = 0; v < 30; ++v) {
+    const double* got = dm.Find(v);
+    if (dist[v] >= kInf) {
+      EXPECT_EQ(got, nullptr) << v;
+    } else {
+      ASSERT_NE(got, nullptr) << v;
+      EXPECT_NEAR(*got, dist[v], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,139 @@
+#include "algo/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+TEST(DegreeHistogramTest, StarShape) {
+  const UndirectedGraph g = gen::Star(6);  // Hub deg 5, 5 leaves deg 1.
+  const DegreeHistogram h = DegreeHistogram_(g);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], (std::pair<int64_t, int64_t>{1, 5}));
+  EXPECT_EQ(h[1], (std::pair<int64_t, int64_t>{5, 1}));
+}
+
+TEST(DegreeHistogramTest, DirectedInOut) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  const DegreeHistogram out = OutDegreeHistogram(g);
+  // Node 1: out 2; nodes 2, 3: out 0.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (std::pair<int64_t, int64_t>{0, 2}));
+  EXPECT_EQ(out[1], (std::pair<int64_t, int64_t>{2, 1}));
+  const DegreeHistogram in = InDegreeHistogram(g);
+  EXPECT_EQ(in[0], (std::pair<int64_t, int64_t>{0, 1}));
+  EXPECT_EQ(in[1], (std::pair<int64_t, int64_t>{1, 2}));
+}
+
+TEST(DegreeHistogramTest, SumsToNodeCount) {
+  const UndirectedGraph g = testing::RandomUndirected(100, 400, 3);
+  int64_t total = 0;
+  for (const auto& [deg, count] : DegreeHistogram_(g)) total += count;
+  EXPECT_EQ(total, g.NumNodes());
+}
+
+TEST(ReciprocityTest, ExtremeValues) {
+  DirectedGraph none;
+  none.AddEdge(1, 2);
+  none.AddEdge(2, 3);
+  EXPECT_DOUBLE_EQ(Reciprocity(none), 0.0);
+
+  DirectedGraph full;
+  full.AddEdge(1, 2);
+  full.AddEdge(2, 1);
+  EXPECT_DOUBLE_EQ(Reciprocity(full), 1.0);
+
+  DirectedGraph half;
+  half.AddEdge(1, 2);
+  half.AddEdge(2, 1);
+  half.AddEdge(2, 3);
+  half.AddEdge(3, 3);  // Self-loop excluded from the ratio.
+  EXPECT_NEAR(Reciprocity(half), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ReciprocityTest, EmptyGraphIsZero) {
+  DirectedGraph g;
+  g.AddNode(1);
+  EXPECT_DOUBLE_EQ(Reciprocity(g), 0.0);
+}
+
+TEST(AssortativityTest, StarIsMinusOne) {
+  // Star: every edge connects degree-(n-1) hub with degree-1 leaf.
+  EXPECT_NEAR(DegreeAssortativity(gen::Star(20)), -1.0, 1e-9);
+}
+
+TEST(AssortativityTest, RegularGraphIsDegenerate) {
+  // All degrees equal → zero variance → defined as 0.
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(gen::Ring(12)), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeAssortativity(gen::Complete(6)), 0.0);
+}
+
+TEST(AssortativityTest, DisassortativeBipartiteHubs) {
+  // Two hubs sharing many leaves: strongly disassortative.
+  UndirectedGraph g;
+  for (NodeId leaf = 10; leaf < 40; ++leaf) {
+    g.AddEdge(0, leaf);
+    g.AddEdge(1, leaf);
+  }
+  EXPECT_LT(DegreeAssortativity(g), -0.5);
+}
+
+TEST(DensityTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Density(gen::Complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(Density(gen::CompleteDirected(5)), 1.0);
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddNode(3);
+  EXPECT_NEAR(Density(g), 1.0 / 6.0, 1e-12);
+  g.AddEdge(1, 1);  // Self-loop doesn't count toward density.
+  EXPECT_NEAR(Density(g), 1.0 / 6.0, 1e-12);
+}
+
+TEST(SelfLoopTest, Counts) {
+  DirectedGraph g;
+  g.AddEdge(1, 1);
+  g.AddEdge(2, 2);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(CountSelfLoops(g), 2);
+  UndirectedGraph u;
+  u.AddEdge(3, 3);
+  EXPECT_EQ(CountSelfLoops(u), 1);
+}
+
+TEST(SummarizeTest, FullReport) {
+  DirectedGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 3);
+  g.AddNode(99);  // Isolated.
+  const GraphSummary s = Summarize(g);
+  EXPECT_EQ(s.nodes, 4);
+  EXPECT_EQ(s.edges, 4);
+  EXPECT_EQ(s.self_loops, 1);
+  EXPECT_EQ(s.zero_deg_nodes, 1);
+  EXPECT_EQ(s.max_out_degree, 2);
+  EXPECT_EQ(s.max_in_degree, 2);
+  EXPECT_EQ(s.wcc_count, 2);
+  EXPECT_EQ(s.max_wcc_size, 3);
+  EXPECT_EQ(s.max_scc_size, 2);  // {1, 2}.
+  EXPECT_NEAR(s.reciprocity, 2.0 / 3.0, 1e-12);
+  const std::string text = SummaryToString(s);
+  EXPECT_NE(text.find("nodes:"), std::string::npos);
+  EXPECT_NE(text.find("reciprocity:"), std::string::npos);
+}
+
+TEST(SummarizeTest, EmptyGraph) {
+  DirectedGraph g;
+  const GraphSummary s = Summarize(g);
+  EXPECT_EQ(s.nodes, 0);
+  EXPECT_EQ(s.wcc_count, 0);
+}
+
+}  // namespace
+}  // namespace ringo

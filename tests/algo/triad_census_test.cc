@@ -1,0 +1,156 @@
+#include "algo/triad_census.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+// Applies a node permutation to a 6-bit triad code. perm maps position
+// {0,1,2} (u,v,w) to new positions.
+int PermuteCode(int code, const int perm[3]) {
+  // arc(a, b) bit index table: (0,1)=0 (1,0)=1 (0,2)=2 (2,0)=3 (1,2)=4 (2,1)=5.
+  auto bit = [](int a, int b) {
+    if (a == 0 && b == 1) return 0;
+    if (a == 1 && b == 0) return 1;
+    if (a == 0 && b == 2) return 2;
+    if (a == 2 && b == 0) return 3;
+    if (a == 1 && b == 2) return 4;
+    return 5;  // (2,1).
+  };
+  int out = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      if (code & (1 << bit(a, b))) out |= 1 << bit(perm[a], perm[b]);
+    }
+  }
+  return out;
+}
+
+TEST(ClassifyTriadCodeTest, InvariantUnderPermutation) {
+  const int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                           {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+  for (int code = 0; code < 64; ++code) {
+    const TriadType t = ClassifyTriadCode(code);
+    for (const auto& p : perms) {
+      EXPECT_EQ(ClassifyTriadCode(PermuteCode(code, p)), t)
+          << "code " << code << " not isomorphism-invariant";
+    }
+  }
+}
+
+TEST(ClassifyTriadCodeTest, ClassMultiplicitiesMatchTheory) {
+  // The 64 labeled triads fall into the 16 classes with known sizes.
+  std::map<TriadType, int> count;
+  for (int code = 0; code < 64; ++code) ++count[ClassifyTriadCode(code)];
+  EXPECT_EQ(count[TriadType::k003], 1);
+  EXPECT_EQ(count[TriadType::k012], 6);
+  EXPECT_EQ(count[TriadType::k102], 3);
+  EXPECT_EQ(count[TriadType::k021D], 3);
+  EXPECT_EQ(count[TriadType::k021U], 3);
+  EXPECT_EQ(count[TriadType::k021C], 6);
+  EXPECT_EQ(count[TriadType::k111D], 6);
+  EXPECT_EQ(count[TriadType::k111U], 6);
+  EXPECT_EQ(count[TriadType::k030T], 6);
+  EXPECT_EQ(count[TriadType::k030C], 2);
+  EXPECT_EQ(count[TriadType::k201], 3);
+  EXPECT_EQ(count[TriadType::k120D], 3);
+  EXPECT_EQ(count[TriadType::k120U], 3);
+  EXPECT_EQ(count[TriadType::k120C], 6);
+  EXPECT_EQ(count[TriadType::k210], 6);
+  EXPECT_EQ(count[TriadType::k300], 1);
+}
+
+TEST(ClassifyTriadCodeTest, SpecificShapes) {
+  // u→v only.
+  EXPECT_EQ(ClassifyTriadCode(1), TriadType::k012);
+  // u↔v.
+  EXPECT_EQ(ClassifyTriadCode(3), TriadType::k102);
+  // u→v, u→w: same tail → D.
+  EXPECT_EQ(ClassifyTriadCode(1 | 4), TriadType::k021D);
+  // u→v, w→v: same head → U.
+  EXPECT_EQ(ClassifyTriadCode(1 | 32), TriadType::k021U);
+  // u→v, v→w: chain.
+  EXPECT_EQ(ClassifyTriadCode(1 | 16), TriadType::k021C);
+  // Cycle u→v→w→u.
+  EXPECT_EQ(ClassifyTriadCode(1 | 16 | 8), TriadType::k030C);
+  // Transitive u→v, v→w, u→w.
+  EXPECT_EQ(ClassifyTriadCode(1 | 16 | 4), TriadType::k030T);
+  // All six arcs.
+  EXPECT_EQ(ClassifyTriadCode(63), TriadType::k300);
+}
+
+std::array<int64_t, kNumTriadTypes> BruteCensus(const DirectedGraph& g) {
+  std::array<int64_t, kNumTriadTypes> census{};
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  auto arc = [&](NodeId a, NodeId b) { return g.HasEdge(a, b) && a != b; };
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      for (size_t k = j + 1; k < ids.size(); ++k) {
+        const NodeId u = ids[i], v = ids[j], w = ids[k];
+        const int code = (arc(u, v) ? 1 : 0) | (arc(v, u) ? 2 : 0) |
+                         (arc(u, w) ? 4 : 0) | (arc(w, u) ? 8 : 0) |
+                         (arc(v, w) ? 16 : 0) | (arc(w, v) ? 32 : 0);
+        ++census[static_cast<int>(ClassifyTriadCode(code))];
+      }
+    }
+  }
+  return census;
+}
+
+TEST(TriadCensusTest, TinyGraphs) {
+  DirectedGraph g;
+  g.AddNode(1);
+  g.AddNode(2);
+  auto c = TriadCensus(g);
+  for (int64_t x : c) EXPECT_EQ(x, 0) << "fewer than 3 nodes";
+
+  g.AddNode(3);
+  c = TriadCensus(g);
+  EXPECT_EQ(c[static_cast<int>(TriadType::k003)], 1);
+}
+
+TEST(TriadCensusTest, SingleEdgeAmongMany) {
+  DirectedGraph g;
+  for (NodeId i = 0; i < 10; ++i) g.AddNode(i);
+  g.AddEdge(0, 1);
+  const auto c = TriadCensus(g);
+  EXPECT_EQ(c[static_cast<int>(TriadType::k012)], 8);
+  EXPECT_EQ(c[static_cast<int>(TriadType::k003)], 10 * 9 * 8 / 6 - 8);
+}
+
+// Property: census matches O(n^3) brute force, including self-loop graphs
+// (self-loops must be ignored).
+class TriadCensusProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>> {};
+
+TEST_P(TriadCensusProperty, MatchesBruteForce) {
+  const auto [m, seed] = GetParam();
+  DirectedGraph g = testing::RandomDirected(25, m, seed, /*self_loops=*/true);
+  const auto fast = TriadCensus(g);
+  const auto ref = BruteCensus(g);
+  for (int k = 0; k < kNumTriadTypes; ++k) {
+    EXPECT_EQ(fast[k], ref[k])
+        << "type " << TriadTypeName(static_cast<TriadType>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensitySeeds, TriadCensusProperty,
+    ::testing::Combine(::testing::Values<int64_t>(20, 80, 200),
+                       ::testing::Values<uint64_t>(1, 2, 3, 4)));
+
+TEST(TriadCensusTest, TotalAlwaysBinomial) {
+  DirectedGraph g = testing::RandomDirected(50, 300, 9);
+  const auto c = TriadCensus(g);
+  int64_t total = 0;
+  for (int64_t x : c) total += x;
+  EXPECT_EQ(total, 50 * 49 * 48 / 6);
+}
+
+}  // namespace
+}  // namespace ringo

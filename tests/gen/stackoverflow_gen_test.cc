@@ -1,0 +1,110 @@
+#include "gen/stackoverflow_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/flat_hash_map.h"
+
+namespace ringo {
+namespace gen {
+namespace {
+
+StackOverflowConfig SmallConfig() {
+  StackOverflowConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_questions = 1000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(StackOverflowGenTest, SchemaShape) {
+  TablePtr posts = GenerateStackOverflowPosts(SmallConfig());
+  EXPECT_EQ(posts->num_columns(), 7);
+  EXPECT_GE(posts->NumRows(), 1000);
+  EXPECT_EQ(posts->schema().ColumnIndex("PostId"), 0);
+  EXPECT_EQ(posts->schema().ColumnIndex("AcceptedAnswerId"), 4);
+}
+
+TEST(StackOverflowGenTest, ReferentialIntegrity) {
+  TablePtr posts = GenerateStackOverflowPosts(SmallConfig());
+  const int c_post = 0, c_type = 1, c_accept = 4, c_parent = 5;
+  const StringPool::Id q_id = posts->pool()->Find("question");
+  const StringPool::Id a_id = posts->pool()->Find("answer");
+  ASSERT_NE(q_id, StringPool::kInvalidId);
+  ASSERT_NE(a_id, StringPool::kInvalidId);
+
+  FlatHashMap<int64_t, int64_t> row_of_post;
+  for (int64_t r = 0; r < posts->NumRows(); ++r) {
+    row_of_post.Insert(posts->column(c_post).GetInt(r), r);
+  }
+  int64_t questions = 0, answers = 0, accepted = 0;
+  for (int64_t r = 0; r < posts->NumRows(); ++r) {
+    const StringPool::Id type = posts->column(c_type).GetStr(r);
+    const int64_t accept = posts->column(c_accept).GetInt(r);
+    const int64_t parent = posts->column(c_parent).GetInt(r);
+    if (type == q_id) {
+      ++questions;
+      EXPECT_EQ(parent, -1);
+      if (accept != -1) {
+        ++accepted;
+        // Accepted answer exists, is an answer, and points back here.
+        const int64_t* arow = row_of_post.Find(accept);
+        ASSERT_NE(arow, nullptr);
+        EXPECT_EQ(posts->column(c_type).GetStr(*arow), a_id);
+        EXPECT_EQ(posts->column(c_parent).GetInt(*arow),
+                  posts->column(c_post).GetInt(r));
+      }
+    } else {
+      ++answers;
+      EXPECT_EQ(accept, -1);
+      const int64_t* qrow = row_of_post.Find(parent);
+      ASSERT_NE(qrow, nullptr);
+      EXPECT_EQ(posts->column(c_type).GetStr(*qrow), q_id);
+    }
+  }
+  EXPECT_EQ(questions, 1000);
+  EXPECT_GT(answers, 500) << "mean answers/question is 1.8";
+  EXPECT_GT(accepted, 300);
+}
+
+TEST(StackOverflowGenTest, PostIdsUniqueAndTimeMonotone) {
+  TablePtr posts = GenerateStackOverflowPosts(SmallConfig());
+  FlatHashSet<int64_t> ids;
+  for (int64_t r = 0; r < posts->NumRows(); ++r) {
+    EXPECT_TRUE(ids.Insert(posts->column(0).GetInt(r)));
+    EXPECT_EQ(posts->column(6).GetInt(r), r) << "clock ticks per row";
+  }
+}
+
+TEST(StackOverflowGenTest, DeterministicPerSeed) {
+  TablePtr a = GenerateStackOverflowPosts(SmallConfig());
+  TablePtr b = GenerateStackOverflowPosts(SmallConfig());
+  EXPECT_TRUE(a->ContentEquals(*b));
+}
+
+TEST(StackOverflowGenTest, ActivityIsSkewed) {
+  StackOverflowConfig cfg = SmallConfig();
+  cfg.num_questions = 5000;
+  TablePtr posts = GenerateStackOverflowPosts(cfg);
+  FlatHashMap<int64_t, int64_t> per_user;
+  for (int64_t r = 0; r < posts->NumRows(); ++r) {
+    ++per_user.GetOrInsert(posts->column(2).GetInt(r));
+  }
+  int64_t max_posts = 0;
+  per_user.ForEach([&](const int64_t&, const int64_t& c) {
+    max_posts = std::max(max_posts, c);
+  });
+  const double avg =
+      static_cast<double>(posts->NumRows()) / cfg.num_users;
+  EXPECT_GT(max_posts, 5 * avg) << "expected power-law user activity";
+}
+
+TEST(StackOverflowGenTest, AllTagsAppear) {
+  TablePtr posts = GenerateStackOverflowPosts(SmallConfig());
+  for (const std::string& tag : SmallConfig().tags) {
+    EXPECT_NE(posts->pool()->Find(tag), StringPool::kInvalidId) << tag;
+  }
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace ringo

@@ -1,0 +1,107 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& f : files_) std::remove(f.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    files_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> files_;
+};
+
+TEST_F(GraphIoTest, EdgeListRoundTrip) {
+  const DirectedGraph g = testing::RandomDirected(60, 300, 7);
+  const std::string path = TempPath("g.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto back = LoadEdgeList(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  // Edge lists cannot carry isolated nodes; this graph has none w.h.p.
+  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+  g.ForEachEdge([&](NodeId u, NodeId v) { EXPECT_TRUE(back->HasEdge(u, v)); });
+}
+
+TEST_F(GraphIoTest, EdgeListSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("c.txt");
+  std::ofstream(path) << "# header\n\n1\t2\n# mid\n2\t3\n";
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2);
+}
+
+TEST_F(GraphIoTest, EdgeListRejectsMalformed) {
+  const std::string path = TempPath("bad.txt");
+  std::ofstream(path) << "1\t2\t3\n";
+  EXPECT_TRUE(LoadEdgeList(path).status().IsInvalidArgument());
+  std::ofstream(path) << "x\ty\n";
+  EXPECT_TRUE(LoadEdgeList(path).status().IsInvalidArgument());
+  EXPECT_TRUE(LoadEdgeList("/no/such/file").status().IsIOError());
+}
+
+TEST_F(GraphIoTest, BinaryRoundTripExact) {
+  DirectedGraph g = testing::RandomDirected(80, 400, 3);
+  g.AddNode(9999);  // Isolated nodes must survive the binary format.
+  g.AddEdge(5, 5);  // Self-loop too.
+  const std::string path = TempPath("g.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  auto back = LoadGraphBinary(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->SameStructure(g));
+}
+
+TEST_F(GraphIoTest, BinaryEmptyGraph) {
+  DirectedGraph g;
+  const std::string path = TempPath("empty.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  auto back = LoadGraphBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumNodes(), 0);
+  EXPECT_EQ(back->NumEdges(), 0);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsForeignFile) {
+  const std::string path = TempPath("foreign.bin");
+  std::ofstream(path) << "this is not a graph";
+  EXPECT_TRUE(LoadGraphBinary(path).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, BinaryRejectsTruncation) {
+  DirectedGraph g = testing::RandomDirected(20, 60, 1);
+  const std::string path = TempPath("trunc.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  // Truncate the file to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  EXPECT_TRUE(LoadGraphBinary(path).status().IsIOError());
+}
+
+TEST_F(GraphIoTest, BinaryLargeGraphFaithful) {
+  const DirectedGraph g = testing::RandomDirected(500, 5000, 9);
+  const std::string path = TempPath("big.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+  auto back = LoadGraphBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->SameStructure(g));
+}
+
+}  // namespace
+}  // namespace ringo

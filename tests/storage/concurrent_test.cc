@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "storage/concurrent_map.h"
+#include "storage/concurrent_vector.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+TEST(ConcurrentVectorTest, SequentialPushBack) {
+  ConcurrentVector<int64_t> v(10);
+  EXPECT_EQ(v.PushBack(5), 0);
+  EXPECT_EQ(v.PushBack(6), 1);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 6);
+}
+
+TEST(ConcurrentVectorTest, ClaimBulk) {
+  ConcurrentVector<int64_t> v(100);
+  const int64_t base = v.Claim(10);
+  for (int64_t i = 0; i < 10; ++i) v[base + i] = i;
+  EXPECT_EQ(v.size(), 10);
+  EXPECT_EQ(v.Claim(5), 10);
+}
+
+TEST(ConcurrentVectorTest, ParallelPushBackKeepsEveryElement) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 5000;
+  ConcurrentVector<int64_t> v(kThreads * kPerThread);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&v, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        v.PushBack(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_EQ(v.size(), kThreads * kPerThread);
+  // Every value appears exactly once.
+  std::vector<int64_t> seen(kThreads * kPerThread, 0);
+  for (int64_t i = 0; i < v.size(); ++i) ++seen[v[i]];
+  for (int64_t s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(ConcurrentVectorTest, TakeVectorTruncatesToSize) {
+  ConcurrentVector<int64_t> v(100);
+  v.PushBack(1);
+  v.PushBack(2);
+  std::vector<int64_t> out = v.TakeVector();
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(ConcurrentInsertMapTest, SequentialInsertFind) {
+  ConcurrentInsertMap<int64_t> m(100);
+  auto [slot, inserted] = m.Insert(42, 420);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(m.ValueAt(slot), 420);
+  auto [slot2, inserted2] = m.Insert(42, 999);
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(slot2, slot);
+  EXPECT_EQ(m.ValueAt(slot2), 420);
+  EXPECT_EQ(m.size(), 1);
+  EXPECT_GE(m.FindSlot(42), 0);
+  EXPECT_EQ(m.FindSlot(43), -1);
+}
+
+TEST(ConcurrentInsertMapTest, NegativeKeysWork) {
+  ConcurrentInsertMap<int64_t> m(10);
+  m.Insert(-5, 1);
+  m.Insert(-1, 2);
+  EXPECT_TRUE(m.Contains(-5));
+  EXPECT_TRUE(m.Contains(-1));
+  EXPECT_FALSE(m.Contains(5));
+}
+
+TEST(ConcurrentInsertMapTest, ParallelInsertDisjointKeys) {
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 4000;
+  ConcurrentInsertMap<int64_t> m(kThreads * kPerThread);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&m, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        const int64_t key = t * kPerThread + i;
+        m.Insert(key, key * 3);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_EQ(m.size(), kThreads * kPerThread);
+  for (int64_t key = 0; key < kThreads * kPerThread; ++key) {
+    const int64_t slot = m.FindSlot(key);
+    ASSERT_GE(slot, 0) << key;
+    EXPECT_EQ(m.ValueAt(slot), key * 3);
+  }
+}
+
+TEST(ConcurrentInsertMapTest, ParallelInsertContendedKeysInsertOnce) {
+  // All threads race to insert the same small key set; every key must be
+  // inserted exactly once and keep the first writer's value semantics
+  // (value written by whichever thread won the CAS).
+  constexpr int kThreads = 8;
+  constexpr int64_t kKeys = 64;
+  ConcurrentInsertMap<int64_t> m(kKeys);
+  std::vector<int> wins(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(t + 1);
+      for (int rep = 0; rep < 5000; ++rep) {
+        const int64_t key = rng.UniformInt(0, kKeys - 1);
+        if (m.Insert(key, key).second) ++wins[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  int total_wins = 0;
+  for (int w : wins) total_wins += w;
+  EXPECT_EQ(m.size(), kKeys);
+  EXPECT_EQ(total_wins, kKeys) << "each key must be won exactly once";
+  for (int64_t key = 0; key < kKeys; ++key) {
+    ASSERT_TRUE(m.Contains(key));
+    EXPECT_EQ(m.ValueAt(m.FindSlot(key)), key);
+  }
+}
+
+}  // namespace
+}  // namespace ringo

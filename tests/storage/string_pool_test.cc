@@ -1,0 +1,86 @@
+#include "storage/string_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ringo {
+namespace {
+
+TEST(StringPoolTest, InternReturnsStableIds) {
+  StringPool pool;
+  const auto a = pool.GetOrAdd("alpha");
+  const auto b = pool.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.GetOrAdd("alpha"), a);
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.Get(b), "beta");
+  EXPECT_EQ(pool.size(), 2);
+}
+
+TEST(StringPoolTest, EmptyStringInternable) {
+  StringPool pool;
+  const auto id = pool.GetOrAdd("");
+  EXPECT_EQ(pool.Get(id), "");
+  EXPECT_EQ(pool.GetOrAdd(""), id);
+}
+
+TEST(StringPoolTest, FindWithoutInsert) {
+  StringPool pool;
+  EXPECT_EQ(pool.Find("nope"), StringPool::kInvalidId);
+  const auto id = pool.GetOrAdd("yes");
+  EXPECT_EQ(pool.Find("yes"), id);
+}
+
+TEST(StringPoolTest, ManyStringsSurviveRehash) {
+  StringPool pool;
+  std::vector<StringPool::Id> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(pool.GetOrAdd("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(pool.size(), 5000);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(pool.Get(ids[i]), "key-" + std::to_string(i));
+    EXPECT_EQ(pool.Find("key-" + std::to_string(i)), ids[i]);
+  }
+}
+
+TEST(StringPoolTest, BinaryContentSafe) {
+  StringPool pool;
+  const std::string with_nul("a\0b", 3);
+  const auto id = pool.GetOrAdd(with_nul);
+  EXPECT_EQ(pool.Get(id), std::string_view(with_nul));
+  EXPECT_NE(id, pool.GetOrAdd("a"));
+}
+
+TEST(StringPoolTest, ConcurrentGetOrAddIsConsistent) {
+  StringPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 500;
+  std::vector<std::vector<StringPool::Id>> ids(kThreads,
+                                               std::vector<StringPool::Id>(kStrings));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        ids[t][i] = pool.GetOrAdd("shared-" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(pool.size(), kStrings);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]) << "all threads must agree on ids";
+  }
+}
+
+TEST(StringPoolTest, MemoryUsagePositiveAndGrows) {
+  StringPool pool;
+  const int64_t before = pool.MemoryUsageBytes();
+  for (int i = 0; i < 1000; ++i) pool.GetOrAdd("payload-" + std::to_string(i));
+  EXPECT_GT(pool.MemoryUsageBytes(), before);
+}
+
+}  // namespace
+}  // namespace ringo

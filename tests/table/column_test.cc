@@ -1,0 +1,77 @@
+#include "table/column.h"
+
+#include <gtest/gtest.h>
+
+namespace ringo {
+namespace {
+
+TEST(ColumnTest, IntAppendGet) {
+  Column c(ColumnType::kInt);
+  c.AppendInt(1);
+  c.AppendInt(-2);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_EQ(c.GetInt(0), 1);
+  EXPECT_EQ(c.GetInt(1), -2);
+  c.SetInt(0, 100);
+  EXPECT_EQ(c.GetInt(0), 100);
+}
+
+TEST(ColumnTest, FloatAndStringTypes) {
+  Column f(ColumnType::kFloat);
+  f.AppendFloat(2.5);
+  EXPECT_DOUBLE_EQ(f.GetFloat(0), 2.5);
+
+  Column s(ColumnType::kString);
+  s.AppendStr(7);
+  EXPECT_EQ(s.GetStr(0), 7);
+  EXPECT_EQ(s.type(), ColumnType::kString);
+}
+
+TEST(ColumnTest, GatherPicksRows) {
+  Column c(ColumnType::kInt);
+  for (int64_t i = 0; i < 10; ++i) c.AppendInt(i * 10);
+  const Column g = c.Gather({9, 0, 5, 5});
+  ASSERT_EQ(g.size(), 4);
+  EXPECT_EQ(g.GetInt(0), 90);
+  EXPECT_EQ(g.GetInt(1), 0);
+  EXPECT_EQ(g.GetInt(2), 50);
+  EXPECT_EQ(g.GetInt(3), 50);
+}
+
+TEST(ColumnTest, CompactKeepInPlace) {
+  Column c(ColumnType::kInt);
+  for (int64_t i = 0; i < 10; ++i) c.AppendInt(i);
+  c.CompactKeep({1, 3, 8});
+  ASSERT_EQ(c.size(), 3);
+  EXPECT_EQ(c.GetInt(0), 1);
+  EXPECT_EQ(c.GetInt(1), 3);
+  EXPECT_EQ(c.GetInt(2), 8);
+}
+
+TEST(ColumnTest, CompactKeepEmpty) {
+  Column c(ColumnType::kFloat);
+  c.AppendFloat(1.0);
+  c.CompactKeep({});
+  EXPECT_EQ(c.size(), 0);
+}
+
+TEST(ColumnTest, AppendColumnConcatenates) {
+  Column a(ColumnType::kInt), b(ColumnType::kInt);
+  a.AppendInt(1);
+  b.AppendInt(2);
+  b.AppendInt(3);
+  a.AppendColumn(b);
+  ASSERT_EQ(a.size(), 3);
+  EXPECT_EQ(a.GetInt(2), 3);
+}
+
+TEST(ColumnTest, ResizeAndMemory) {
+  Column c(ColumnType::kInt);
+  c.Resize(100);
+  EXPECT_EQ(c.size(), 100);
+  EXPECT_EQ(c.GetInt(99), 0);
+  EXPECT_GE(c.MemoryUsageBytes(), 100 * static_cast<int64_t>(sizeof(int64_t)));
+}
+
+}  // namespace
+}  // namespace ringo

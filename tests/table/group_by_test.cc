@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::MakeIntTable;
+
+TEST(GroupIndexTest, DenseByFirstOccurrence) {
+  TablePtr t = MakeIntTable({"k"}, {{7}, {3}, {7}, {9}, {3}});
+  std::vector<int64_t> gid;
+  auto groups = t->GroupIndex({"k"}, &gid);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(*groups, 3);
+  EXPECT_EQ(gid, (std::vector<int64_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(GroupIndexTest, MultiColumnKeys) {
+  TablePtr t = MakeIntTable({"a", "b"},
+                            {{1, 1}, {1, 2}, {1, 1}, {2, 1}, {1, 2}});
+  std::vector<int64_t> gid;
+  auto groups = t->GroupIndex({"a", "b"}, &gid);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(*groups, 3);
+  EXPECT_EQ(gid, (std::vector<int64_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(GroupByTest, CountSumMinMaxMean) {
+  TablePtr t = MakeIntTable({"k", "v"},
+                            {{1, 10}, {2, 5}, {1, 30}, {2, 7}, {1, 20}});
+  auto g = t->GroupByAggregate(
+      {"k"}, {{"v", AggFn::kCount, "n"},
+              {"v", AggFn::kSum, "total"},
+              {"v", AggFn::kMin, "lo"},
+              {"v", AggFn::kMax, "hi"},
+              {"v", AggFn::kMean, "avg"}});
+  ASSERT_TRUE(g.ok());
+  const TablePtr& out = *g;
+  ASSERT_EQ(out->NumRows(), 2);
+  // Group order = first occurrence: k=1 then k=2.
+  EXPECT_EQ(out->column(0).GetInt(0), 1);
+  EXPECT_EQ(out->column(1).GetInt(0), 3);
+  EXPECT_EQ(out->column(2).GetInt(0), 60);
+  EXPECT_EQ(out->column(3).GetInt(0), 10);
+  EXPECT_EQ(out->column(4).GetInt(0), 30);
+  EXPECT_DOUBLE_EQ(out->column(5).GetFloat(0), 20.0);
+  EXPECT_EQ(out->column(0).GetInt(1), 2);
+  EXPECT_EQ(out->column(1).GetInt(1), 2);
+  EXPECT_EQ(out->column(2).GetInt(1), 12);
+}
+
+TEST(GroupByTest, FirstOnStringsAndFloats) {
+  Schema schema{{"k", ColumnType::kInt},
+                {"name", ColumnType::kString},
+                {"w", ColumnType::kFloat}};
+  TablePtr t = Table::Create(std::move(schema));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{1}, std::string("x"), 0.5}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{1}, std::string("y"), 1.5}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{2}, std::string("z"), 2.5}));
+  auto g = t->GroupByAggregate({"k"}, {{"name", AggFn::kFirst, "first_name"},
+                                       {"w", AggFn::kSum, "wsum"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(std::get<std::string>((*g)->GetValue(0, 1)), "x");
+  EXPECT_DOUBLE_EQ((*g)->column(2).GetFloat(0), 2.0);
+}
+
+TEST(GroupByTest, RejectsNumericAggOnStrings) {
+  Schema schema{{"k", ColumnType::kInt}, {"s", ColumnType::kString}};
+  TablePtr t = Table::Create(std::move(schema));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{1}, std::string("a")}));
+  EXPECT_TRUE(t->GroupByAggregate({"k"}, {{"s", AggFn::kSum, "x"}})
+                  .status()
+                  .IsTypeMismatch());
+}
+
+TEST(GroupByTest, MissingColumnsRejected) {
+  TablePtr t = MakeIntTable({"k"}, {{1}});
+  EXPECT_TRUE(t->GroupByAggregate({"zzz"}, {}).status().IsNotFound());
+  EXPECT_TRUE(t->GroupByAggregate({"k"}, {{"zzz", AggFn::kSum, "x"}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(GroupByTest, CountMatchesManualTally) {
+  Rng rng(17);
+  std::vector<std::vector<int64_t>> rows;
+  std::vector<int64_t> tally(10, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t k = rng.UniformInt(0, 9);
+    ++tally[k];
+    rows.push_back({k});
+  }
+  TablePtr t = MakeIntTable({"k"}, rows);
+  auto g = t->GroupByAggregate({"k"}, {{"", AggFn::kCount, "n"}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ((*g)->NumRows(), 10);
+  int64_t total = 0;
+  for (int64_t r = 0; r < 10; ++r) {
+    const int64_t k = (*g)->column(0).GetInt(r);
+    EXPECT_EQ((*g)->column(1).GetInt(r), tally[k]);
+    total += (*g)->column(1).GetInt(r);
+  }
+  EXPECT_EQ(total, 5000);
+}
+
+TEST(GroupByTest, StringGroupKeys) {
+  Schema schema{{"tag", ColumnType::kString}, {"v", ColumnType::kInt}};
+  TablePtr t = Table::Create(std::move(schema));
+  RINGO_CHECK_OK(t->AppendRow({std::string("java"), int64_t{10}}));
+  RINGO_CHECK_OK(t->AppendRow({std::string("cpp"), int64_t{20}}));
+  RINGO_CHECK_OK(t->AppendRow({std::string("java"), int64_t{30}}));
+  auto g = t->GroupByAggregate({"tag"}, {{"v", AggFn::kSum, "total"}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ((*g)->NumRows(), 2);
+  // First-occurrence order: java then cpp.
+  EXPECT_EQ(std::get<std::string>((*g)->GetValue(0, 0)), "java");
+  EXPECT_EQ((*g)->column(1).GetInt(0), 40);
+  EXPECT_EQ(std::get<std::string>((*g)->GetValue(1, 0)), "cpp");
+  EXPECT_EQ((*g)->column(1).GetInt(1), 20);
+}
+
+TEST(GroupByTest, EmptyTableYieldsNoGroups) {
+  TablePtr t = MakeIntTable({"k"}, {});
+  auto g = t->GroupByAggregate({"k"}, {{"k", AggFn::kSum, "s"}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->NumRows(), 0);
+}
+
+}  // namespace
+}  // namespace ringo

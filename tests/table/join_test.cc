@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/table.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+using testing::MakeIntTable;
+
+TEST(JoinTest, BasicEquiJoin) {
+  TablePtr l = MakeIntTable({"k", "lv"}, {{1, 10}, {2, 20}, {3, 30}});
+  TablePtr r = MakeIntTable({"k", "rv"}, {{2, 200}, {3, 300}, {4, 400}});
+  auto j = Table::Join(*l, *r, "k", "k");
+  ASSERT_TRUE(j.ok());
+  const TablePtr& out = *j;
+  ASSERT_EQ(out->NumRows(), 2);
+  // Collided names are suffixed.
+  EXPECT_EQ(out->schema().ColumnIndex("k-1"), 0);
+  EXPECT_EQ(out->schema().ColumnIndex("lv"), 1);
+  EXPECT_EQ(out->schema().ColumnIndex("k-2"), 2);
+  EXPECT_EQ(out->schema().ColumnIndex("rv"), 3);
+  EXPECT_EQ(out->column(0).GetInt(0), 2);
+  EXPECT_EQ(out->column(1).GetInt(0), 20);
+  EXPECT_EQ(out->column(3).GetInt(0), 200);
+  EXPECT_EQ(out->column(0).GetInt(1), 3);
+}
+
+TEST(JoinTest, DuplicateKeysProduceCrossProduct) {
+  TablePtr l = MakeIntTable({"k", "lv"}, {{1, 10}, {1, 11}});
+  TablePtr r = MakeIntTable({"k", "rv"}, {{1, 100}, {1, 101}, {1, 102}});
+  auto j = Table::Join(*l, *r, "k", "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 6);
+}
+
+TEST(JoinTest, OutputOrderIsDeterministic) {
+  TablePtr l = MakeIntTable({"k"}, {{5}, {1}, {5}});
+  TablePtr r = MakeIntTable({"k"}, {{5}, {5}, {1}});
+  auto j = Table::Join(*l, *r, "k", "k");
+  ASSERT_TRUE(j.ok());
+  // Left order outer, right (build) order inner.
+  const Column& lk = (*j)->column(0);
+  const Column& rk = (*j)->column(1);
+  ASSERT_EQ((*j)->NumRows(), 5);
+  EXPECT_EQ(lk.GetInt(0), 5);
+  EXPECT_EQ(lk.GetInt(2), 1);
+  EXPECT_EQ(rk.GetInt(2), 1);
+  EXPECT_EQ(lk.GetInt(3), 5);
+}
+
+TEST(JoinTest, EmptyResultWhenNoMatch) {
+  TablePtr l = MakeIntTable({"a"}, {{1}});
+  TablePtr r = MakeIntTable({"b"}, {{2}});
+  auto j = Table::Join(*l, *r, "a", "b");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 0);
+  EXPECT_EQ((*j)->num_columns(), 2);
+}
+
+TEST(JoinTest, TypeMismatchRejected) {
+  TablePtr l = MakeIntTable({"a"}, {{1}});
+  Schema s{{"b", ColumnType::kString}};
+  TablePtr r = Table::Create(std::move(s));
+  RINGO_CHECK_OK(r->AppendRow({std::string("x")}));
+  EXPECT_TRUE(Table::Join(*l, *r, "a", "b").status().IsTypeMismatch());
+  EXPECT_TRUE(Table::Join(*l, *r, "missing", "b").status().IsNotFound());
+}
+
+TEST(JoinTest, StringKeysSamePool) {
+  auto pool = std::make_shared<StringPool>();
+  Schema ls{{"name", ColumnType::kString}, {"x", ColumnType::kInt}};
+  Schema rs{{"who", ColumnType::kString}, {"y", ColumnType::kInt}};
+  TablePtr l = Table::Create(std::move(ls), pool);
+  TablePtr r = Table::Create(std::move(rs), pool);
+  RINGO_CHECK_OK(l->AppendRow({std::string("ann"), int64_t{1}}));
+  RINGO_CHECK_OK(l->AppendRow({std::string("bob"), int64_t{2}}));
+  RINGO_CHECK_OK(r->AppendRow({std::string("bob"), int64_t{20}}));
+  auto j = Table::Join(*l, *r, "name", "who");
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->NumRows(), 1);
+  EXPECT_EQ(std::get<std::string>((*j)->GetValue(0, 0)), "bob");
+}
+
+TEST(JoinTest, StringKeysAcrossPools) {
+  Schema ls{{"name", ColumnType::kString}};
+  Schema rs{{"name", ColumnType::kString}, {"y", ColumnType::kInt}};
+  TablePtr l = Table::Create(std::move(ls));  // Own pool.
+  TablePtr r = Table::Create(std::move(rs));  // Different pool.
+  RINGO_CHECK_OK(l->AppendRow({std::string("ann")}));
+  RINGO_CHECK_OK(l->AppendRow({std::string("bob")}));
+  RINGO_CHECK_OK(r->AppendRow({std::string("bob"), int64_t{7}}));
+  RINGO_CHECK_OK(r->AppendRow({std::string("cid"), int64_t{8}}));
+  auto j = Table::Join(*l, *r, "name", "name");
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->NumRows(), 1);
+  EXPECT_EQ(std::get<std::string>((*j)->GetValue(0, 0)), "bob");
+  EXPECT_EQ(std::get<std::string>((*j)->GetValue(0, 1)), "bob");
+  EXPECT_EQ(std::get<int64_t>((*j)->GetValue(0, 2)), 7);
+}
+
+TEST(JoinTest, FloatKeysNanNeverMatches) {
+  Schema ls{{"f", ColumnType::kFloat}};
+  Schema rs{{"f", ColumnType::kFloat}};
+  TablePtr l = Table::Create(std::move(ls));
+  TablePtr r = Table::Create(std::move(rs));
+  const double nan = std::nan("");
+  RINGO_CHECK_OK(l->AppendRow({nan}));
+  RINGO_CHECK_OK(l->AppendRow({1.5}));
+  RINGO_CHECK_OK(l->AppendRow({0.0}));
+  RINGO_CHECK_OK(r->AppendRow({nan}));
+  RINGO_CHECK_OK(r->AppendRow({1.5}));
+  RINGO_CHECK_OK(r->AppendRow({-0.0}));
+  auto j = Table::Join(*l, *r, "f", "f");
+  ASSERT_TRUE(j.ok());
+  // 1.5 matches 1.5; 0.0 matches -0.0; NaN matches nothing.
+  EXPECT_EQ((*j)->NumRows(), 2);
+}
+
+TEST(JoinTest, ProvenanceColumnsCarryRowIds) {
+  TablePtr l = MakeIntTable({"k"}, {{7}, {8}});
+  TablePtr r = MakeIntTable({"k"}, {{8}});
+  auto j = Table::Join(*l, *r, "k", "k", /*keep_provenance=*/true);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->NumRows(), 1);
+  const int lrow = (*j)->schema().ColumnIndex("_lrow");
+  const int rrow = (*j)->schema().ColumnIndex("_rrow");
+  ASSERT_GE(lrow, 0);
+  ASSERT_GE(rrow, 0);
+  EXPECT_EQ((*j)->column(lrow).GetInt(0), 1);  // l's row id of key 8.
+  EXPECT_EQ((*j)->column(rrow).GetInt(0), 0);
+}
+
+TEST(JoinTest, PaperStyleSingleColumnProbe) {
+  // The Table 4 benchmark shape: join a table with a 1-column key table.
+  TablePtr input = MakeIntTable(
+      {"src", "dst"}, {{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}});
+  TablePtr keys = MakeIntTable({"k"}, {{2}, {4}});
+  auto j = Table::Join(*input, *keys, "src", "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 2);
+}
+
+TEST(JoinMultiTest, TwoIntKeys) {
+  TablePtr l = MakeIntTable({"a", "b", "v"},
+                            {{1, 1, 10}, {1, 2, 20}, {2, 1, 30}});
+  TablePtr r = MakeIntTable({"a", "b", "w"},
+                            {{1, 1, 100}, {1, 2, 200}, {2, 2, 300}});
+  auto j = Table::JoinMulti(*l, *r, {"a", "b"}, {"a", "b"});
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->NumRows(), 2);
+  EXPECT_EQ((*j)->column(2).GetInt(0), 10);
+  EXPECT_EQ((*j)->column(2).GetInt(1), 20);
+}
+
+TEST(JoinMultiTest, MixedTypeKeys) {
+  Schema ls{{"k", ColumnType::kInt}, {"name", ColumnType::kString}};
+  Schema rs{{"k", ColumnType::kInt}, {"name", ColumnType::kString},
+            {"v", ColumnType::kInt}};
+  TablePtr l = Table::Create(std::move(ls));
+  TablePtr r = Table::Create(std::move(rs));
+  RINGO_CHECK_OK(l->AppendRow({int64_t{1}, std::string("x")}));
+  RINGO_CHECK_OK(l->AppendRow({int64_t{1}, std::string("y")}));
+  RINGO_CHECK_OK(r->AppendRow({int64_t{1}, std::string("y"), int64_t{7}}));
+  RINGO_CHECK_OK(r->AppendRow({int64_t{2}, std::string("y"), int64_t{8}}));
+  auto j = Table::JoinMulti(*l, *r, {"k", "name"}, {"k", "name"});
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ((*j)->NumRows(), 1);
+  EXPECT_EQ(std::get<int64_t>((*j)->GetValue(0, 4)), 7);
+}
+
+TEST(JoinMultiTest, Validation) {
+  TablePtr l = MakeIntTable({"a"}, {{1}});
+  EXPECT_TRUE(Table::JoinMulti(*l, *l, {}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Table::JoinMulti(*l, *l, {"a"}, {"a", "a"}).status().IsInvalidArgument());
+}
+
+// Property: Join == brute-force nested loop over random tables with
+// duplicate-heavy keys (exercises chains and composite verification).
+class JoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinProperty, MatchesNestedLoop) {
+  Rng rng(GetParam());
+  std::vector<std::vector<int64_t>> lrows, rrows;
+  for (int i = 0; i < 300; ++i) {
+    lrows.push_back({rng.UniformInt(0, 15), rng.UniformInt(0, 3), i});
+  }
+  for (int i = 0; i < 250; ++i) {
+    rrows.push_back({rng.UniformInt(0, 15), rng.UniformInt(0, 3), i});
+  }
+  TablePtr l = MakeIntTable({"k1", "k2", "lid"}, lrows);
+  TablePtr r = MakeIntTable({"k1", "k2", "rid"}, rrows);
+  auto j = Table::JoinMulti(*l, *r, {"k1", "k2"}, {"k1", "k2"});
+  ASSERT_TRUE(j.ok());
+
+  std::set<std::pair<int64_t, int64_t>> expect;
+  for (const auto& lr : lrows) {
+    for (const auto& rr : rrows) {
+      if (lr[0] == rr[0] && lr[1] == rr[1]) expect.insert({lr[2], rr[2]});
+    }
+  }
+  const int lid = (*j)->schema().ColumnIndex("lid");
+  const int rid = (*j)->schema().ColumnIndex("rid");
+  std::set<std::pair<int64_t, int64_t>> got;
+  for (int64_t i = 0; i < (*j)->NumRows(); ++i) {
+    got.insert({(*j)->column(lid).GetInt(i), (*j)->column(rid).GetInt(i)});
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(static_cast<int64_t>(got.size()), (*j)->NumRows())
+      << "no duplicate output rows";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(JoinTest, LargeJoinMatchesExpectedCount) {
+  // n rows joined against half the key space → exactly n/2 matches.
+  std::vector<std::vector<int64_t>> lrows, rrows;
+  for (int64_t i = 0; i < 5000; ++i) lrows.push_back({i, i * 2});
+  for (int64_t i = 0; i < 2500; ++i) rrows.push_back({i * 2});
+  TablePtr l = MakeIntTable({"k", "v"}, lrows);
+  TablePtr r = MakeIntTable({"k"}, rrows);
+  auto j = Table::Join(*l, *r, "k", "k");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 2500);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "table/table.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::MakeIntTable;
+
+TEST(NextKTest, ChainsWithinGroup) {
+  // Group 1 ordered: t=1,2,3; group 2: t=5.
+  TablePtr t = MakeIntTable({"g", "t"}, {{1, 2}, {1, 1}, {2, 5}, {1, 3}});
+  auto r = Table::NextK(*t, "g", "t", 1);
+  ASSERT_TRUE(r.ok());
+  // Pairs: (t1→t2), (t2→t3) in group 1; none in group 2.
+  ASSERT_EQ((*r)->NumRows(), 2);
+  const int t1 = (*r)->schema().ColumnIndex("t-1");
+  const int t2 = (*r)->schema().ColumnIndex("t-2");
+  EXPECT_EQ((*r)->column(t1).GetInt(0), 1);
+  EXPECT_EQ((*r)->column(t2).GetInt(0), 2);
+  EXPECT_EQ((*r)->column(t1).GetInt(1), 2);
+  EXPECT_EQ((*r)->column(t2).GetInt(1), 3);
+}
+
+TEST(NextKTest, KGreaterThanOne) {
+  TablePtr t = MakeIntTable({"g", "t"}, {{1, 1}, {1, 2}, {1, 3}, {1, 4}});
+  auto r = Table::NextK(*t, "g", "t", 2);
+  ASSERT_TRUE(r.ok());
+  // 1→2,1→3, 2→3,2→4, 3→4 = 5 pairs.
+  EXPECT_EQ((*r)->NumRows(), 5);
+}
+
+TEST(NextKTest, KLargerThanGroupIsFine) {
+  TablePtr t = MakeIntTable({"g", "t"}, {{1, 1}, {1, 2}});
+  auto r = Table::NextK(*t, "g", "t", 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumRows(), 1);
+}
+
+TEST(NextKTest, InvalidArgs) {
+  TablePtr t = MakeIntTable({"g", "t"}, {{1, 1}});
+  EXPECT_TRUE(Table::NextK(*t, "g", "t", 0).status().IsInvalidArgument());
+  EXPECT_TRUE(Table::NextK(*t, "nope", "t", 1).status().IsNotFound());
+  EXPECT_TRUE(Table::NextK(*t, "g", "nope", 1).status().IsNotFound());
+}
+
+TEST(NextKTest, MatchesBruteForceOnRandomData) {
+  Rng rng(21);
+  std::vector<std::vector<int64_t>> rows;
+  for (int i = 0; i < 400; ++i) {
+    rows.push_back({rng.UniformInt(0, 9), rng.UniformInt(0, 50), i});
+  }
+  TablePtr t = MakeIntTable({"g", "time", "id"}, rows);
+  const int k = 3;
+  auto r = Table::NextK(*t, "g", "time", k);
+  ASSERT_TRUE(r.ok());
+
+  // Brute force: sort (g, time, insertion order), link each row to next k
+  // within group.
+  std::vector<int64_t> order(rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (rows[a][0] != rows[b][0]) return rows[a][0] < rows[b][0];
+    if (rows[a][1] != rows[b][1]) return rows[a][1] < rows[b][1];
+    return a < b;
+  });
+  std::set<std::pair<int64_t, int64_t>> expect;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = i + 1; j <= i + k && j < order.size(); ++j) {
+      if (rows[order[i]][0] != rows[order[j]][0]) break;
+      expect.insert({rows[order[i]][2], rows[order[j]][2]});
+    }
+  }
+  const int id1 = (*r)->schema().ColumnIndex("id-1");
+  const int id2 = (*r)->schema().ColumnIndex("id-2");
+  std::set<std::pair<int64_t, int64_t>> got;
+  for (int64_t i = 0; i < (*r)->NumRows(); ++i) {
+    got.insert({(*r)->column(id1).GetInt(i), (*r)->column(id2).GetInt(i)});
+  }
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(static_cast<int64_t>(got.size()), (*r)->NumRows());
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,63 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ringo {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("a", ColumnType::kInt).ok());
+  ASSERT_TRUE(s.AddColumn("b", ColumnType::kString).ok());
+  EXPECT_EQ(s.num_columns(), 2);
+  EXPECT_EQ(s.ColumnIndex("a"), 0);
+  EXPECT_EQ(s.ColumnIndex("b"), 1);
+  EXPECT_EQ(s.ColumnIndex("c"), -1);
+  EXPECT_EQ(s.FindColumn("b").value(), 1);
+  EXPECT_TRUE(s.FindColumn("zz").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndEmptyNames) {
+  Schema s;
+  ASSERT_TRUE(s.AddColumn("a", ColumnType::kInt).ok());
+  EXPECT_TRUE(s.AddColumn("a", ColumnType::kFloat).IsAlreadyExists());
+  EXPECT_TRUE(s.AddColumn("", ColumnType::kInt).IsInvalidArgument());
+}
+
+TEST(SchemaTest, InitializerListConstruction) {
+  Schema s{{"x", ColumnType::kInt}, {"y", ColumnType::kFloat}};
+  EXPECT_EQ(s.num_columns(), 2);
+  EXPECT_EQ(s.column(1).name, "y");
+  EXPECT_EQ(s.column(1).type, ColumnType::kFloat);
+}
+
+TEST(SchemaTest, Rename) {
+  Schema s{{"old", ColumnType::kInt}, {"other", ColumnType::kInt}};
+  ASSERT_TRUE(s.RenameColumn("old", "fresh").ok());
+  EXPECT_EQ(s.ColumnIndex("fresh"), 0);
+  EXPECT_EQ(s.ColumnIndex("old"), -1);
+  EXPECT_TRUE(s.RenameColumn("missing", "x").IsNotFound());
+  EXPECT_TRUE(s.RenameColumn("fresh", "other").IsAlreadyExists());
+  // Renaming to itself is allowed.
+  EXPECT_TRUE(s.RenameColumn("fresh", "fresh").ok());
+}
+
+TEST(SchemaTest, EqualityAndToString) {
+  Schema a{{"x", ColumnType::kInt}};
+  Schema b{{"x", ColumnType::kInt}};
+  Schema c{{"x", ColumnType::kFloat}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "x:int");
+}
+
+TEST(ColumnTypeTest, StringRoundTrip) {
+  for (ColumnType t :
+       {ColumnType::kInt, ColumnType::kFloat, ColumnType::kString}) {
+    EXPECT_EQ(ColumnTypeFromString(ColumnTypeToString(t)).value(), t);
+  }
+  EXPECT_FALSE(ColumnTypeFromString("bogus").ok());
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "table/table.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::MakeIntTable;
+
+TablePtr FloatTable(const std::vector<std::vector<double>>& rows,
+                    const std::vector<std::string>& names) {
+  Schema schema;
+  for (const auto& n : names) {
+    RINGO_CHECK_OK(schema.AddColumn(n, ColumnType::kFloat));
+  }
+  TablePtr t = Table::Create(std::move(schema));
+  for (const auto& r : rows) {
+    std::vector<Value> vals(r.begin(), r.end());
+    RINGO_CHECK_OK(t->AppendRow(vals));
+  }
+  return t;
+}
+
+// Brute-force pair set for verification.
+std::set<std::pair<int64_t, int64_t>> BrutePairs(
+    const std::vector<std::vector<double>>& l,
+    const std::vector<std::vector<double>>& r, double thr,
+    DistanceMetric metric) {
+  std::set<std::pair<int64_t, int64_t>> out;
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (size_t j = 0; j < r.size(); ++j) {
+      double acc = 0;
+      for (size_t d = 0; d < l[i].size(); ++d) {
+        const double diff = std::abs(l[i][d] - r[j][d]);
+        if (metric == DistanceMetric::kL1) acc += diff;
+        if (metric == DistanceMetric::kL2) acc += diff * diff;
+        if (metric == DistanceMetric::kLInf) acc = std::max(acc, diff);
+      }
+      if (metric == DistanceMetric::kL2) acc = std::sqrt(acc);
+      if (acc < thr) out.insert({static_cast<int64_t>(i), static_cast<int64_t>(j)});
+    }
+  }
+  return out;
+}
+
+std::set<std::pair<int64_t, int64_t>> ResultPairs(const Table& out,
+                                                  int lcol, int rcol) {
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (int64_t i = 0; i < out.NumRows(); ++i) {
+    pairs.insert({out.column(lcol).GetInt(i), out.column(rcol).GetInt(i)});
+  }
+  return pairs;
+}
+
+TEST(SimJoinTest, OneDimensionalBasic) {
+  TablePtr l = FloatTable({{0.0}, {1.0}, {5.0}}, {"x"});
+  TablePtr r = FloatTable({{0.4}, {4.8}, {10.0}}, {"x"});
+  auto j = Table::SimJoin(*l, *r, {"x"}, {"x"}, 0.5);
+  ASSERT_TRUE(j.ok());
+  // Matches: (0, 0.4) dist .4; (5.0, 4.8) dist .2.
+  EXPECT_EQ((*j)->NumRows(), 2);
+}
+
+TEST(SimJoinTest, ThresholdIsStrict) {
+  TablePtr l = FloatTable({{0.0}}, {"x"});
+  TablePtr r = FloatTable({{1.0}}, {"x"});
+  EXPECT_EQ(Table::SimJoin(*l, *r, {"x"}, {"x"}, 1.0).value()->NumRows(), 0);
+  EXPECT_EQ(Table::SimJoin(*l, *r, {"x"}, {"x"}, 1.0001).value()->NumRows(), 1);
+}
+
+TEST(SimJoinTest, IntColumnsWork) {
+  TablePtr l = MakeIntTable({"t"}, {{100}, {200}});
+  TablePtr r = MakeIntTable({"t"}, {{103}, {250}});
+  auto j = Table::SimJoin(*l, *r, {"t"}, {"t"}, 10.0);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 1);
+}
+
+TEST(SimJoinTest, InvalidArguments) {
+  TablePtr l = MakeIntTable({"t"}, {{1}});
+  EXPECT_TRUE(Table::SimJoin(*l, *l, {}, {}, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Table::SimJoin(*l, *l, {"t"}, {"t"}, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      Table::SimJoin(*l, *l, {"t"}, {"t"}, -1.0).status().IsInvalidArgument());
+  Schema s{{"s", ColumnType::kString}};
+  TablePtr st = Table::Create(std::move(s));
+  RINGO_CHECK_OK(st->AppendRow({std::string("a")}));
+  EXPECT_TRUE(
+      Table::SimJoin(*st, *st, {"s"}, {"s"}, 1.0).status().IsTypeMismatch());
+}
+
+// Property: SimJoin == brute force across dimensions, metrics and seeds.
+class SimJoinProperty
+    : public ::testing::TestWithParam<std::tuple<int, DistanceMetric, uint64_t>> {};
+
+TEST_P(SimJoinProperty, MatchesBruteForce) {
+  const auto [dims, metric, seed] = GetParam();
+  Rng rng(seed);
+  auto gen = [&](int64_t n) {
+    std::vector<std::vector<double>> rows(n, std::vector<double>(dims));
+    for (auto& row : rows) {
+      for (double& v : row) v = rng.UniformReal(-5, 5);
+    }
+    return rows;
+  };
+  const auto lrows = gen(120), rrows = gen(150);
+  std::vector<std::string> names;
+  for (int d = 0; d < dims; ++d) names.push_back("c" + std::to_string(d));
+
+  // Add an explicit row index column to identify pairs.
+  auto with_index = [&](const std::vector<std::vector<double>>& rows) {
+    Schema schema{{"idx", ColumnType::kInt}};
+    for (const auto& n : names) {
+      RINGO_CHECK_OK(schema.AddColumn(n, ColumnType::kFloat));
+    }
+    TablePtr t = Table::Create(std::move(schema));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::vector<Value> vals{static_cast<int64_t>(i)};
+      for (double v : rows[i]) vals.push_back(v);
+      RINGO_CHECK_OK(t->AppendRow(vals));
+    }
+    return t;
+  };
+  TablePtr l = with_index(lrows), r = with_index(rrows);
+
+  const double thr = 1.2;
+  auto j = Table::SimJoin(*l, *r, names, names, thr, metric);
+  ASSERT_TRUE(j.ok());
+  const int lidx = (*j)->schema().ColumnIndex("idx-1");
+  const int ridx = (*j)->schema().ColumnIndex("idx-2");
+  ASSERT_GE(lidx, 0);
+  ASSERT_GE(ridx, 0);
+  EXPECT_EQ(ResultPairs(**j, lidx, ridx), BrutePairs(lrows, rrows, thr, metric));
+  // No duplicate pairs emitted.
+  EXPECT_EQ(static_cast<int64_t>(ResultPairs(**j, lidx, ridx).size()),
+            (*j)->NumRows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsMetricsSeeds, SimJoinProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(DistanceMetric::kL1,
+                                         DistanceMetric::kL2,
+                                         DistanceMetric::kLInf),
+                       ::testing::Values<uint64_t>(1, 2)));
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,147 @@
+#include "table/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ringo {
+namespace {
+
+class TableIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& f : files_) std::remove(f.c_str());
+  }
+
+  std::string TempFile(const std::string& name, const std::string& content) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    files_.push_back(path);
+    return path;
+  }
+
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    files_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> files_;
+};
+
+TEST_F(TableIoTest, LoadBasicTSV) {
+  const std::string path = TempFile(
+      "basic.tsv", "1\t2.5\tjava\n2\t-1.0\tcpp\n3\t0\trust\n");
+  Schema schema{{"id", ColumnType::kInt},
+                {"w", ColumnType::kFloat},
+                {"tag", ColumnType::kString}};
+  auto t = LoadTableTSV(schema, path);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ((*t)->NumRows(), 3);
+  EXPECT_EQ((*t)->column(0).GetInt(1), 2);
+  EXPECT_DOUBLE_EQ((*t)->column(1).GetFloat(0), 2.5);
+  EXPECT_EQ(std::get<std::string>((*t)->GetValue(2, 2)), "rust");
+}
+
+TEST_F(TableIoTest, SkipsCommentsBlankLinesAndHeader) {
+  const std::string path = TempFile("comments.tsv",
+                                    "# a comment\n"
+                                    "id\n"
+                                    "\n"
+                                    "7\n"
+                                    "# tail comment\n"
+                                    "8\n");
+  Schema schema{{"id", ColumnType::kInt}};
+  auto t = LoadTableTSV(schema, path, nullptr, /*has_header=*/true);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ((*t)->NumRows(), 2);
+  EXPECT_EQ((*t)->column(0).GetInt(0), 7);
+  EXPECT_EQ((*t)->column(0).GetInt(1), 8);
+}
+
+TEST_F(TableIoTest, HandlesCRLF) {
+  const std::string path = TempFile("crlf.tsv", "1\tx\r\n2\ty\r\n");
+  Schema schema{{"id", ColumnType::kInt}, {"s", ColumnType::kString}};
+  auto t = LoadTableTSV(schema, path);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(std::get<std::string>((*t)->GetValue(1, 1)), "y");
+}
+
+TEST_F(TableIoTest, RejectsWrongArity) {
+  const std::string path = TempFile("bad.tsv", "1\t2\n3\n");
+  Schema schema{{"a", ColumnType::kInt}, {"b", ColumnType::kInt}};
+  EXPECT_TRUE(LoadTableTSV(schema, path).status().IsInvalidArgument());
+}
+
+TEST_F(TableIoTest, RejectsBadNumbers) {
+  const std::string path = TempFile("badnum.tsv", "xyz\n");
+  Schema schema{{"a", ColumnType::kInt}};
+  EXPECT_TRUE(LoadTableTSV(schema, path).status().IsInvalidArgument());
+}
+
+TEST_F(TableIoTest, MissingFileIsIOError) {
+  Schema schema{{"a", ColumnType::kInt}};
+  EXPECT_TRUE(
+      LoadTableTSV(schema, "/nonexistent/nope.tsv").status().IsIOError());
+}
+
+TEST_F(TableIoTest, SaveLoadRoundTrip) {
+  Schema schema{{"id", ColumnType::kInt},
+                {"w", ColumnType::kFloat},
+                {"tag", ColumnType::kString}};
+  TablePtr t = Table::Create(schema);
+  RINGO_CHECK_OK(t->AppendRow({int64_t{10}, 1.25, std::string("alpha")}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{-3}, -0.5, std::string("beta")}));
+  const std::string path = TempPath("round.tsv");
+  ASSERT_TRUE(SaveTableTSV(*t, path).ok());
+
+  auto back = LoadTableTSV(schema, path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(t->ContentEquals(**back));
+}
+
+TEST_F(TableIoTest, FloatRoundTripIsBitExact) {
+  Schema schema{{"w", ColumnType::kFloat}};
+  TablePtr t = Table::Create(schema);
+  RINGO_CHECK_OK(t->AppendRow({0.1234567890123456789}));
+  RINGO_CHECK_OK(t->AppendRow({1.0 / 3.0}));
+  RINGO_CHECK_OK(t->AppendRow({-2.718281828459045}));
+  const std::string path = TempPath("precise.tsv");
+  ASSERT_TRUE(SaveTableTSV(*t, path).ok());
+  auto back = LoadTableTSV(schema, path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  for (int64_t r = 0; r < t->NumRows(); ++r) {
+    EXPECT_EQ(t->column(0).GetFloat(r), (*back)->column(0).GetFloat(r))
+        << "row " << r << " must round-trip exactly";
+  }
+}
+
+TEST_F(TableIoTest, SaveWithHeaderThenLoadWithHeader) {
+  Schema schema{{"id", ColumnType::kInt}};
+  TablePtr t = Table::Create(schema);
+  RINGO_CHECK_OK(t->AppendRow({int64_t{5}}));
+  const std::string path = TempPath("hdr.tsv");
+  ASSERT_TRUE(SaveTableTSV(*t, path, /*write_header=*/true).ok());
+  auto back = LoadTableTSV(schema, path, nullptr, /*has_header=*/true);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(t->ContentEquals(**back));
+}
+
+TEST_F(TableIoTest, LargeFileParsesCompletely) {
+  std::string content;
+  for (int i = 0; i < 20000; ++i) {
+    content += std::to_string(i) + "\ttag" + std::to_string(i % 7) + "\n";
+  }
+  const std::string path = TempFile("large.tsv", content);
+  Schema schema{{"id", ColumnType::kInt}, {"tag", ColumnType::kString}};
+  auto t = LoadTableTSV(schema, path);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ((*t)->NumRows(), 20000);
+  EXPECT_EQ((*t)->column(0).GetInt(19999), 19999);
+  EXPECT_EQ((*t)->pool()->size(), 7);
+}
+
+}  // namespace
+}  // namespace ringo

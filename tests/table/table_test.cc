@@ -1,0 +1,230 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+TablePtr DemoTable() {
+  Schema schema{{"id", ColumnType::kInt},
+                {"score", ColumnType::kFloat},
+                {"tag", ColumnType::kString}};
+  TablePtr t = Table::Create(std::move(schema));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{1}, 0.5, std::string("java")}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{2}, 1.5, std::string("cpp")}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{3}, 2.5, std::string("java")}));
+  RINGO_CHECK_OK(t->AppendRow({int64_t{4}, 3.5, std::string("rust")}));
+  return t;
+}
+
+TEST(TableTest, AppendRowAndAccess) {
+  TablePtr t = DemoTable();
+  EXPECT_EQ(t->NumRows(), 4);
+  EXPECT_EQ(t->num_columns(), 3);
+  EXPECT_EQ(std::get<int64_t>(t->GetValue(0, 0)), 1);
+  EXPECT_DOUBLE_EQ(std::get<double>(t->GetValue(1, 1)), 1.5);
+  EXPECT_EQ(std::get<std::string>(t->GetValue(2, 2)), "java");
+}
+
+TEST(TableTest, AppendRowValidatesArityAndTypes) {
+  TablePtr t = DemoTable();
+  EXPECT_TRUE(t->AppendRow({int64_t{1}}).IsInvalidArgument());
+  EXPECT_TRUE(
+      t->AppendRow({std::string("x"), 1.0, std::string("y")}).IsTypeMismatch());
+  // Int is accepted where float expected.
+  EXPECT_TRUE(t->AppendRow({int64_t{9}, int64_t{4}, std::string("go")}).ok());
+  EXPECT_DOUBLE_EQ(t->column(1).GetFloat(4), 4.0);
+  // Failed append leaves size unchanged.
+  const int64_t before = t->NumRows();
+  EXPECT_FALSE(t->AppendRow({int64_t{1}, 1.0, int64_t{3}}).ok());
+  EXPECT_EQ(t->NumRows(), before);
+}
+
+TEST(TableTest, RowIdsArePersistentThroughSelect) {
+  TablePtr t = DemoTable();
+  EXPECT_EQ(t->RowId(0), 0);
+  EXPECT_EQ(t->RowId(3), 3);
+  ASSERT_TRUE(t->SelectInPlace("tag", CmpOp::kEq, std::string("java")).ok());
+  ASSERT_EQ(t->NumRows(), 2);
+  EXPECT_EQ(t->RowId(0), 0);
+  EXPECT_EQ(t->RowId(1), 2) << "surviving rows keep their original ids";
+}
+
+TEST(TableTest, SelectCopyingLeavesOriginal) {
+  TablePtr t = DemoTable();
+  auto r = t->Select("score", CmpOp::kGt, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumRows(), 3);
+  EXPECT_EQ(t->NumRows(), 4);
+}
+
+TEST(TableTest, SelectAllOperators) {
+  TablePtr t = DemoTable();
+  EXPECT_EQ(t->Select("id", CmpOp::kEq, int64_t{2}).value()->NumRows(), 1);
+  EXPECT_EQ(t->Select("id", CmpOp::kNe, int64_t{2}).value()->NumRows(), 3);
+  EXPECT_EQ(t->Select("id", CmpOp::kLt, int64_t{3}).value()->NumRows(), 2);
+  EXPECT_EQ(t->Select("id", CmpOp::kLe, int64_t{3}).value()->NumRows(), 3);
+  EXPECT_EQ(t->Select("id", CmpOp::kGt, int64_t{3}).value()->NumRows(), 1);
+  EXPECT_EQ(t->Select("id", CmpOp::kGe, int64_t{3}).value()->NumRows(), 2);
+}
+
+TEST(TableTest, SelectStringOrderingComparesBytes) {
+  TablePtr t = DemoTable();
+  // Lexicographic: "cpp" < "java" < "rust".
+  auto r = t->Select("tag", CmpOp::kLt, std::string("java"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->NumRows(), 1);
+  EXPECT_EQ(std::get<std::string>((*r)->GetValue(0, 2)), "cpp");
+}
+
+TEST(TableTest, SelectUnknownStringMatchesNothing) {
+  TablePtr t = DemoTable();
+  EXPECT_EQ(
+      t->Select("tag", CmpOp::kEq, std::string("zig")).value()->NumRows(), 0);
+  EXPECT_EQ(
+      t->Select("tag", CmpOp::kNe, std::string("zig")).value()->NumRows(), 4);
+}
+
+TEST(TableTest, SelectErrors) {
+  TablePtr t = DemoTable();
+  EXPECT_TRUE(t->Select("nope", CmpOp::kEq, int64_t{1}).status().IsNotFound());
+  EXPECT_TRUE(
+      t->Select("id", CmpOp::kEq, std::string("x")).status().IsTypeMismatch());
+  EXPECT_TRUE(t->Select("tag", CmpOp::kEq, int64_t{1}).status().IsTypeMismatch());
+}
+
+TEST(TableTest, SelectRowsGenericPredicate) {
+  TablePtr t = DemoTable();
+  TablePtr odd = t->SelectRows([](const Table& tbl, int64_t r) {
+    return tbl.column(0).GetInt(r) % 2 == 1;
+  });
+  EXPECT_EQ(odd->NumRows(), 2);
+}
+
+TEST(TableTest, ProjectKeepsColumnsAndRowIds) {
+  TablePtr t = DemoTable();
+  auto p = t->Project({"tag", "id"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->num_columns(), 2);
+  EXPECT_EQ((*p)->schema().column(0).name, "tag");
+  EXPECT_EQ((*p)->schema().column(1).name, "id");
+  EXPECT_EQ((*p)->RowId(2), 2);
+  EXPECT_TRUE(t->Project({"missing"}).status().IsNotFound());
+}
+
+TEST(TableTest, OrderBySingleColumnDescending) {
+  TablePtr t = DemoTable();
+  auto o = t->OrderBy({"score"}, {false});
+  ASSERT_TRUE(o.ok());
+  EXPECT_DOUBLE_EQ((*o)->column(1).GetFloat(0), 3.5);
+  EXPECT_DOUBLE_EQ((*o)->column(1).GetFloat(3), 0.5);
+}
+
+TEST(TableTest, OrderByStringThenInt) {
+  TablePtr t = DemoTable();
+  auto o = t->OrderBy({"tag", "id"});
+  ASSERT_TRUE(o.ok());
+  // cpp, java(1), java(3), rust.
+  EXPECT_EQ(std::get<std::string>((*o)->GetValue(0, 2)), "cpp");
+  EXPECT_EQ(std::get<int64_t>((*o)->GetValue(1, 0)), 1);
+  EXPECT_EQ(std::get<int64_t>((*o)->GetValue(2, 0)), 3);
+  EXPECT_EQ(std::get<std::string>((*o)->GetValue(3, 2)), "rust");
+}
+
+TEST(TableTest, OrderByIsStableViaPositionTiebreak) {
+  // Rows with equal keys keep input order.
+  TablePtr t = testing::MakeIntTable({"k", "v"}, {{1, 10}, {0, 20}, {1, 30},
+                                                  {0, 40}, {1, 50}});
+  auto o = t->OrderBy({"k"});
+  ASSERT_TRUE(o.ok());
+  const Column& v = (*o)->column(1);
+  EXPECT_EQ(v.GetInt(0), 20);
+  EXPECT_EQ(v.GetInt(1), 40);
+  EXPECT_EQ(v.GetInt(2), 10);
+  EXPECT_EQ(v.GetInt(3), 30);
+  EXPECT_EQ(v.GetInt(4), 50);
+}
+
+// Property: OrderBy matches a std::stable_sort reference over random
+// multi-column data with heavy duplicates.
+class OrderByProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderByProperty, MatchesStableSortReference) {
+  Rng rng(GetParam());
+  std::vector<std::vector<int64_t>> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back({rng.UniformInt(0, 5), rng.UniformInt(0, 5), i});
+  }
+  TablePtr t = testing::MakeIntTable({"a", "b", "id"}, rows);
+  auto sorted = t->OrderBy({"a", "b"}, {true, false});
+  ASSERT_TRUE(sorted.ok());
+
+  std::vector<std::vector<int64_t>> expect = rows;
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const auto& x, const auto& y) {
+                     if (x[0] != y[0]) return x[0] < y[0];
+                     return x[1] > y[1];  // Second key descending.
+                   });
+  ASSERT_EQ((*sorted)->NumRows(), static_cast<int64_t>(expect.size()));
+  for (int64_t r = 0; r < (*sorted)->NumRows(); ++r) {
+    EXPECT_EQ((*sorted)->column(2).GetInt(r), expect[r][2]) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderByProperty, ::testing::Values(1, 2, 3));
+
+TEST(TableTest, UniqueKeepsFirstOccurrence) {
+  TablePtr t = testing::MakeIntTable({"k", "v"}, {{1, 100}, {2, 200}, {1, 300},
+                                                  {3, 400}, {2, 500}});
+  auto u = t->Unique({"k"});
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ((*u)->NumRows(), 3);
+  EXPECT_EQ((*u)->column(1).GetInt(0), 100);
+  EXPECT_EQ((*u)->column(1).GetInt(1), 200);
+  EXPECT_EQ((*u)->column(1).GetInt(2), 400);
+  // Row ids preserved.
+  EXPECT_EQ((*u)->RowId(2), 3);
+}
+
+TEST(TableTest, LargeSelectMatchesReference) {
+  Schema schema{{"v", ColumnType::kInt}};
+  TablePtr t = Table::Create(std::move(schema));
+  Rng rng(3);
+  int64_t expected = 0;
+  t->ReserveRows(50000);
+  for (int64_t i = 0; i < 50000; ++i) {
+    const int64_t v = rng.UniformInt(0, 999);
+    if (v < 500) ++expected;
+    RINGO_CHECK_OK(t->AppendRow({v}));
+  }
+  auto r = t->Select("v", CmpOp::kLt, int64_t{500});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumRows(), expected);
+}
+
+TEST(TableTest, ContentEquals) {
+  TablePtr a = DemoTable();
+  TablePtr b = DemoTable();
+  EXPECT_TRUE(a->ContentEquals(*b));
+  RINGO_CHECK_OK(b->AppendRow({int64_t{5}, 0.0, std::string("zig")}));
+  EXPECT_FALSE(a->ContentEquals(*b));
+}
+
+TEST(TableTest, ToStringRendersHeaderAndRows) {
+  TablePtr t = DemoTable();
+  const std::string s = t->ToString(2);
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("java"), std::string::npos);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableTest, MemoryUsagePositive) {
+  TablePtr t = DemoTable();
+  EXPECT_GT(t->MemoryUsageBytes(), 0);
+}
+
+}  // namespace
+}  // namespace ringo

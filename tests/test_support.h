@@ -1,0 +1,117 @@
+// Shared test scaffolding: random graph builders and brute-force reference
+// implementations that the property tests compare the real algorithms
+// against.
+#ifndef RINGO_TESTS_TEST_SUPPORT_H_
+#define RINGO_TESTS_TEST_SUPPORT_H_
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace testing {
+
+// Random simple directed graph: n nodes (ids 0..n-1 all present), ~m edges
+// sampled uniformly (self_loops optional).
+inline DirectedGraph RandomDirected(int64_t n, int64_t m, uint64_t seed,
+                                    bool self_loops = false) {
+  DirectedGraph g;
+  for (NodeId i = 0; i < n; ++i) g.AddNode(i);
+  Rng rng(seed);
+  for (int64_t e = 0; e < m; ++e) {
+    const NodeId u = rng.UniformInt(0, n - 1);
+    const NodeId v = rng.UniformInt(0, n - 1);
+    if (u == v && !self_loops) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+inline UndirectedGraph RandomUndirected(int64_t n, int64_t m, uint64_t seed) {
+  UndirectedGraph g;
+  for (NodeId i = 0; i < n; ++i) g.AddNode(i);
+  Rng rng(seed);
+  for (int64_t e = 0; e < m; ++e) {
+    const NodeId u = rng.UniformInt(0, n - 1);
+    const NodeId v = rng.UniformInt(0, n - 1);
+    if (u == v) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+// All directed edges as a sorted set (for structural comparisons).
+inline std::set<Edge> EdgeSet(const DirectedGraph& g) {
+  std::set<Edge> edges;
+  g.ForEachEdge([&](NodeId u, NodeId v) { edges.insert({u, v}); });
+  return edges;
+}
+
+inline std::set<Edge> EdgeSet(const UndirectedGraph& g) {
+  std::set<Edge> edges;
+  g.ForEachEdge([&](NodeId u, NodeId v) { edges.insert({u, v}); });
+  return edges;
+}
+
+// O(n^3) brute-force triangle count.
+inline int64_t BruteTriangles(const UndirectedGraph& g) {
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  int64_t count = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      if (!g.HasEdge(ids[i], ids[j])) continue;
+      for (size_t k = j + 1; k < ids.size(); ++k) {
+        if (g.HasEdge(ids[i], ids[k]) && g.HasEdge(ids[j], ids[k])) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+// Brute-force BFS distances via Floyd–Warshall-free repeated relaxation.
+inline std::vector<std::vector<int64_t>> BruteAllPairs(
+    const UndirectedGraph& g) {
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  const int64_t n = static_cast<int64_t>(ids.size());
+  constexpr int64_t kInf = INT64_MAX / 4;
+  std::vector<std::vector<int64_t>> d(n, std::vector<int64_t>(n, kInf));
+  for (int64_t i = 0; i < n; ++i) d[i][i] = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j && g.HasEdge(ids[i], ids[j])) d[i][j] = 1;
+    }
+  }
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+// Builds a small int-columned table from rows.
+inline TablePtr MakeIntTable(const std::vector<std::string>& col_names,
+                             const std::vector<std::vector<int64_t>>& rows) {
+  Schema schema;
+  for (const std::string& n : col_names) {
+    schema.AddColumn(n, ColumnType::kInt).Abort("MakeIntTable");
+  }
+  TablePtr t = Table::Create(std::move(schema));
+  for (const auto& r : rows) {
+    std::vector<Value> vals(r.begin(), r.end());
+    t->AppendRow(vals).Abort("MakeIntTable");
+  }
+  return t;
+}
+
+}  // namespace testing
+}  // namespace ringo
+
+#endif  // RINGO_TESTS_TEST_SUPPORT_H_

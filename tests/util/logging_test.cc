@@ -1,0 +1,62 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace ringo {
+namespace {
+
+TEST(LogLevelTest, SetAndGet) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LogLevelTest, SuppressedMessagesAreCheap) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Streams into a disabled logger must not crash or emit.
+  RINGO_LOG(Debug) << "invisible " << 42;
+  RINGO_LOG(Info) << "also invisible";
+  SetLogLevel(original);
+}
+
+TEST(CheckMacroTest, PassingChecksAreSilent) {
+  RINGO_CHECK(1 + 1 == 2) << "never shown";
+  RINGO_CHECK_EQ(3, 3);
+  RINGO_CHECK_NE(3, 4);
+  RINGO_CHECK_LT(3, 4);
+  RINGO_CHECK_LE(3, 3);
+  RINGO_CHECK_GT(4, 3);
+  RINGO_CHECK_GE(4, 4);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ RINGO_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(CheckDeathTest, FailingCheckEqAborts) {
+  EXPECT_DEATH({ RINGO_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(CheckDeathTest, FatalStatusAborts) {
+  EXPECT_DEATH(Status::Internal("broken").Abort("test context"),
+               "fatal status");
+}
+
+TEST(CheckDeathTest, CheckOkMacroAbortsOnError) {
+  EXPECT_DEATH(RINGO_CHECK_OK(Status::IOError("disk gone")), "fatal status");
+}
+
+TEST(CheckMacroTest, CheckOkPassesThroughOk) {
+  RINGO_CHECK_OK(Status::OK());  // Must not abort.
+}
+
+}  // namespace
+}  // namespace ringo

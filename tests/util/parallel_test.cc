@@ -1,0 +1,111 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, 1000, [&](int64_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool touched = false;
+  ParallelFor(5, 5, [&](int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelSortTest, SmallInput) {
+  std::vector<int> v{5, 3, 1, 4, 2};
+  ParallelSort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+// Property: ParallelSort result == std::sort result, across sizes and seeds
+// (sizes straddle the sequential-fallback cutoff).
+class ParallelSortProperty
+    : public ::testing::TestWithParam<std::tuple<int64_t, uint64_t>> {};
+
+TEST_P(ParallelSortProperty, MatchesStdSort) {
+  const auto [n, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.UniformInt(-1000, 1000);
+  std::vector<int64_t> expect = v;
+  std::sort(expect.begin(), expect.end());
+  ParallelSort(v.begin(), v.end());
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ParallelSortProperty,
+    ::testing::Combine(::testing::Values<int64_t>(0, 1, 2, 100, 5000, 40000,
+                                                  100000),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(ParallelSortTest, CustomComparatorDescending) {
+  std::vector<int64_t> v(50000);
+  Rng rng(9);
+  for (auto& x : v) x = rng.UniformInt(0, 1 << 20);
+  ParallelSort(v.begin(), v.end(), std::greater<int64_t>());
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int64_t>()));
+}
+
+TEST(PrefixSumTest, SmallExclusive) {
+  std::vector<int64_t> v{3, 1, 4, 1, 5};
+  const int64_t total = ExclusivePrefixSum(v);
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(v, (std::vector<int64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSumTest, LargeMatchesSequential) {
+  const int64_t n = 100000;
+  Rng rng(4);
+  std::vector<int64_t> v(n), expect(n);
+  for (auto& x : v) x = rng.UniformInt(0, 10);
+  int64_t acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    expect[i] = acc;
+    acc += v[i];
+  }
+  EXPECT_EQ(ExclusivePrefixSum(v), acc);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(PrefixSumTest, EmptyInput) {
+  std::vector<int64_t> v;
+  EXPECT_EQ(ExclusivePrefixSum(v), 0);
+}
+
+TEST(PartitionRangeTest, CoversRangeContiguously) {
+  for (int parts : {1, 2, 3, 7}) {
+    for (int64_t n : {0, 1, 5, 100, 101}) {
+      const auto b = PartitionRange(n, parts);
+      ASSERT_EQ(static_cast<int>(b.size()), parts + 1);
+      EXPECT_EQ(b.front(), 0);
+      EXPECT_EQ(b.back(), n);
+      for (size_t i = 1; i < b.size(); ++i) {
+        EXPECT_LE(b[i - 1], b[i]);
+        // Near-equal split: sizes differ by at most 1.
+        EXPECT_LE(b[i] - b[i - 1], n / parts + 1);
+      }
+    }
+  }
+}
+
+TEST(NumThreadsTest, PositiveAndCappable) {
+  EXPECT_GE(NumThreads(), 1);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);  // Back to the OpenMP default.
+  EXPECT_GE(NumThreads(), 1);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,81 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace ringo {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, UniformIntHitsEndpoints) {
+  Rng rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000 && !(lo && hi); ++i) {
+    const int64_t v = rng.UniformInt(0, 4);
+    lo |= (v == 0);
+    hi |= (v == 4);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RngTest, UniformRealInHalfOpenUnit) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng base(42);
+  Rng s0 = base.Split(0);
+  Rng s1 = base.Split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.Next() == s1.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+  // Non-degenerate output.
+  SplitMix64 c(0);
+  EXPECT_NE(c(), 0u);
+}
+
+}  // namespace
+}  // namespace ringo

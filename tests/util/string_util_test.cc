@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ringo {
+namespace {
+
+TEST(SplitFieldsTest, BasicTabSplit) {
+  const auto f = SplitFields("a\tb\tc", '\t');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitFieldsTest, PreservesEmptyFields) {
+  const auto f = SplitFields("\tx\t\t", '\t');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+  EXPECT_EQ(f[3], "");
+}
+
+TEST(SplitFieldsTest, SingleField) {
+  const auto f = SplitFields("solo", '\t');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "solo");
+}
+
+TEST(ParseInt64Test, ValidValues) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64(" 12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseDoubleTest, ValidValues) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5junk").ok());
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(FormatBytesTest, ScalesUnits) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.0KB");
+  EXPECT_EQ(FormatBytes(int64_t{3} * 1024 * 1024 * 1024), "3.0GB");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("ringo", "ri"));
+  EXPECT_TRUE(StartsWith("ringo", ""));
+  EXPECT_FALSE(StartsWith("ringo", "ringo!"));
+  EXPECT_FALSE(StartsWith("ringo", "Ra"));
+}
+
+}  // namespace
+}  // namespace ringo
