@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_graph_census.dir/bench_table1_graph_census.cc.o"
+  "CMakeFiles/bench_table1_graph_census.dir/bench_table1_graph_census.cc.o.d"
+  "bench_table1_graph_census"
+  "bench_table1_graph_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_graph_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

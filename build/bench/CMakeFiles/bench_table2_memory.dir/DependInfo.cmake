@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_memory.cc" "bench/CMakeFiles/bench_table2_memory.dir/bench_table2_memory.cc.o" "gcc" "bench/CMakeFiles/bench_table2_memory.dir/bench_table2_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_parallel_algorithms.dir/bench_table3_parallel_algorithms.cc.o"
+  "CMakeFiles/bench_table3_parallel_algorithms.dir/bench_table3_parallel_algorithms.cc.o.d"
+  "bench_table3_parallel_algorithms"
+  "bench_table3_parallel_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parallel_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

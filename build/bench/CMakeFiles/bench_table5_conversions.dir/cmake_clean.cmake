@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_conversions.dir/bench_table5_conversions.cc.o"
+  "CMakeFiles/bench_table5_conversions.dir/bench_table5_conversions.cc.o.d"
+  "bench_table5_conversions"
+  "bench_table5_conversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_conversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

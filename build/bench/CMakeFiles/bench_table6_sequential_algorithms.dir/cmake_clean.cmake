@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sequential_algorithms.dir/bench_table6_sequential_algorithms.cc.o"
+  "CMakeFiles/bench_table6_sequential_algorithms.dir/bench_table6_sequential_algorithms.cc.o.d"
+  "bench_table6_sequential_algorithms"
+  "bench_table6_sequential_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sequential_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

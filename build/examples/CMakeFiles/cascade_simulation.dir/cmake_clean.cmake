@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_simulation.dir/cascade_simulation.cpp.o"
+  "CMakeFiles/cascade_simulation.dir/cascade_simulation.cpp.o.d"
+  "cascade_simulation"
+  "cascade_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

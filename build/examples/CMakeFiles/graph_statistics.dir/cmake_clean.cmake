@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_statistics.dir/graph_statistics.cpp.o"
+  "CMakeFiles/graph_statistics.dir/graph_statistics.cpp.o.d"
+  "graph_statistics"
+  "graph_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

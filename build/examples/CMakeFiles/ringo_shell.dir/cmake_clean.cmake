@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_shell.dir/ringo_shell.cpp.o"
+  "CMakeFiles/ringo_shell.dir/ringo_shell.cpp.o.d"
+  "ringo_shell"
+  "ringo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

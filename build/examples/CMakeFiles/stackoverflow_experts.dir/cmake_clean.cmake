@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stackoverflow_experts.dir/stackoverflow_experts.cpp.o"
+  "CMakeFiles/stackoverflow_experts.dir/stackoverflow_experts.cpp.o.d"
+  "stackoverflow_experts"
+  "stackoverflow_experts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stackoverflow_experts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stackoverflow_experts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/anf.cc" "src/CMakeFiles/ringo_algo.dir/algo/anf.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/anf.cc.o.d"
+  "/root/repo/src/algo/bfs.cc" "src/CMakeFiles/ringo_algo.dir/algo/bfs.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/bfs.cc.o.d"
+  "/root/repo/src/algo/biconnectivity.cc" "src/CMakeFiles/ringo_algo.dir/algo/biconnectivity.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/biconnectivity.cc.o.d"
+  "/root/repo/src/algo/cascade.cc" "src/CMakeFiles/ringo_algo.dir/algo/cascade.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/cascade.cc.o.d"
+  "/root/repo/src/algo/centrality.cc" "src/CMakeFiles/ringo_algo.dir/algo/centrality.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/centrality.cc.o.d"
+  "/root/repo/src/algo/community.cc" "src/CMakeFiles/ringo_algo.dir/algo/community.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/community.cc.o.d"
+  "/root/repo/src/algo/connectivity.cc" "src/CMakeFiles/ringo_algo.dir/algo/connectivity.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/connectivity.cc.o.d"
+  "/root/repo/src/algo/diameter.cc" "src/CMakeFiles/ringo_algo.dir/algo/diameter.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/diameter.cc.o.d"
+  "/root/repo/src/algo/hits.cc" "src/CMakeFiles/ringo_algo.dir/algo/hits.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/hits.cc.o.d"
+  "/root/repo/src/algo/kcore.cc" "src/CMakeFiles/ringo_algo.dir/algo/kcore.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/kcore.cc.o.d"
+  "/root/repo/src/algo/louvain.cc" "src/CMakeFiles/ringo_algo.dir/algo/louvain.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/louvain.cc.o.d"
+  "/root/repo/src/algo/mst.cc" "src/CMakeFiles/ringo_algo.dir/algo/mst.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/mst.cc.o.d"
+  "/root/repo/src/algo/pagerank.cc" "src/CMakeFiles/ringo_algo.dir/algo/pagerank.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/pagerank.cc.o.d"
+  "/root/repo/src/algo/random_walk.cc" "src/CMakeFiles/ringo_algo.dir/algo/random_walk.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/random_walk.cc.o.d"
+  "/root/repo/src/algo/similarity.cc" "src/CMakeFiles/ringo_algo.dir/algo/similarity.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/similarity.cc.o.d"
+  "/root/repo/src/algo/sssp.cc" "src/CMakeFiles/ringo_algo.dir/algo/sssp.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/sssp.cc.o.d"
+  "/root/repo/src/algo/stats.cc" "src/CMakeFiles/ringo_algo.dir/algo/stats.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/stats.cc.o.d"
+  "/root/repo/src/algo/topology.cc" "src/CMakeFiles/ringo_algo.dir/algo/topology.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/topology.cc.o.d"
+  "/root/repo/src/algo/transform.cc" "src/CMakeFiles/ringo_algo.dir/algo/transform.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/transform.cc.o.d"
+  "/root/repo/src/algo/triad_census.cc" "src/CMakeFiles/ringo_algo.dir/algo/triad_census.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/triad_census.cc.o.d"
+  "/root/repo/src/algo/triangles.cc" "src/CMakeFiles/ringo_algo.dir/algo/triangles.cc.o" "gcc" "src/CMakeFiles/ringo_algo.dir/algo/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

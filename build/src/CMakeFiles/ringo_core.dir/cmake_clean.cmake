@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_core.dir/core/conversion.cc.o"
+  "CMakeFiles/ringo_core.dir/core/conversion.cc.o.d"
+  "CMakeFiles/ringo_core.dir/core/engine.cc.o"
+  "CMakeFiles/ringo_core.dir/core/engine.cc.o.d"
+  "libringo_core.a"
+  "libringo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_gen.dir/gen/graph_gen.cc.o"
+  "CMakeFiles/ringo_gen.dir/gen/graph_gen.cc.o.d"
+  "CMakeFiles/ringo_gen.dir/gen/stackoverflow_gen.cc.o"
+  "CMakeFiles/ringo_gen.dir/gen/stackoverflow_gen.cc.o.d"
+  "libringo_gen.a"
+  "libringo_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libringo_gen.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/ringo_graph.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/ringo_graph.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/directed_graph.cc" "src/CMakeFiles/ringo_graph.dir/graph/directed_graph.cc.o" "gcc" "src/CMakeFiles/ringo_graph.dir/graph/directed_graph.cc.o.d"
+  "/root/repo/src/graph/edge_weights.cc" "src/CMakeFiles/ringo_graph.dir/graph/edge_weights.cc.o" "gcc" "src/CMakeFiles/ringo_graph.dir/graph/edge_weights.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/ringo_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/ringo_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/undirected_graph.cc" "src/CMakeFiles/ringo_graph.dir/graph/undirected_graph.cc.o" "gcc" "src/CMakeFiles/ringo_graph.dir/graph/undirected_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_graph.dir/graph/csr_graph.cc.o"
+  "CMakeFiles/ringo_graph.dir/graph/csr_graph.cc.o.d"
+  "CMakeFiles/ringo_graph.dir/graph/directed_graph.cc.o"
+  "CMakeFiles/ringo_graph.dir/graph/directed_graph.cc.o.d"
+  "CMakeFiles/ringo_graph.dir/graph/edge_weights.cc.o"
+  "CMakeFiles/ringo_graph.dir/graph/edge_weights.cc.o.d"
+  "CMakeFiles/ringo_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/ringo_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/ringo_graph.dir/graph/undirected_graph.cc.o"
+  "CMakeFiles/ringo_graph.dir/graph/undirected_graph.cc.o.d"
+  "libringo_graph.a"
+  "libringo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

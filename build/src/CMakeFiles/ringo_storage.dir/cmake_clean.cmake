@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_storage.dir/storage/string_pool.cc.o"
+  "CMakeFiles/ringo_storage.dir/storage/string_pool.cc.o.d"
+  "libringo_storage.a"
+  "libringo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/column.cc" "src/CMakeFiles/ringo_table.dir/table/column.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/column.cc.o.d"
+  "/root/repo/src/table/group_by.cc" "src/CMakeFiles/ringo_table.dir/table/group_by.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/group_by.cc.o.d"
+  "/root/repo/src/table/join.cc" "src/CMakeFiles/ringo_table.dir/table/join.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/join.cc.o.d"
+  "/root/repo/src/table/next_k.cc" "src/CMakeFiles/ringo_table.dir/table/next_k.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/next_k.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/ringo_table.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/set_ops.cc" "src/CMakeFiles/ringo_table.dir/table/set_ops.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/set_ops.cc.o.d"
+  "/root/repo/src/table/sim_join.cc" "src/CMakeFiles/ringo_table.dir/table/sim_join.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/sim_join.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/ringo_table.dir/table/table.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/table.cc.o.d"
+  "/root/repo/src/table/table_ext.cc" "src/CMakeFiles/ringo_table.dir/table/table_ext.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/table_ext.cc.o.d"
+  "/root/repo/src/table/table_io.cc" "src/CMakeFiles/ringo_table.dir/table/table_io.cc.o" "gcc" "src/CMakeFiles/ringo_table.dir/table/table_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_table.dir/table/column.cc.o"
+  "CMakeFiles/ringo_table.dir/table/column.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/group_by.cc.o"
+  "CMakeFiles/ringo_table.dir/table/group_by.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/join.cc.o"
+  "CMakeFiles/ringo_table.dir/table/join.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/next_k.cc.o"
+  "CMakeFiles/ringo_table.dir/table/next_k.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/schema.cc.o"
+  "CMakeFiles/ringo_table.dir/table/schema.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/set_ops.cc.o"
+  "CMakeFiles/ringo_table.dir/table/set_ops.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/sim_join.cc.o"
+  "CMakeFiles/ringo_table.dir/table/sim_join.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/table.cc.o"
+  "CMakeFiles/ringo_table.dir/table/table.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/table_ext.cc.o"
+  "CMakeFiles/ringo_table.dir/table/table_ext.cc.o.d"
+  "CMakeFiles/ringo_table.dir/table/table_io.cc.o"
+  "CMakeFiles/ringo_table.dir/table/table_io.cc.o.d"
+  "libringo_table.a"
+  "libringo_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_util.dir/util/logging.cc.o"
+  "CMakeFiles/ringo_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/ringo_util.dir/util/parallel.cc.o"
+  "CMakeFiles/ringo_util.dir/util/parallel.cc.o.d"
+  "CMakeFiles/ringo_util.dir/util/status.cc.o"
+  "CMakeFiles/ringo_util.dir/util/status.cc.o.d"
+  "CMakeFiles/ringo_util.dir/util/string_util.cc.o"
+  "CMakeFiles/ringo_util.dir/util/string_util.cc.o.d"
+  "libringo_util.a"
+  "libringo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/bfs_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/bfs_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/bfs_test.cc.o.d"
+  "/root/repo/tests/algo/biconnectivity_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/biconnectivity_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/biconnectivity_test.cc.o.d"
+  "/root/repo/tests/algo/connectivity_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/connectivity_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/connectivity_test.cc.o.d"
+  "/root/repo/tests/algo/kcore_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/kcore_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/kcore_test.cc.o.d"
+  "/root/repo/tests/algo/sssp_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/sssp_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/sssp_test.cc.o.d"
+  "/root/repo/tests/algo/topology_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/topology_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/topology_test.cc.o.d"
+  "/root/repo/tests/algo/transform_test.cc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/transform_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_basic_test.dir/algo/transform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/bfs_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/bfs_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/biconnectivity_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/biconnectivity_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/connectivity_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/connectivity_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/kcore_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/kcore_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/sssp_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/sssp_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/topology_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/topology_test.cc.o.d"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/transform_test.cc.o"
+  "CMakeFiles/ringo_algo_basic_test.dir/algo/transform_test.cc.o.d"
+  "ringo_algo_basic_test"
+  "ringo_algo_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_algo_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/centrality_test.cc.o"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/centrality_test.cc.o.d"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/hits_test.cc.o"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/hits_test.cc.o.d"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/pagerank_test.cc.o"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/pagerank_test.cc.o.d"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/random_walk_test.cc.o"
+  "CMakeFiles/ringo_algo_rank_test.dir/algo/random_walk_test.cc.o.d"
+  "ringo_algo_rank_test"
+  "ringo_algo_rank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_algo_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/anf_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/anf_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/anf_test.cc.o.d"
+  "/root/repo/tests/algo/cascade_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/cascade_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/cascade_test.cc.o.d"
+  "/root/repo/tests/algo/community_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/community_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/community_test.cc.o.d"
+  "/root/repo/tests/algo/diameter_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/diameter_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/diameter_test.cc.o.d"
+  "/root/repo/tests/algo/louvain_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/louvain_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/louvain_test.cc.o.d"
+  "/root/repo/tests/algo/mst_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/mst_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/mst_test.cc.o.d"
+  "/root/repo/tests/algo/similarity_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/similarity_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/similarity_test.cc.o.d"
+  "/root/repo/tests/algo/stats_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/stats_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/stats_test.cc.o.d"
+  "/root/repo/tests/algo/triad_census_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/triad_census_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/triad_census_test.cc.o.d"
+  "/root/repo/tests/algo/triangles_test.cc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/triangles_test.cc.o" "gcc" "tests/CMakeFiles/ringo_algo_struct_test.dir/algo/triangles_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

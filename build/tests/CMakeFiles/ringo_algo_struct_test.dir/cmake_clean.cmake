@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/anf_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/anf_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/cascade_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/cascade_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/community_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/community_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/diameter_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/diameter_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/louvain_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/louvain_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/mst_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/mst_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/similarity_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/similarity_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/stats_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/stats_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/triad_census_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/triad_census_test.cc.o.d"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/triangles_test.cc.o"
+  "CMakeFiles/ringo_algo_struct_test.dir/algo/triangles_test.cc.o.d"
+  "ringo_algo_struct_test"
+  "ringo_algo_struct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_algo_struct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ringo_algo_struct_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_conversion_test.dir/core/conversion_test.cc.o"
+  "CMakeFiles/ringo_conversion_test.dir/core/conversion_test.cc.o.d"
+  "ringo_conversion_test"
+  "ringo_conversion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_conversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

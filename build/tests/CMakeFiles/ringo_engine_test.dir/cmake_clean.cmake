@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_engine_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/ringo_engine_test.dir/core/engine_test.cc.o.d"
+  "ringo_engine_test"
+  "ringo_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

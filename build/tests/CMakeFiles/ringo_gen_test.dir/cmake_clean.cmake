@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_gen_test.dir/gen/graph_gen_test.cc.o"
+  "CMakeFiles/ringo_gen_test.dir/gen/graph_gen_test.cc.o.d"
+  "CMakeFiles/ringo_gen_test.dir/gen/stackoverflow_gen_test.cc.o"
+  "CMakeFiles/ringo_gen_test.dir/gen/stackoverflow_gen_test.cc.o.d"
+  "ringo_gen_test"
+  "ringo_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/csr_graph_test.cc" "tests/CMakeFiles/ringo_graph_test.dir/graph/csr_graph_test.cc.o" "gcc" "tests/CMakeFiles/ringo_graph_test.dir/graph/csr_graph_test.cc.o.d"
+  "/root/repo/tests/graph/directed_graph_test.cc" "tests/CMakeFiles/ringo_graph_test.dir/graph/directed_graph_test.cc.o" "gcc" "tests/CMakeFiles/ringo_graph_test.dir/graph/directed_graph_test.cc.o.d"
+  "/root/repo/tests/graph/graph_io_test.cc" "tests/CMakeFiles/ringo_graph_test.dir/graph/graph_io_test.cc.o" "gcc" "tests/CMakeFiles/ringo_graph_test.dir/graph/graph_io_test.cc.o.d"
+  "/root/repo/tests/graph/undirected_graph_test.cc" "tests/CMakeFiles/ringo_graph_test.dir/graph/undirected_graph_test.cc.o" "gcc" "tests/CMakeFiles/ringo_graph_test.dir/graph/undirected_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_graph_test.dir/graph/csr_graph_test.cc.o"
+  "CMakeFiles/ringo_graph_test.dir/graph/csr_graph_test.cc.o.d"
+  "CMakeFiles/ringo_graph_test.dir/graph/directed_graph_test.cc.o"
+  "CMakeFiles/ringo_graph_test.dir/graph/directed_graph_test.cc.o.d"
+  "CMakeFiles/ringo_graph_test.dir/graph/graph_io_test.cc.o"
+  "CMakeFiles/ringo_graph_test.dir/graph/graph_io_test.cc.o.d"
+  "CMakeFiles/ringo_graph_test.dir/graph/undirected_graph_test.cc.o"
+  "CMakeFiles/ringo_graph_test.dir/graph/undirected_graph_test.cc.o.d"
+  "ringo_graph_test"
+  "ringo_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

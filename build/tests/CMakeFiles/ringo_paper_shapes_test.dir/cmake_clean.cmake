@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_paper_shapes_test.dir/integration/paper_shapes_test.cc.o"
+  "CMakeFiles/ringo_paper_shapes_test.dir/integration/paper_shapes_test.cc.o.d"
+  "ringo_paper_shapes_test"
+  "ringo_paper_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_paper_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_storage_test.dir/storage/concurrent_test.cc.o"
+  "CMakeFiles/ringo_storage_test.dir/storage/concurrent_test.cc.o.d"
+  "CMakeFiles/ringo_storage_test.dir/storage/flat_hash_map_test.cc.o"
+  "CMakeFiles/ringo_storage_test.dir/storage/flat_hash_map_test.cc.o.d"
+  "CMakeFiles/ringo_storage_test.dir/storage/string_pool_test.cc.o"
+  "CMakeFiles/ringo_storage_test.dir/storage/string_pool_test.cc.o.d"
+  "ringo_storage_test"
+  "ringo_storage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

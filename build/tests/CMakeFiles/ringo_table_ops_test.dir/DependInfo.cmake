@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table/group_by_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/group_by_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/group_by_test.cc.o.d"
+  "/root/repo/tests/table/join_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/join_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/join_test.cc.o.d"
+  "/root/repo/tests/table/next_k_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/next_k_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/next_k_test.cc.o.d"
+  "/root/repo/tests/table/set_ops_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/set_ops_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/set_ops_test.cc.o.d"
+  "/root/repo/tests/table/sim_join_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/sim_join_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/sim_join_test.cc.o.d"
+  "/root/repo/tests/table/table_ext_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/table_ext_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/table_ext_test.cc.o.d"
+  "/root/repo/tests/table/table_io_test.cc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/table_io_test.cc.o" "gcc" "tests/CMakeFiles/ringo_table_ops_test.dir/table/table_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ringo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ringo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_table_ops_test.dir/table/group_by_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/group_by_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/join_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/join_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/next_k_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/next_k_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/set_ops_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/set_ops_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/sim_join_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/sim_join_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/table_ext_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/table_ext_test.cc.o.d"
+  "CMakeFiles/ringo_table_ops_test.dir/table/table_io_test.cc.o"
+  "CMakeFiles/ringo_table_ops_test.dir/table/table_io_test.cc.o.d"
+  "ringo_table_ops_test"
+  "ringo_table_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_table_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_table_test.dir/table/column_test.cc.o"
+  "CMakeFiles/ringo_table_test.dir/table/column_test.cc.o.d"
+  "CMakeFiles/ringo_table_test.dir/table/schema_test.cc.o"
+  "CMakeFiles/ringo_table_test.dir/table/schema_test.cc.o.d"
+  "CMakeFiles/ringo_table_test.dir/table/table_test.cc.o"
+  "CMakeFiles/ringo_table_test.dir/table/table_test.cc.o.d"
+  "ringo_table_test"
+  "ringo_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ringo_util_test.dir/util/logging_test.cc.o"
+  "CMakeFiles/ringo_util_test.dir/util/logging_test.cc.o.d"
+  "CMakeFiles/ringo_util_test.dir/util/parallel_test.cc.o"
+  "CMakeFiles/ringo_util_test.dir/util/parallel_test.cc.o.d"
+  "CMakeFiles/ringo_util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/ringo_util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/ringo_util_test.dir/util/status_test.cc.o"
+  "CMakeFiles/ringo_util_test.dir/util/status_test.cc.o.d"
+  "CMakeFiles/ringo_util_test.dir/util/string_util_test.cc.o"
+  "CMakeFiles/ringo_util_test.dir/util/string_util_test.cc.o.d"
+  "ringo_util_test"
+  "ringo_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ringo_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ringo_util_test "/root/repo/build/tests/ringo_util_test")
+set_tests_properties(ringo_util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;13;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_storage_test "/root/repo/build/tests/ringo_storage_test")
+set_tests_properties(ringo_storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;21;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_table_test "/root/repo/build/tests/ringo_table_test")
+set_tests_properties(ringo_table_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;27;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_table_ops_test "/root/repo/build/tests/ringo_table_ops_test")
+set_tests_properties(ringo_table_ops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;33;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_graph_test "/root/repo/build/tests/ringo_graph_test")
+set_tests_properties(ringo_graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;43;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_conversion_test "/root/repo/build/tests/ringo_conversion_test")
+set_tests_properties(ringo_conversion_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;50;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_algo_basic_test "/root/repo/build/tests/ringo_algo_basic_test")
+set_tests_properties(ringo_algo_basic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;54;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_algo_rank_test "/root/repo/build/tests/ringo_algo_rank_test")
+set_tests_properties(ringo_algo_rank_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;64;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_algo_struct_test "/root/repo/build/tests/ringo_algo_struct_test")
+set_tests_properties(ringo_algo_struct_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;71;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_gen_test "/root/repo/build/tests/ringo_gen_test")
+set_tests_properties(ringo_gen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;84;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_engine_test "/root/repo/build/tests/ringo_engine_test")
+set_tests_properties(ringo_engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;89;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ringo_paper_shapes_test "/root/repo/build/tests/ringo_paper_shapes_test")
+set_tests_properties(ringo_paper_shapes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;10;add_test;/root/repo/tests/CMakeLists.txt;93;ringo_add_test;/root/repo/tests/CMakeLists.txt;0;")
