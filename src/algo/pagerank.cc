@@ -47,18 +47,14 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
   const double d = config.damping;
   std::vector<double> pr(teleport), next(n);
   for (int iter = 0; iter < config.max_iters; ++iter) {
-    // Mass parked on dangling nodes teleports like everything else.
-    double dangling = 0.0;
-    if (parallel) {
-#pragma omp parallel for reduction(+ : dangling) schedule(static)
-      for (int64_t i = 0; i < n; ++i) {
-        if (inv_out_deg[i] == 0.0) dangling += pr[i];
-      }
-    } else {
-      for (int64_t i = 0; i < n; ++i) {
-        if (inv_out_deg[i] == 0.0) dangling += pr[i];
-      }
-    }
+    // Mass parked on dangling nodes teleports like everything else. The
+    // blocked sum keeps the result bit-identical across thread counts and
+    // between the sequential and parallel entry points (an `omp reduction`
+    // combines partials in team-size-dependent order).
+    const double dangling = DeterministicBlockSum(
+        0, n,
+        [&](int64_t i) { return inv_out_deg[i] == 0.0 ? pr[i] : 0.0; },
+        parallel);
 
     auto pull = [&](int64_t i) {
       double acc = 0.0;
@@ -74,13 +70,8 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
       for (int64_t i = 0; i < n; ++i) pull(i);
     }
 
-    double delta = 0.0;
-    if (parallel) {
-#pragma omp parallel for reduction(+ : delta) schedule(static)
-      for (int64_t i = 0; i < n; ++i) delta += std::abs(next[i] - pr[i]);
-    } else {
-      for (int64_t i = 0; i < n; ++i) delta += std::abs(next[i] - pr[i]);
-    }
+    const double delta = DeterministicBlockSum(
+        0, n, [&](int64_t i) { return std::abs(next[i] - pr[i]); }, parallel);
     pr.swap(next);
     if (config.tol > 0 && delta < config.tol) break;
   }

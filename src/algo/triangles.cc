@@ -59,22 +59,19 @@ int64_t SortedIntersectionSize(const std::vector<int64_t>& a,
 
 int64_t CountWithForward(const ForwardAdjacency& fa, bool parallel) {
   const int64_t n = fa.ni.size();
-  int64_t total = 0;
-  if (parallel) {
-#pragma omp parallel for reduction(+ : total) schedule(dynamic, 64)
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j : fa.fwd[i]) {
-        total += SortedIntersectionSize(fa.fwd[i], fa.fwd[j]);
-      }
-    }
-  } else {
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t j : fa.fwd[i]) {
-        total += SortedIntersectionSize(fa.fwd[i], fa.fwd[j]);
-      }
-    }
-  }
-  return total;
+  // Integer sums are order-insensitive, but the blocked form shares the
+  // TSan-visible fork/join fencing of ParallelFor instead of an opaque
+  // `omp reduction` combine.
+  return DeterministicBlockSum(
+      0, n,
+      [&](int64_t i) {
+        int64_t t = 0;
+        for (int64_t j : fa.fwd[i]) {
+          t += SortedIntersectionSize(fa.fwd[i], fa.fwd[j]);
+        }
+        return t;
+      },
+      parallel);
 }
 
 // Neighbors of u excluding self-loops, as sorted NodeId vector view.

@@ -1,15 +1,25 @@
 // ConcurrentInsertMap: a fixed-capacity, open-addressing, linear-probing
 // hash map supporting lock-free concurrent *insertions* (§2.5). Keys are
 // claimed with a compare-and-swap on the slot key; values are written by
-// the claiming thread. Lookups are wait-free.
+// the claiming thread. Lookups are wait-free against completed insertions.
 //
 // This mirrors the structure the paper builds graph node tables with: the
 // capacity is sized up-front (the sort-first conversion knows the exact
 // node count before it fills the table, §2.4), so no concurrent rehash is
 // needed.
 //
-// Restrictions: integral keys, one reserved key value (kEmptyKey) that may
-// never be inserted, no deletion, capacity fixed at construction.
+// Publication protocol (ThreadSanitizer-clean): an inserter CASes the slot
+// key from kEmptyKey to kBusyKey, writes the value while holding the claim,
+// then release-stores the real key. Readers acquire-load the key, so a
+// reader that observes the key also observes the value; a reader that
+// observes kBusyKey spins until the (tiny) publication window closes. The
+// earlier protocol CASed the final key directly, which let a concurrent
+// duplicate Insert/FindSlot return a slot whose value write was still in
+// flight — a data race on values_[slot].
+//
+// Restrictions: integral keys, two reserved key values (kEmptyKey and
+// kBusyKey) that may never be inserted, no deletion, capacity fixed at
+// construction.
 #ifndef RINGO_STORAGE_CONCURRENT_MAP_H_
 #define RINGO_STORAGE_CONCURRENT_MAP_H_
 
@@ -17,6 +27,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "storage/flat_hash_map.h"
@@ -29,6 +40,9 @@ class ConcurrentInsertMap {
  public:
   using Key = int64_t;
   static constexpr Key kEmptyKey = std::numeric_limits<Key>::min();
+  // Transient marker: slot claimed, value write in flight. Never visible to
+  // callers of KeyAt/SlotOccupied.
+  static constexpr Key kBusyKey = std::numeric_limits<Key>::min() + 1;
 
   // Capacity is sized to hold `max_elements` at a load factor <= 0.7.
   explicit ConcurrentInsertMap(int64_t max_elements) {
@@ -47,43 +61,50 @@ class ConcurrentInsertMap {
 
   // Inserts (key, value) if the key is absent. Returns {slot, inserted}.
   // When the key was already present the existing slot is returned and the
-  // value is left untouched. Safe to call concurrently from many threads.
+  // value is left untouched; the returned slot's value is safe to read even
+  // if the winning insert ran concurrently on another thread. Safe to call
+  // concurrently from many threads.
   std::pair<int64_t, bool> Insert(Key key, const V& value) {
     RINGO_DCHECK(key != kEmptyKey);
+    RINGO_DCHECK(key != kBusyKey);
     const int64_t mask = capacity_ - 1;
     int64_t i = static_cast<int64_t>(internal::MixHash(
                     static_cast<uint64_t>(key))) &
                 mask;
     while (true) {
       Key cur = keys_[i].load(std::memory_order_acquire);
-      if (cur == key) return {i, false};
       if (cur == kEmptyKey) {
         Key expected = kEmptyKey;
-        if (keys_[i].compare_exchange_strong(expected, key,
+        if (keys_[i].compare_exchange_strong(expected, kBusyKey,
                                              std::memory_order_acq_rel)) {
           values_[i] = value;
+          keys_[i].store(key, std::memory_order_release);
           const int64_t n = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
           RINGO_CHECK_LE(n, capacity_) << "ConcurrentInsertMap overfull";
           return {i, true};
         }
-        if (expected == key) return {i, false};
-        // Lost the race to a different key; keep probing from this slot.
-        continue;
+        // Lost the claim; re-examine what the winner is publishing.
+        cur = expected;
       }
+      cur = WaitWhileBusy(i, cur);
+      if (cur == key) return {i, false};
       i = (i + 1) & mask;
     }
   }
 
-  // Returns the slot index of `key`, or -1 if absent. Wait-free. NOTE: a
-  // concurrent Insert of the same key may not be visible yet; lookups are
-  // linearizable only against completed insertions.
+  // Returns the slot index of `key`, or -1 if absent. Wait-free against
+  // completed insertions; briefly spins if it lands on a slot whose insert
+  // is mid-publication. NOTE: a concurrent Insert of the same key may not
+  // be visible yet; lookups are linearizable only against completed
+  // insertions.
   int64_t FindSlot(Key key) const {
     const int64_t mask = capacity_ - 1;
     int64_t i = static_cast<int64_t>(internal::MixHash(
                     static_cast<uint64_t>(key))) &
                 mask;
     while (true) {
-      const Key cur = keys_[i].load(std::memory_order_acquire);
+      Key cur = keys_[i].load(std::memory_order_acquire);
+      cur = WaitWhileBusy(i, cur);
       if (cur == key) return i;
       if (cur == kEmptyKey) return -1;
       i = (i + 1) & mask;
@@ -95,12 +116,28 @@ class ConcurrentInsertMap {
   // Value access by slot index (as returned by Insert / FindSlot).
   V& ValueAt(int64_t slot) { return values_[slot]; }
   const V& ValueAt(int64_t slot) const { return values_[slot]; }
+  // Key at `slot`; slots mid-publication read as empty (the insert is not
+  // yet observable, matching FindSlot's linearizability contract).
   Key KeyAt(int64_t slot) const {
-    return keys_[slot].load(std::memory_order_acquire);
+    const Key k = keys_[slot].load(std::memory_order_acquire);
+    return k == kBusyKey ? kEmptyKey : k;
   }
   bool SlotOccupied(int64_t slot) const { return KeyAt(slot) != kEmptyKey; }
 
  private:
+  // If `cur` (the freshly loaded key of slot i) is the busy marker, spins
+  // until the publishing thread release-stores the real key. The window is
+  // a handful of instructions; yield so a preempted publisher can finish on
+  // oversubscribed machines.
+  Key WaitWhileBusy(int64_t i, Key cur) const {
+    int spins = 0;
+    while (cur == kBusyKey) {
+      if (++spins > 64) std::this_thread::yield();
+      cur = keys_[i].load(std::memory_order_acquire);
+    }
+    return cur;
+  }
+
   int64_t capacity_ = 0;
   std::unique_ptr<std::atomic<Key>[]> keys_;
   std::vector<V> values_;

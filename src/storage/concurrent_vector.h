@@ -6,6 +6,13 @@
 // Capacity is fixed at construction — the paper's conversion pipeline
 // computes exact sizes before filling (§2.4), so growth is never needed on
 // the hot path.
+//
+// Synchronization contract: PushBack/Claim may run concurrently with each
+// other. Reading an element (operator[], TakeVector) requires a
+// happens-before edge from the writing thread — a thread join or the end
+// of the OpenMP region that did the writes (ParallelFor's RegionFence
+// makes that edge visible to TSan). The atomic index counter alone does
+// not publish element data to concurrent readers.
 #ifndef RINGO_STORAGE_CONCURRENT_VECTOR_H_
 #define RINGO_STORAGE_CONCURRENT_VECTOR_H_
 

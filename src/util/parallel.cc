@@ -37,34 +37,65 @@ int64_t ExclusivePrefixSum(const int64_t* in, int64_t* out, int64_t n) {
 
   const std::vector<int64_t> bounds = PartitionRange(n, threads);
   std::vector<int64_t> part_totals(threads, 0);
+  const int64_t* const bounds_data = bounds.data();
+  int64_t* const part_totals_data = part_totals.data();
+  // The fence makes the inter-pass ordering (libgomp barriers, invisible to
+  // TSan) explicit; the ignore windows cover only the reads of the
+  // compiler-generated argument block — see the header comment in parallel.h.
+  internal::RegionFence fence;
+  internal::RegionFence* const fence_ptr = &fence;
+  fence.Publish();
 #pragma omp parallel num_threads(threads)
   {
+    RINGO_TSAN_IGNORE_READS_BEGIN();
+    const int64_t* const rb = internal::HandoffRead(bounds_data);
+    int64_t* const rp = internal::HandoffRead(part_totals_data);
+    const int64_t* const rin = internal::HandoffRead(in);
+    int64_t* const rout = internal::HandoffRead(out);
+    const int rthreads = internal::HandoffRead(threads);
+    internal::RegionFence* const fc = internal::HandoffRead(fence_ptr);
+    RINGO_TSAN_IGNORE_READS_END();
+    fc->Observe();
     const int t = omp_get_thread_num();
-    if (t < threads) {
+    if (t < rthreads) {
       int64_t acc = 0;
-      for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-        const int64_t v = in[i];
-        out[i] = acc;
+      for (int64_t i = rb[t]; i < rb[t + 1]; ++i) {
+        const int64_t v = rin[i];
+        rout[i] = acc;
         acc += v;
       }
-      part_totals[t] = acc;
+      rp[t] = acc;
     }
+    fc->Publish();
   }
+  fence.Observe();
   std::vector<int64_t> offsets(threads, 0);
   int64_t total = 0;
   for (int t = 0; t < threads; ++t) {
     offsets[t] = total;
     total += part_totals[t];
   }
+  const int64_t* const offsets_data = offsets.data();
+  fence.Publish();
 #pragma omp parallel num_threads(threads)
   {
+    RINGO_TSAN_IGNORE_READS_BEGIN();
+    const int64_t* const rb = internal::HandoffRead(bounds_data);
+    const int64_t* const roff = internal::HandoffRead(offsets_data);
+    int64_t* const rout = internal::HandoffRead(out);
+    const int rthreads = internal::HandoffRead(threads);
+    internal::RegionFence* const fc = internal::HandoffRead(fence_ptr);
+    RINGO_TSAN_IGNORE_READS_END();
+    fc->Observe();
     const int t = omp_get_thread_num();
-    if (t < threads && offsets[t] != 0) {
-      for (int64_t i = bounds[t]; i < bounds[t + 1]; ++i) {
-        out[i] += offsets[t];
+    if (t < rthreads && roff[t] != 0) {
+      for (int64_t i = rb[t]; i < rb[t + 1]; ++i) {
+        rout[i] += roff[t];
       }
     }
+    fc->Publish();
   }
+  fence.Observe();
   return total;
 }
 

@@ -1,0 +1,132 @@
+// Property test: TableToGraph → GraphToEdgeTable round-trips preserve the
+// edge multiset. The graph collapses duplicate rows (simple-graph
+// semantics), so the invariant is: the regenerated table's rows equal the
+// *deduplicated* multiset of input (src, dst) pairs — and a second
+// conversion of the regenerated table reproduces the graph exactly.
+// Exercised for int key columns and for string key columns (which travel
+// through the shared StringPool as interned ids).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/conversion.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using EdgePair = std::pair<int64_t, int64_t>;
+
+std::multiset<EdgePair> TableEdgeMultiset(const Table& t, int src_ci,
+                                          int dst_ci) {
+  std::multiset<EdgePair> out;
+  for (int64_t r = 0; r < t.NumRows(); ++r) {
+    out.insert({t.column(src_ci).GetInt(r), t.column(dst_ci).GetInt(r)});
+  }
+  return out;
+}
+
+TEST(RoundTripProperty, IntKeyColumnsPreserveEdgeMultiset) {
+  for (const uint64_t seed : {1u, 17u, 5000u, 424242u}) {
+    Rng rng(seed);
+    const int64_t rows = 200 + static_cast<int64_t>(rng.UniformInt(0, 800));
+    const int64_t node_space = 1 + rng.UniformInt(1, 120);
+    std::vector<std::vector<int64_t>> data;
+    for (int64_t i = 0; i < rows; ++i) {
+      data.push_back({rng.UniformInt(0, node_space - 1),
+                      rng.UniformInt(0, node_space - 1)});
+    }
+    const TablePtr t = testing::MakeIntTable({"SrcId", "DstId"}, data);
+
+    const DirectedGraph g = TableToGraph(*t, "SrcId", "DstId").ValueOrDie();
+    const TablePtr back = GraphToEdgeTable(g, t->pool(), "SrcId", "DstId");
+
+    // Deduplicated input multiset == regenerated table multiset (which is
+    // duplicate-free by construction).
+    std::set<EdgePair> expected;
+    for (const auto& row : data) expected.insert({row[0], row[1]});
+    const std::multiset<EdgePair> got = TableEdgeMultiset(*back, 0, 1);
+    ASSERT_EQ(got.size(), expected.size()) << "seed=" << seed;
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+        << "seed=" << seed;
+
+    // Graph -> table -> graph is the identity on graphs.
+    const DirectedGraph g2 =
+        TableToGraph(*back, "SrcId", "DstId").ValueOrDie();
+    ASSERT_TRUE(g2.SameStructure(g)) << "seed=" << seed;
+    ASSERT_EQ(g2.NumEdges(), static_cast<int64_t>(expected.size()));
+  }
+}
+
+TEST(RoundTripProperty, DuplicateFreeInputRoundTripsExactly) {
+  // With distinct input rows, the multiset is preserved verbatim (no
+  // collapsing), including self-loops.
+  const DirectedGraph g =
+      testing::RandomDirected(60, 500, 904, /*self_loops=*/true);
+  const TablePtr t = GraphToEdgeTable(g, nullptr, "A", "B");
+  const DirectedGraph g2 = TableToGraph(*t, "A", "B").ValueOrDie();
+  EXPECT_TRUE(g2.SameStructure(g));
+  const TablePtr t2 = GraphToEdgeTable(g2, t->pool(), "A", "B");
+  EXPECT_EQ(TableEdgeMultiset(*t, 0, 1), TableEdgeMultiset(*t2, 0, 1));
+}
+
+TEST(RoundTripProperty, StringKeyColumnsPreserveEdgeMultiset) {
+  for (const uint64_t seed : {3u, 99u, 31337u}) {
+    Rng rng(seed);
+    const int64_t rows = 100 + rng.UniformInt(0, 400);
+    const int64_t name_space = 1 + rng.UniformInt(1, 60);
+
+    Schema schema;
+    schema.AddColumn("SrcName", ColumnType::kString).Abort("roundtrip");
+    schema.AddColumn("DstName", ColumnType::kString).Abort("roundtrip");
+    TablePtr t = Table::Create(std::move(schema));
+    std::vector<std::pair<std::string, std::string>> data;
+    for (int64_t i = 0; i < rows; ++i) {
+      std::string u = "user" + std::to_string(rng.UniformInt(0, name_space - 1));
+      std::string v = "user" + std::to_string(rng.UniformInt(0, name_space - 1));
+      ASSERT_TRUE(t->AppendRow({u, v}).ok());
+      data.push_back({std::move(u), std::move(v)});
+    }
+
+    // String node ids travel as interned pool ids.
+    const DirectedGraph g =
+        TableToGraph(*t, "SrcName", "DstName").ValueOrDie();
+    const TablePtr back = GraphToEdgeTable(g, t->pool(), "SrcId", "DstId");
+
+    // Expected: dedup'd multiset of (pool id, pool id) pairs, which we can
+    // recover from the input table's interned columns.
+    std::set<EdgePair> expected;
+    for (int64_t r = 0; r < t->NumRows(); ++r) {
+      expected.insert({static_cast<int64_t>(t->column(0).GetStr(r)),
+                       static_cast<int64_t>(t->column(1).GetStr(r))});
+    }
+    const std::multiset<EdgePair> got = TableEdgeMultiset(*back, 0, 1);
+    ASSERT_EQ(got.size(), expected.size()) << "seed=" << seed;
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+        << "seed=" << seed;
+
+    // The shared pool maps ids back to the original strings, so the edge
+    // multiset over *names* is preserved too.
+    const std::shared_ptr<StringPool>& pool = back->pool();
+    std::multiset<std::pair<std::string, std::string>> name_edges;
+    for (const EdgePair& e : got) {
+      name_edges.insert(
+          {std::string(pool->Get(static_cast<StringPool::Id>(e.first))),
+           std::string(pool->Get(static_cast<StringPool::Id>(e.second)))});
+    }
+    std::set<std::pair<std::string, std::string>> expected_names(
+        data.begin(), data.end());
+    ASSERT_TRUE(std::equal(expected_names.begin(), expected_names.end(),
+                           name_edges.begin()))
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,92 @@
+// Stress: parallel graph algorithms across every stress thread count.
+// PageRank's blocked reductions make the parallel path bit-identical to
+// the sequential one, so these tests assert *exact* equality of doubles —
+// any reintroduction of a team-size-dependent reduction fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/connectivity.h"
+#include "algo/pagerank.h"
+#include "algo/triangles.h"
+#include "stress/stress_support.h"
+#include "test_support.h"
+#include "util/parallel.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+TEST(PageRankStress, ParallelIsBitIdenticalToSequential) {
+  const DirectedGraph g = testing::RandomDirected(8000, 60000, 0xFACE);
+  PageRankConfig config;
+  config.max_iters = 30;
+  config.tol = 0.0;  // Fixed iteration count: no convergence-path variance.
+  ScopedNumThreads seq(1);
+  const NodeValues reference = PageRank(g, config).ValueOrDie();
+  ASSERT_EQ(static_cast<int64_t>(reference.size()), g.NumNodes());
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const NodeValues got = ParallelPageRank(g, config).ValueOrDie();
+    ASSERT_EQ(got.size(), reference.size()) << "tc=" << tc;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].first, reference[i].first) << "tc=" << tc;
+      // Exact double equality, not a tolerance.
+      ASSERT_EQ(got[i].second, reference[i].second)
+          << "tc=" << tc << " node=" << got[i].first;
+    }
+  }
+}
+
+TEST(ConnectivityStress, ComponentLabelsAreThreadCountInvariant) {
+  const DirectedGraph g = testing::RandomDirected(6000, 9000, 0xCAB);
+  ScopedNumThreads seq(1);
+  const ComponentLabels reference = WeaklyConnectedComponents(g);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(WeaklyConnectedComponents(g), reference) << "tc=" << tc;
+    ASSERT_EQ(StronglyConnectedComponents(g),
+              StronglyConnectedComponents(g))
+        << "tc=" << tc;
+  }
+}
+
+TEST(ConnectivityStress, MatchesBruteForceReachabilityOnSmallGraph) {
+  const UndirectedGraph g = testing::RandomUndirected(60, 70, 0x60D);
+  const auto dist = testing::BruteAllPairs(g);
+  const ComponentLabels labels = ConnectedComponents(g);
+  constexpr int64_t kInf = INT64_MAX / 4;
+  ASSERT_EQ(static_cast<int64_t>(labels.size()), g.NumNodes());
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const ComponentLabels got = ConnectedComponents(g);
+    ASSERT_EQ(got, labels) << "tc=" << tc;
+    // Same component <=> finite brute-force distance.
+    for (size_t i = 0; i < got.size(); ++i) {
+      for (size_t j = 0; j < got.size(); ++j) {
+        EXPECT_EQ(got[i].second == got[j].second, dist[i][j] < kInf)
+            << "nodes " << got[i].first << "," << got[j].first;
+      }
+    }
+  }
+}
+
+TEST(TriangleStress, ParallelCountMatchesSequentialAndBrute) {
+  const UndirectedGraph small = testing::RandomUndirected(120, 400, 0x3A3);
+  const int64_t brute = testing::BruteTriangles(small);
+  const UndirectedGraph big = testing::RandomUndirected(4000, 30000, 0x7A7);
+  ScopedNumThreads seq(1);
+  const int64_t big_reference = TriangleCount(big);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    EXPECT_EQ(ParallelTriangleCount(small), brute) << "tc=" << tc;
+    EXPECT_EQ(TriangleCount(small), brute) << "tc=" << tc;
+    EXPECT_EQ(ParallelTriangleCount(big), big_reference) << "tc=" << tc;
+  }
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,152 @@
+// Stress: ConcurrentInsertMap and ConcurrentVector hammered from OpenMP
+// teams of every stress thread count, with seeded workloads whose final
+// state is a pure function of the seed — so every thread count must
+// produce identical results. Run under -DRINGO_SANITIZE=thread this is the
+// race-detection gate for the lock-free storage layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/concurrent_map.h"
+#include "storage/concurrent_vector.h"
+#include "stress/stress_support.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+// Deterministic per-op key stream: op i targets key derived from (seed, i).
+int64_t KeyForOp(uint64_t seed, int64_t i, int64_t key_space) {
+  SplitMix64 mix(seed ^ static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL);
+  return static_cast<int64_t>(mix() % static_cast<uint64_t>(key_space));
+}
+
+int64_t ValueForKey(int64_t key) { return key * 31 + 7; }
+
+// Sorted (key, value) snapshot of a map.
+std::vector<std::pair<int64_t, int64_t>> Snapshot(
+    const ConcurrentInsertMap<int64_t>& m) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int64_t s = 0; s < m.capacity(); ++s) {
+    if (m.SlotOccupied(s)) out.push_back({m.KeyAt(s), m.ValueAt(s)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ConcurrentMapStress, ContendedInsertsAreThreadCountInvariant) {
+  constexpr int64_t kOps = 200000;
+  constexpr int64_t kKeySpace = 512;  // Heavy contention: ~390 ops per key.
+  constexpr uint64_t kSeed = 20260805;
+
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> results;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ConcurrentInsertMap<int64_t> m(kKeySpace);
+    ParallelFor(0, kOps, [&](int64_t i) {
+      const int64_t key = KeyForOp(kSeed, i, kKeySpace);
+      const auto [slot, inserted] = m.Insert(key, ValueForKey(key));
+      // Read-after-insert on the duplicate path: exercises the busy-key
+      // publication protocol (the value must be fully visible even when
+      // the winning insert ran concurrently on another thread).
+      ASSERT_EQ(m.ValueAt(slot), ValueForKey(key));
+      ASSERT_EQ(m.KeyAt(slot), key);
+    });
+    EXPECT_EQ(m.size(), kKeySpace) << "tc=" << tc;
+    results.push_back(Snapshot(m));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "thread count variant " << i;
+  }
+}
+
+TEST(ConcurrentMapStress, DisjointInsertsKeepEveryEntry) {
+  constexpr int64_t kN = 100000;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ConcurrentInsertMap<int64_t> m(kN);
+    ParallelFor(0, kN, [&](int64_t i) {
+      const auto [slot, inserted] = m.Insert(i, ValueForKey(i));
+      ASSERT_TRUE(inserted);
+      ASSERT_EQ(m.ValueAt(slot), ValueForKey(i));
+    });
+    ASSERT_EQ(m.size(), kN) << "tc=" << tc;
+    // Wait-free lookups see every completed insertion.
+    ParallelFor(0, kN, [&](int64_t i) {
+      const int64_t slot = m.FindSlot(i);
+      ASSERT_GE(slot, 0);
+      ASSERT_EQ(m.ValueAt(slot), ValueForKey(i));
+    });
+    EXPECT_EQ(m.FindSlot(kN + 1), -1);
+  }
+}
+
+TEST(ConcurrentMapStress, ConcurrentLookupsDuringInserts) {
+  // Writers insert even keys while readers probe the full key space; a
+  // reader may or may not see an in-flight insert, but anything it finds
+  // must be fully published.
+  constexpr int64_t kKeys = 4096;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ConcurrentInsertMap<int64_t> m(kKeys);
+    ParallelFor(0, kKeys * 4, [&](int64_t i) {
+      if ((i & 3) == 0) {
+        const int64_t key = (i / 4) * 2 % kKeys;
+        m.Insert(key, ValueForKey(key));
+      } else {
+        const int64_t probe = i % kKeys;
+        const int64_t slot = m.FindSlot(probe);
+        if (slot >= 0) {
+          ASSERT_EQ(m.KeyAt(slot), probe);
+          ASSERT_EQ(m.ValueAt(slot), ValueForKey(probe));
+        }
+      }
+    });
+  }
+}
+
+TEST(ConcurrentVectorStress, PushBackKeepsEveryElementAtAllThreadCounts) {
+  constexpr int64_t kN = 200000;
+  std::vector<std::vector<int64_t>> results;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ConcurrentVector<int64_t> v(kN);
+    ParallelFor(0, kN, [&](int64_t i) { v.PushBack(i * 3); });
+    ASSERT_EQ(v.size(), kN) << "tc=" << tc;
+    std::vector<int64_t> got = v.TakeVector();
+    // Claim order is nondeterministic; the multiset of elements is not.
+    std::sort(got.begin(), got.end());
+    results.push_back(std::move(got));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "thread count variant " << i;
+  }
+  for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(results[0][i], i * 3);
+}
+
+TEST(ConcurrentVectorStress, BulkClaimsWriteDisjointRanges) {
+  constexpr int64_t kClaims = 20000;
+  constexpr int64_t kPer = 5;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ConcurrentVector<int64_t> v(kClaims * kPer);
+    ParallelFor(0, kClaims, [&](int64_t i) {
+      const int64_t base = v.Claim(kPer);
+      for (int64_t k = 0; k < kPer; ++k) v[base + k] = i * kPer + k;
+    });
+    ASSERT_EQ(v.size(), kClaims * kPer);
+    std::vector<int64_t> got = v.TakeVector();
+    std::sort(got.begin(), got.end());
+    for (int64_t i = 0; i < kClaims * kPer; ++i) ASSERT_EQ(got[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace ringo

@@ -1,0 +1,153 @@
+// Stress: ParallelFor / ParallelForDynamic / ParallelSort /
+// ExclusivePrefixSum / DeterministicBlockSum across every stress thread
+// count, asserting bit-identical agreement with sequential references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "stress/stress_support.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+std::vector<int64_t> RandomInts(int64_t n, uint64_t seed, int64_t modulo) {
+  SplitMix64 mix(seed);
+  std::vector<int64_t> v(n);
+  for (int64_t i = 0; i < n; ++i) {
+    v[i] = static_cast<int64_t>(mix() % static_cast<uint64_t>(modulo));
+  }
+  return v;
+}
+
+TEST(ParallelForStress, EveryIndexWrittenExactlyOnce) {
+  constexpr int64_t kN = 300000;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    std::vector<int64_t> out(kN, -1);
+    ParallelFor(0, kN, [&](int64_t i) { out[i] = i * 2; });
+    for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(out[i], i * 2) << "tc=" << tc;
+  }
+}
+
+TEST(ParallelForStress, DynamicScheduleWithSkewedWork) {
+  constexpr int64_t kN = 20000;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    std::vector<int64_t> out(kN, 0);
+    ParallelForDynamic(
+        0, kN,
+        [&](int64_t i) {
+          // Skew: item cost grows with index, like hub nodes in a
+          // power-law graph.
+          int64_t acc = 0;
+          for (int64_t k = 0; k <= i % 512; ++k) acc += k;
+          out[i] = acc + i;
+        },
+        /*chunk=*/16);
+    for (int64_t i = 0; i < kN; ++i) {
+      const int64_t c = i % 512;
+      ASSERT_EQ(out[i], c * (c + 1) / 2 + i) << "tc=" << tc;
+    }
+  }
+}
+
+TEST(ParallelSortStress, MatchesStdSortBitForBit) {
+  constexpr int64_t kN = 250000;  // Above the 1<<14 sequential cutoff.
+  const std::vector<int64_t> input = RandomInts(kN, 0xDECAF, 5000);
+  std::vector<int64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    std::vector<int64_t> v = input;
+    ParallelSort(v.begin(), v.end());
+    ASSERT_EQ(v, expected) << "tc=" << tc;
+  }
+}
+
+TEST(ParallelSortStress, PairsWithTotalOrderAreDeterministic) {
+  constexpr int64_t kN = 200000;
+  SplitMix64 mix(0xFEED);
+  std::vector<std::pair<int64_t, int64_t>> input(kN);
+  for (auto& p : input) {
+    // Many duplicate first components to stress merge boundaries; the
+    // second component makes the order total, hence deterministic.
+    p = {static_cast<int64_t>(mix() % 300), static_cast<int64_t>(mix() % 1000)};
+  }
+  std::vector<std::pair<int64_t, int64_t>> expected = input;
+  std::sort(expected.begin(), expected.end());
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    auto v = input;
+    ParallelSort(v.begin(), v.end());
+    ASSERT_EQ(v, expected) << "tc=" << tc;
+  }
+}
+
+TEST(PrefixSumStress, MatchesSequentialReferenceExactly) {
+  for (int64_t n : {int64_t{0}, int64_t{1}, int64_t{1000}, int64_t{120000}}) {
+    const std::vector<int64_t> input = RandomInts(n, 0xABBA ^ n, 1000);
+    // Sequential reference.
+    std::vector<int64_t> expected(n);
+    int64_t acc = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      expected[i] = acc;
+      acc += input[i];
+    }
+    for (int tc : StressThreadCounts()) {
+      ScopedNumThreads threads(tc);
+      std::vector<int64_t> out(input);  // Aliased in-place form.
+      const int64_t total = ExclusivePrefixSum(out);
+      EXPECT_EQ(total, acc) << "n=" << n << " tc=" << tc;
+      ASSERT_EQ(out, expected) << "n=" << n << " tc=" << tc;
+    }
+  }
+}
+
+TEST(BlockSumStress, FloatingPointSumIsThreadCountInvariant) {
+  constexpr int64_t kN = 150000;
+  SplitMix64 mix(0xB10C);
+  std::vector<double> vals(kN);
+  for (double& d : vals) {
+    d = static_cast<double>(mix() % (1 << 20)) * 1e-7 - 0.05;
+  }
+  // The parallel=false path must agree bit-for-bit too (same blocked
+  // association), which is what makes sequential/parallel PageRank match.
+  const double reference =
+      DeterministicBlockSum(0, kN, [&](int64_t i) { return vals[i]; },
+                            /*parallel=*/false);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const double got =
+        DeterministicBlockSum(0, kN, [&](int64_t i) { return vals[i]; });
+    ASSERT_EQ(got, reference) << "tc=" << tc;  // Exact, not approximate.
+  }
+}
+
+TEST(PartitionRangeStress, CoversRangeWithNearEqualParts) {
+  for (int parts : {1, 2, 3, 7, 64}) {
+    for (int64_t n : {int64_t{0}, int64_t{5}, int64_t{1000}, int64_t{12345}}) {
+      const std::vector<int64_t> b = PartitionRange(n, parts);
+      ASSERT_EQ(static_cast<int>(b.size()), parts + 1);
+      EXPECT_EQ(b.front(), 0);
+      EXPECT_EQ(b.back(), n);
+      for (size_t i = 1; i < b.size(); ++i) {
+        const int64_t len = b[i] - b[i - 1];
+        EXPECT_GE(len, n / parts);
+        EXPECT_LE(len, n / parts + 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringo

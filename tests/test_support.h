@@ -16,31 +16,41 @@
 namespace ringo {
 namespace testing {
 
-// Random simple directed graph: n nodes (ids 0..n-1 all present), ~m edges
-// sampled uniformly (self_loops optional).
+// Random simple directed graph: n nodes (ids 0..n-1 all present) and
+// exactly m distinct edges sampled uniformly (self_loops optional).
+// Samples that duplicate an existing edge or form a disallowed self-loop
+// are retried, so NumEdges() == m; m is clamped to the densest achievable
+// graph. Deterministic for a given seed.
 inline DirectedGraph RandomDirected(int64_t n, int64_t m, uint64_t seed,
                                     bool self_loops = false) {
   DirectedGraph g;
   for (NodeId i = 0; i < n; ++i) g.AddNode(i);
   Rng rng(seed);
-  for (int64_t e = 0; e < m; ++e) {
+  const int64_t max_m = n * (n - 1) + (self_loops ? n : 0);
+  m = std::min(m, max_m);
+  int64_t added = 0;
+  while (added < m) {
     const NodeId u = rng.UniformInt(0, n - 1);
     const NodeId v = rng.UniformInt(0, n - 1);
     if (u == v && !self_loops) continue;
-    g.AddEdge(u, v);
+    if (g.AddEdge(u, v)) ++added;
   }
   return g;
 }
 
+// Random simple undirected graph with exactly m distinct edges (no
+// self-loops); duplicates are retried as above.
 inline UndirectedGraph RandomUndirected(int64_t n, int64_t m, uint64_t seed) {
   UndirectedGraph g;
   for (NodeId i = 0; i < n; ++i) g.AddNode(i);
   Rng rng(seed);
-  for (int64_t e = 0; e < m; ++e) {
+  m = std::min(m, n * (n - 1) / 2);
+  int64_t added = 0;
+  while (added < m) {
     const NodeId u = rng.UniformInt(0, n - 1);
     const NodeId v = rng.UniformInt(0, n - 1);
     if (u == v) continue;
-    g.AddEdge(u, v);
+    if (g.AddEdge(u, v)) ++added;
   }
   return g;
 }
