@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the sort-sensitive benchmark binaries with JSON output, writing
+# BENCH_conversions.json and BENCH_table_ops.json at the repo root — the
+# before/after artifacts for sort-kernel and join changes (the table→graph
+# rate in BENCH_conversions.json is the acceptance gate for radix-sort
+# work; see DESIGN.md "Sort kernels").
+#
+# Usage:
+#   scripts/run_bench.sh [scale]
+#
+# `scale` multiplies the stand-in dataset sizes (default 0.1, like
+# run_all_experiments.sh; CI smoke uses 0.01).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.1}"
+export RINGO_BENCH_SCALE="$SCALE"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -x "$BUILD_DIR/bench/bench_table5_conversions" ]; then
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j
+fi
+
+echo "== bench_table5_conversions (RINGO_BENCH_SCALE=$SCALE) =="
+"$BUILD_DIR/bench/bench_table5_conversions" \
+  --benchmark_format=json | tee BENCH_conversions.json >/dev/null
+
+echo "== bench_table4_table_ops (RINGO_BENCH_SCALE=$SCALE) =="
+"$BUILD_DIR/bench/bench_table4_table_ops" \
+  --benchmark_format=json | tee BENCH_table_ops.json >/dev/null
+
+echo "done: BENCH_conversions.json BENCH_table_ops.json"

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "util/parallel.h"
+#include "util/radix_sort.h"
 
 namespace ringo {
 
@@ -46,8 +47,16 @@ struct SortedPairs {
       fwd[i] = {src[i], dst[i]};
       rev[i] = {dst[i], src[i]};
     });
-    ParallelSort(fwd.begin(), fwd.end());
-    ParallelSort(rev.begin(), rev.end());
+    // Edge = pair<int64, int64>: the radix kernel sorts the packed 128-bit
+    // (src, dst) keys directly — the hot half of the sort-first conversion
+    // (§2.4). Both kernels yield the identical (total-order) result.
+    if (radix::Enabled()) {
+      RadixSortI64Pairs(fwd.data(), n);
+      RadixSortI64Pairs(rev.data(), n);
+    } else {
+      ParallelSort(fwd.begin(), fwd.end());
+      ParallelSort(rev.begin(), rev.end());
+    }
     // Distinct nodes = union of the two sorted first-components.
     std::vector<NodeId> a, b;
     a.reserve(n);
@@ -195,13 +204,37 @@ Result<WeightedGraphResult> TableToWeightedGraph(const Table& t,
   RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
   RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
   out.weights.Reserve(out.graph.NumEdges());
-  for (int64_t i = 0; i < t.NumRows(); ++i) {
-    const double w = wc.type() == ColumnType::kInt
-                         ? static_cast<double>(wc.GetInt(i))
-                         : wc.GetFloat(i);
-    // Duplicate rows accumulate onto the single collapsed edge.
-    out.weights.Set(src[i], dst[i],
-                    out.weights.Get(src[i], dst[i], 0.0) + w);
+  const int64_t n = t.NumRows();
+  auto weight_at = [&](int64_t i) {
+    return wc.type() == ColumnType::kInt ? static_cast<double>(wc.GetInt(i))
+                                         : wc.GetFloat(i);
+  };
+  if (radix::Enabled()) {
+    // Sort (src, dst, row) records and accumulate each run. Stability keeps
+    // rows of one edge in ascending row order, so the per-edge accumulation
+    // order — hence the floating-point sum — is bit-identical to the
+    // sequential row-order loop below.
+    std::vector<KeyRow2> recs(n);
+    ParallelFor(0, n, [&](int64_t i) {
+      recs[i] = {radix::Int64Key(src[i]), radix::Int64Key(dst[i]), i};
+    });
+    RadixSortKeyRows2(recs.data(), n);
+    for (int64_t i = 0; i < n;) {
+      int64_t j = i;
+      double acc = 0.0;
+      while (j < n && recs[j].hi == recs[i].hi && recs[j].lo == recs[i].lo) {
+        acc += weight_at(recs[j].row);
+        ++j;
+      }
+      // Duplicate rows accumulate onto the single collapsed edge.
+      out.weights.Set(src[recs[i].row], dst[recs[i].row], acc);
+      i = j;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      out.weights.Set(src[i], dst[i],
+                      out.weights.Get(src[i], dst[i], 0.0) + weight_at(i));
+    }
   }
   return out;
 }
@@ -231,7 +264,11 @@ TablePtr GraphToEdgeTable(const DirectedGraph& g,
   // Partition nodes (ascending id) and pre-compute each node's slice of the
   // output table; threads then write disjoint ranges.
   std::vector<NodeId> ids = g.NodeIds();
-  ParallelSort(ids.begin(), ids.end());
+  if (radix::Enabled()) {
+    RadixSortI64(ids);
+  } else {
+    ParallelSort(ids.begin(), ids.end());
+  }
   const int64_t nn = static_cast<int64_t>(ids.size());
   std::vector<int64_t> offsets(nn + 1, 0);
   ParallelFor(0, nn, [&](int64_t i) {
@@ -267,7 +304,11 @@ TablePtr GraphToNodeTable(const DirectedGraph& g,
   TablePtr out = Table::Create(std::move(schema), std::move(pool));
 
   std::vector<NodeId> ids = g.NodeIds();
-  ParallelSort(ids.begin(), ids.end());
+  if (radix::Enabled()) {
+    RadixSortI64(ids);
+  } else {
+    ParallelSort(ids.begin(), ids.end());
+  }
   const int64_t nn = static_cast<int64_t>(ids.size());
   Column& c_id = out->mutable_column(0);
   Column& c_in = out->mutable_column(1);

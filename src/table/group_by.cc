@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "table/key_normalize.h"
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "util/parallel.h"
@@ -15,14 +16,24 @@ Result<int64_t> Table::GroupIndex(const std::vector<std::string>& group_cols,
                                   std::vector<int64_t>* out) const {
   std::vector<int> idx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, group_cols, &idx));
-  RowComparator cmp(this, this, idx, idx);
 
-  std::vector<int64_t> perm(num_rows_);
-  std::iota(perm.begin(), perm.end(), 0);
-  ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
-    const int c = cmp.Compare(a, b);
-    return c != 0 ? c < 0 : a < b;
-  });
+  std::vector<int64_t> perm;
+  std::vector<uint8_t> new_run;
+  // Radix path: sort normalized (key, row) pairs and read run boundaries
+  // off the keys; comparison fallback for 3+ group columns.
+  if (!internal::SortedPermByKeys(*this, idx, {}, &perm, &new_run)) {
+    RowComparator cmp(this, this, idx, idx);
+    perm.resize(num_rows_);
+    std::iota(perm.begin(), perm.end(), 0);
+    ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+      const int c = cmp.Compare(a, b);
+      return c != 0 ? c < 0 : a < b;
+    });
+    new_run.assign(num_rows_, 0);
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      new_run[i] = (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) ? 1 : 0;
+    }
+  }
 
   // Runs of equal keys → provisional group ids in sorted order.
   std::vector<int64_t> run_id(num_rows_);
@@ -30,7 +41,7 @@ Result<int64_t> Table::GroupIndex(const std::vector<std::string>& group_cols,
                                    // (which is also its smallest position,
                                    // thanks to the position tiebreak).
   for (int64_t i = 0; i < num_rows_; ++i) {
-    if (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) {
+    if (new_run[i]) {
       run_first.push_back(perm[i]);
     }
     run_id[perm[i]] = static_cast<int64_t>(run_first.size()) - 1;

@@ -134,15 +134,23 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
   // Exact verification for composite keys (hash equality is not enough).
   const RowComparator verify(&left, &right, lci, rci);
 
-  // Build a chained hash table over right rows; inserting in reverse row
-  // order makes every chain come out ascending when walked from its head.
+  // Build-side keys are extracted in parallel up front; the chained hash
+  // table is then pre-sized for the row count (power-of-two buckets, one
+  // reservation, no growth rehashes) and filled sequentially. Inserting in
+  // reverse row order makes every chain come out ascending when walked
+  // from its head.
   const int64_t nr = right.NumRows();
-  FlatHashMap<uint64_t, int64_t> heads(nr);
+  std::vector<uint64_t> rkey(nr);
+  std::vector<uint8_t> rkey_ok(nr);
+  ParallelFor(0, nr, [&](int64_t r) {
+    rkey_ok[r] = CompositeKey(rkeys, r, &rkey[r]) ? 1 : 0;
+  });
+  FlatHashMap<uint64_t, int64_t> heads;
+  heads.Reserve(nr);
   std::vector<int64_t> next(nr, -1);
   for (int64_t r = nr - 1; r >= 0; --r) {
-    uint64_t k = 0;
-    if (!CompositeKey(rkeys, r, &k)) continue;
-    auto [slot, inserted] = heads.Insert(k, r);
+    if (!rkey_ok[r]) continue;
+    auto [slot, inserted] = heads.Insert(rkey[r], r);
     if (!inserted) {
       next[r] = *slot;
       *slot = r;

@@ -5,6 +5,7 @@
 // posts in a thread.
 #include <numeric>
 
+#include "table/key_normalize.h"
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "table/table_build.h"
@@ -22,24 +23,35 @@ Result<TablePtr> Table::NextK(const Table& t, std::string_view group_col,
   RINGO_ASSIGN_OR_RETURN(const int oci, t.FindColumn(order_col));
 
   // Sort rows by (group, order, position) — the position tiebreak keeps
-  // ties deterministic and respects input order.
+  // ties deterministic and respects input order. The radix path sorts
+  // normalized (group, order, row) records and reads the group boundaries
+  // off the group keys (run_prefix_cols = 1).
   const std::vector<int> cols{gci, oci};
-  RowComparator cmp(&t, &t, cols, cols);
-  std::vector<int64_t> perm(t.NumRows());
-  std::iota(perm.begin(), perm.end(), 0);
-  ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
-    const int c = cmp.Compare(a, b);
-    return c != 0 ? c < 0 : a < b;
-  });
-
-  // Group boundaries = runs of equal group column.
-  const std::vector<int> gcols{gci};
-  RowComparator gcmp(&t, &t, gcols, gcols);
-  std::vector<int64_t> pred_rows, succ_rows;
   const int64_t n = t.NumRows();
+  std::vector<int64_t> perm;
+  std::vector<uint8_t> new_group;
+  if (!internal::SortedPermByKeys(t, cols, {}, &perm, &new_group,
+                                  /*run_prefix_cols=*/1)) {
+    RowComparator cmp(&t, &t, cols, cols);
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+      const int c = cmp.Compare(a, b);
+      return c != 0 ? c < 0 : a < b;
+    });
+    // Group boundaries = runs of equal group column.
+    const std::vector<int> gcols{gci};
+    RowComparator gcmp(&t, &t, gcols, gcols);
+    new_group.assign(n, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      new_group[i] = (i == 0 || !gcmp.Equal(perm[i - 1], perm[i])) ? 1 : 0;
+    }
+  }
+
+  std::vector<int64_t> pred_rows, succ_rows;
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = i + 1; j <= i + k && j < n; ++j) {
-      if (!gcmp.Equal(perm[i], perm[j])) break;  // Left the group.
+      if (new_group[j]) break;  // Left the group.
       pred_rows.push_back(perm[i]);
       succ_rows.push_back(perm[j]);
     }

@@ -4,6 +4,7 @@
 // columns compare correctly across different pools.
 #include <numeric>
 
+#include "table/key_normalize.h"
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "util/parallel.h"
@@ -27,21 +28,27 @@ std::vector<int> AllColumns(const Table& t) {
   return idx;
 }
 
-// Sorted permutation of all rows by full row content (position tiebreak).
-std::vector<int64_t> SortedPerm(const Table& t, const RowComparator& cmp) {
-  std::vector<int64_t> perm(t.NumRows());
+// First physical row of each distinct full-row-content run, in content
+// order. Radix path for tables of 1–2 columns (the normalized key order
+// equals RowComparator's byte/value order, so the result stays consistent
+// with the cross-table merge-walks below); comparison sort otherwise.
+std::vector<int64_t> SortedDistinctFirsts(const Table& t,
+                                          const RowComparator& cmp) {
+  std::vector<int64_t> perm;
+  std::vector<uint8_t> new_run;
+  std::vector<int64_t> firsts;
+  if (internal::SortedPermByKeys(t, AllColumns(t), {}, &perm, &new_run)) {
+    for (size_t i = 0; i < perm.size(); ++i) {
+      if (new_run[i]) firsts.push_back(perm[i]);
+    }
+    return firsts;
+  }
+  perm.resize(t.NumRows());
   std::iota(perm.begin(), perm.end(), 0);
   ParallelSort(perm.begin(), perm.end(), [&](int64_t x, int64_t y) {
     const int c = cmp.Compare(x, y);
     return c != 0 ? c < 0 : x < y;
   });
-  return perm;
-}
-
-// Walks `perm` keeping the first physical row of each distinct-key run.
-std::vector<int64_t> DistinctFirsts(const std::vector<int64_t>& perm,
-                                    const RowComparator& cmp) {
-  std::vector<int64_t> firsts;
   for (size_t i = 0; i < perm.size(); ++i) {
     if (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) firsts.push_back(perm[i]);
   }
@@ -83,8 +90,8 @@ Result<TablePtr> Table::IntersectTables(const Table& a, const Table& b) {
   RowComparator cmp_b(&b, &b, cols_b, cols_b);
   RowComparator cross(&a, &b, cols_a, cols_b);
 
-  const std::vector<int64_t> da = DistinctFirsts(SortedPerm(a, cmp_a), cmp_a);
-  const std::vector<int64_t> db = DistinctFirsts(SortedPerm(b, cmp_b), cmp_b);
+  const std::vector<int64_t> da = SortedDistinctFirsts(a, cmp_a);
+  const std::vector<int64_t> db = SortedDistinctFirsts(b, cmp_b);
 
   // Merge-walk the two sorted distinct row lists.
   std::vector<int64_t> keep;
@@ -113,8 +120,8 @@ Result<TablePtr> Table::MinusTables(const Table& a, const Table& b) {
   RowComparator cmp_b(&b, &b, cols_b, cols_b);
   RowComparator cross(&a, &b, cols_a, cols_b);
 
-  const std::vector<int64_t> da = DistinctFirsts(SortedPerm(a, cmp_a), cmp_a);
-  const std::vector<int64_t> db = DistinctFirsts(SortedPerm(b, cmp_b), cmp_b);
+  const std::vector<int64_t> da = SortedDistinctFirsts(a, cmp_a);
+  const std::vector<int64_t> db = SortedDistinctFirsts(b, cmp_b);
 
   std::vector<int64_t> keep;
   size_t i = 0, j = 0;

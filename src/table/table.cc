@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "table/key_normalize.h"
 #include "table/row_compare.h"
 #include "util/parallel.h"
 
@@ -295,8 +296,15 @@ Result<TablePtr> Table::OrderBy(const std::vector<std::string>& cols,
                                 const std::vector<bool>& ascending) const {
   std::vector<int> idx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, cols, &idx));
+  std::vector<int64_t> perm;
+  // Fast path: radix-sort normalized (key, row) pairs; falls through to
+  // the comparison sort for 3+ key columns. Both yield the stable-sort
+  // permutation (see table/key_normalize.h).
+  if (internal::SortedPermByKeys(*this, idx, ascending, &perm)) {
+    return GatherRows(perm);
+  }
   RowComparator cmp(this, this, idx, idx, ascending);
-  std::vector<int64_t> perm(num_rows_);
+  perm.resize(num_rows_);
   std::iota(perm.begin(), perm.end(), 0);
   // Physical-position tiebreak makes the order total, so the parallel
   // (unstable) sort yields exactly the stable-sort permutation.
@@ -312,17 +320,26 @@ Result<TablePtr> Table::OrderBy(const std::vector<std::string>& cols,
 Result<TablePtr> Table::Unique(const std::vector<std::string>& cols) const {
   std::vector<int> idx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, cols, &idx));
-  RowComparator cmp(this, this, idx, idx);
-  std::vector<int64_t> perm(num_rows_);
-  std::iota(perm.begin(), perm.end(), 0);
-  ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
-    const int c = cmp.Compare(a, b);
-    return c != 0 ? c < 0 : a < b;
-  });
-  // First physical row of each run of equal keys.
+  std::vector<int64_t> perm;
+  std::vector<uint8_t> new_run;
+  if (!internal::SortedPermByKeys(*this, idx, {}, &perm, &new_run)) {
+    RowComparator cmp(this, this, idx, idx);
+    perm.resize(num_rows_);
+    std::iota(perm.begin(), perm.end(), 0);
+    ParallelSort(perm.begin(), perm.end(), [&](int64_t a, int64_t b) {
+      const int c = cmp.Compare(a, b);
+      return c != 0 ? c < 0 : a < b;
+    });
+    new_run.assign(num_rows_, 0);
+    for (int64_t i = 0; i < num_rows_; ++i) {
+      new_run[i] = (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) ? 1 : 0;
+    }
+  }
+  // First physical row of each run of equal keys (which is also its
+  // smallest position, thanks to the position tiebreak).
   std::vector<int64_t> keep;
   for (int64_t i = 0; i < num_rows_; ++i) {
-    if (i == 0 || !cmp.Equal(perm[i - 1], perm[i])) keep.push_back(perm[i]);
+    if (new_run[i]) keep.push_back(perm[i]);
   }
   std::sort(keep.begin(), keep.end());
   return GatherRows(keep);

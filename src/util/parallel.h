@@ -186,16 +186,24 @@ constexpr int64_t kParallelSortCutoff = 1 << 14;
 }  // namespace internal
 
 // Parallel comparison sort: bottom-up merge sort — leaf chunks are
-// std::sort-ed in parallel, then pairwise std::inplace_merge passes double
-// the sorted width until the whole range is one run. Each pass is a
-// ParallelFor, so every fork/join edge is fence-covered (OpenMP tasks are
-// deliberately avoided: GCC reads scalar task payloads in the outlined
-// function's prologue, which defeats the TSan handoff windows).
-// Stable ordering is NOT guaranteed; with a total-order comparator the
-// output is deterministic for every thread count. Falls back to std::sort
-// for small inputs or single-threaded runs.
+// std::sort-ed in parallel, then pairwise std::merge passes double the
+// sorted width until the whole range is one run. Merges stream
+// out-of-place, ping-ponging between the input range and one scratch
+// buffer (std::inplace_merge's rotate-based fallback is far slower and
+// allocates per merge anyway), so the element type must be copyable.
+// Each pass is a ParallelFor, so every fork/join edge is fence-covered
+// (OpenMP tasks are deliberately avoided: GCC reads scalar task payloads
+// in the outlined function's prologue, which defeats the TSan handoff
+// windows). Stable ordering is NOT guaranteed; with a total-order
+// comparator the output is deterministic for every thread count. Falls
+// back to std::sort for small inputs or single-threaded runs.
+//
+// This is the generic fallback kernel: operators whose keys normalize to
+// uint64 words run the distribution sort in util/radix_sort.h instead
+// (see table/key_normalize.h for the selection rules).
 template <typename Iter, typename Cmp>
 void ParallelSort(Iter begin, Iter end, Cmp cmp) {
+  using T = typename std::iterator_traits<Iter>::value_type;
   const int64_t n = end - begin;
   if (n <= internal::kParallelSortCutoff || NumThreads() <= 1) {
     std::sort(begin, end, cmp);
@@ -213,15 +221,35 @@ void ParallelSort(Iter begin, Iter end, Cmp cmp) {
     const int64_t hi = std::min(n, lo + chunk);
     std::sort(begin + lo, begin + hi, cmp);
   });
-  for (int64_t width = chunk; width < n; width *= 2) {
+  if (nchunks <= 1) return;
+
+  // Copy-construct the scratch from the range: works for any copyable T
+  // (no default construction) and the first pass overwrites it anyway.
+  std::vector<T> buf(begin, end);
+  auto merge_pass = [&](auto src, auto dst, int64_t width) {
     const int64_t pairs = (n + 2 * width - 1) / (2 * width);
     ParallelFor(0, pairs, [&](int64_t p) {
       const int64_t lo = p * 2 * width;
-      const int64_t mid = lo + width;
+      const int64_t mid = std::min(n, lo + width);
       const int64_t hi = std::min(n, lo + 2 * width);
-      if (mid < hi) {
-        std::inplace_merge(begin + lo, begin + mid, begin + hi, cmp);
-      }
+      // An unpaired tail run (mid == hi) degenerates to a copy.
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, cmp);
+    });
+  };
+  bool in_buf = false;  // Where the full data currently lives.
+  for (int64_t width = chunk; width < n; width *= 2) {
+    if (in_buf) {
+      merge_pass(buf.begin(), begin, width);
+    } else {
+      merge_pass(begin, buf.begin(), width);
+    }
+    in_buf = !in_buf;
+  }
+  if (in_buf) {
+    ParallelFor(0, nchunks, [&](int64_t c) {
+      const int64_t lo = c * chunk;
+      const int64_t hi = std::min(n, lo + chunk);
+      std::copy(buf.begin() + lo, buf.begin() + hi, begin + lo);
     });
   }
 }

@@ -1,0 +1,47 @@
+#include "util/radix_sort.h"
+
+#include <atomic>
+
+namespace ringo {
+
+namespace radix {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace radix
+
+void RadixSortU64(uint64_t* keys, int64_t n) {
+  internal::LsdRadixSort<1>(keys, n,
+                            [](uint64_t k, int) { return k; });
+}
+
+void RadixSortI64(int64_t* keys, int64_t n) {
+  internal::LsdRadixSort<1>(
+      keys, n, [](int64_t k, int) { return radix::Int64Key(k); });
+}
+
+void RadixSortI64Pairs(std::pair<int64_t, int64_t>* v, int64_t n) {
+  // Word 0 (least significant) is `second`: LSD passes over it first, then
+  // `first`, yielding the lexicographic (first, second) order of std::pair.
+  internal::LsdRadixSort<2>(
+      v, n, [](const std::pair<int64_t, int64_t>& e, int w) {
+        return radix::Int64Key(w == 0 ? e.second : e.first);
+      });
+}
+
+void RadixSortKeyRows(KeyRow* v, int64_t n) {
+  internal::LsdRadixSort<1>(
+      v, n, [](const KeyRow& r, int) { return r.key; });
+}
+
+void RadixSortKeyRows2(KeyRow2* v, int64_t n) {
+  internal::LsdRadixSort<2>(
+      v, n, [](const KeyRow2& r, int w) { return w == 0 ? r.lo : r.hi; });
+}
+
+}  // namespace ringo
