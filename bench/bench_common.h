@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "gen/graph_gen.h"
 #include "graph/directed_graph.h"
 #include "table/table.h"
+#include "util/trace.h"
 
 namespace ringo {
 namespace bench {
@@ -82,6 +84,25 @@ inline const Dataset& TwitterSim() {
 // reads paper-vs-measured.
 inline void SetPaperSeconds(::benchmark::State& state, double seconds) {
   state.counters["paper_seconds_fullsize"] = ::benchmark::Counter(seconds);
+}
+
+// Writes the Chrome trace of everything this benchmark binary recorded to
+// $RINGO_TRACE_OUT (no-op when unset), so run_bench.sh can drop a span
+// tree next to each BENCH_*.json. Call after ::benchmark::RunSpecified-
+// Benchmarks() from an explicit main. The per-thread span buffers cap at
+// trace::kMaxSpansPerThread; the earliest iterations' spans are the ones
+// retained, which is what the schema check needs.
+inline void MaybeExportTrace() {
+  const char* path = std::getenv("RINGO_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  const Status s = trace::ExportChromeTrace(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "trace: %s (%lld spans buffered, %lld dropped)\n",
+               path, static_cast<long long>(trace::Spans().size()),
+               static_cast<long long>(trace::DroppedSpans()));
 }
 
 }  // namespace bench

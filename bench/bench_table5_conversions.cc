@@ -70,4 +70,13 @@ BENCHMARK(BM_Table5_GraphToTable_TwitterSim)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace ringo
 
-BENCHMARK_MAIN();
+// Explicit main (instead of BENCHMARK_MAIN) so the trace recorded across
+// the run can be exported for scripts/check_trace.py.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ringo::bench::MaybeExportTrace();
+  return 0;
+}

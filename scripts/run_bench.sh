@@ -23,11 +23,20 @@ if [ ! -x "$BUILD_DIR/bench/bench_table5_conversions" ]; then
 fi
 
 echo "== bench_table5_conversions (RINGO_BENCH_SCALE=$SCALE) =="
-"$BUILD_DIR/bench/bench_table5_conversions" \
+# The conversions binary also exports its operator span tree (Chrome
+# trace_event JSON; open in chrome://tracing or Perfetto) so a sort or
+# conversion change ships with its phase breakdown, not just end-to-end
+# rates. scripts/check_trace.py validates presence + schema, not timings.
+RINGO_TRACE_OUT=BENCH_conversions_trace.json \
+  "$BUILD_DIR/bench/bench_table5_conversions" \
   --benchmark_format=json | tee BENCH_conversions.json >/dev/null
 
 echo "== bench_table4_table_ops (RINGO_BENCH_SCALE=$SCALE) =="
 "$BUILD_DIR/bench/bench_table4_table_ops" \
   --benchmark_format=json | tee BENCH_table_ops.json >/dev/null
 
-echo "done: BENCH_conversions.json BENCH_table_ops.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace.py BENCH_conversions_trace.json
+fi
+
+echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_conversions_trace.json"

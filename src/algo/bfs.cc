@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "storage/flat_hash_map.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -65,15 +66,21 @@ struct UndirectedExpand {
 
 NodeInts BfsDistances(const DirectedGraph& g, NodeId src, BfsDir dir) {
   if (!g.HasNode(src)) return {};
+  trace::Span span("Algo/BfsDistances");
+  span.AddAttr("nodes", g.NumNodes());
   FlatHashMap<NodeId, int64_t> dist;
   RunBfs(src, DirectedExpand{&g, dir}, &dist);
+  span.AddAttr("reached", dist.size());
   return SortedPairs(dist);
 }
 
 NodeInts BfsDistances(const UndirectedGraph& g, NodeId src) {
   if (!g.HasNode(src)) return {};
+  trace::Span span("Algo/BfsDistances");
+  span.AddAttr("nodes", g.NumNodes());
   FlatHashMap<NodeId, int64_t> dist;
   RunBfs(src, UndirectedExpand{&g}, &dist);
+  span.AddAttr("reached", dist.size());
   return SortedPairs(dist);
 }
 

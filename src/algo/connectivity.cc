@@ -6,6 +6,7 @@
 #include "algo/node_index.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -55,6 +56,9 @@ ComponentLabels Relabel(const NodeIndex& ni, std::vector<int64_t>& raw) {
 }  // namespace
 
 ComponentLabels WeaklyConnectedComponents(const DirectedGraph& g) {
+  trace::Span span("Algo/WeaklyConnectedComponents");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   const NodeIndex ni = NodeIndex::FromGraph(g);
   UnionFind uf(ni.size());
   g.ForEachEdge([&](NodeId u, NodeId v) {
@@ -66,6 +70,9 @@ ComponentLabels WeaklyConnectedComponents(const DirectedGraph& g) {
 }
 
 ComponentLabels ConnectedComponents(const UndirectedGraph& g) {
+  trace::Span span("Algo/ConnectedComponents");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   const NodeIndex ni = NodeIndex::FromGraph(g);
   UnionFind uf(ni.size());
   g.ForEachEdge([&](NodeId u, NodeId v) {
@@ -77,6 +84,9 @@ ComponentLabels ConnectedComponents(const UndirectedGraph& g) {
 }
 
 ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
+  trace::Span span("Algo/StronglyConnectedComponents");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   const NodeIndex ni = NodeIndex::FromGraph(g);
   const int64_t n = ni.size();
 

@@ -4,6 +4,7 @@
 
 #include "algo/node_index.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -23,9 +24,13 @@ Status ValidateConfig(const PageRankConfig& c) {
 // (sums to 1); `parallel` toggles OpenMP loops.
 NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
                         const std::vector<double>& teleport, bool parallel) {
+  trace::Span span("Algo/PageRank");
   const NodeIndex ni = NodeIndex::FromGraph(g);
   const int64_t n = ni.size();
   if (n == 0) return {};
+  span.AddAttr("nodes", n);
+  span.AddAttr("edges", g.NumEdges());
+  span.AddAttr("parallel", static_cast<int64_t>(parallel ? 1 : 0));
 
   // Dense CSR-ish view of in-neighbors and out-degrees for tight loops.
   std::vector<int64_t> in_offsets(n + 1, 0);
@@ -46,7 +51,9 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
 
   const double d = config.damping;
   std::vector<double> pr(teleport), next(n);
+  int iters_run = 0;
   for (int iter = 0; iter < config.max_iters; ++iter) {
+    ++iters_run;
     // Mass parked on dangling nodes teleports like everything else. The
     // blocked sum keeps the result bit-identical across thread counts and
     // between the sequential and parallel entry points (an `omp reduction`
@@ -75,6 +82,7 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
     pr.swap(next);
     if (config.tol > 0 && delta < config.tol) break;
   }
+  span.AddAttr("iterations", static_cast<int64_t>(iters_run));
   return ni.Zip(pr);
 }
 
@@ -102,9 +110,12 @@ Result<NodeValues> WeightedPageRank(const DirectedGraph& g,
                                     const EdgeWeights& w,
                                     const PageRankConfig& config) {
   RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  trace::Span span("Algo/WeightedPageRank");
   const NodeIndex ni = NodeIndex::FromGraph(g);
   const int64_t n = ni.size();
   if (n == 0) return NodeValues{};
+  span.AddAttr("nodes", n);
+  span.AddAttr("edges", g.NumEdges());
 
   // Per-edge transition probabilities, stored with the in-adjacency so the
   // iteration stays a pull (no atomics).

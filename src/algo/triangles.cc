@@ -4,6 +4,7 @@
 
 #include "algo/node_index.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -88,13 +89,23 @@ std::vector<NodeId> CleanNeighbors(const UndirectedGraph::NodeData& nd,
 }  // namespace
 
 int64_t TriangleCount(const UndirectedGraph& g) {
+  trace::Span span("Algo/TriangleCount");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   const ForwardAdjacency fa(g);
-  return CountWithForward(fa, /*parallel=*/false);
+  const int64_t t = CountWithForward(fa, /*parallel=*/false);
+  span.AddAttr("triangles", t);
+  return t;
 }
 
 int64_t ParallelTriangleCount(const UndirectedGraph& g) {
+  trace::Span span("Algo/ParallelTriangleCount");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   const ForwardAdjacency fa(g);
-  return CountWithForward(fa, /*parallel=*/true);
+  const int64_t t = CountWithForward(fa, /*parallel=*/true);
+  span.AddAttr("triangles", t);
+  return t;
 }
 
 NodeInts NodeTriangles(const UndirectedGraph& g) {

@@ -5,6 +5,7 @@
 
 #include "util/parallel.h"
 #include "util/radix_sort.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -39,24 +40,33 @@ struct SortedPairs {
   std::vector<Edge> rev;  // Sorted by (dst, src), stored as (dst, src).
   std::vector<NodeId> nodes;  // Distinct endpoint ids, ascending.
 
-  SortedPairs(std::vector<NodeId> src, std::vector<NodeId> dst) {
+  // `phase_prefix` names the trace spans of the two phases, e.g.
+  // "TableToGraph" → "TableToGraph/sort" + "TableToGraph/count".
+  SortedPairs(std::vector<NodeId> src, std::vector<NodeId> dst,
+              const char* sort_span, const char* count_span) {
     const int64_t n = static_cast<int64_t>(src.size());
-    fwd.resize(n);
-    rev.resize(n);
-    ParallelFor(0, n, [&](int64_t i) {
-      fwd[i] = {src[i], dst[i]};
-      rev[i] = {dst[i], src[i]};
-    });
-    // Edge = pair<int64, int64>: the radix kernel sorts the packed 128-bit
-    // (src, dst) keys directly — the hot half of the sort-first conversion
-    // (§2.4). Both kernels yield the identical (total-order) result.
-    if (radix::Enabled()) {
-      RadixSortI64Pairs(fwd.data(), n);
-      RadixSortI64Pairs(rev.data(), n);
-    } else {
-      ParallelSort(fwd.begin(), fwd.end());
-      ParallelSort(rev.begin(), rev.end());
+    {
+      trace::Span span(sort_span);
+      span.AddAttr("rows", n);
+      fwd.resize(n);
+      rev.resize(n);
+      ParallelFor(0, n, [&](int64_t i) {
+        fwd[i] = {src[i], dst[i]};
+        rev[i] = {dst[i], src[i]};
+      });
+      // Edge = pair<int64, int64>: the radix kernel sorts the packed
+      // 128-bit (src, dst) keys directly — the hot half of the sort-first
+      // conversion (§2.4). Both kernels yield the identical (total-order)
+      // result.
+      if (radix::Enabled()) {
+        RadixSortI64Pairs(fwd.data(), n);
+        RadixSortI64Pairs(rev.data(), n);
+      } else {
+        ParallelSort(fwd.begin(), fwd.end());
+        ParallelSort(rev.begin(), rev.end());
+      }
     }
+    trace::Span span(count_span);
     // Distinct nodes = union of the two sorted first-components.
     std::vector<NodeId> a, b;
     a.reserve(n);
@@ -71,6 +81,7 @@ struct SortedPairs {
     nodes.erase(std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                                nodes.begin()),
                 nodes.end());
+    span.AddAttr("distinct_nodes", static_cast<int64_t>(nodes.size()));
   }
 
   // Run boundaries of `key` in a (key-major) sorted pair array.
@@ -99,11 +110,18 @@ void FillDedup(const std::vector<Edge>& v, int64_t lo, int64_t hi,
 
 Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
                                    std::string_view dst_col) {
+  trace::Span span("TableToGraph");
+  span.AddAttr("rows", t.NumRows());
   std::vector<NodeId> src, dst;
-  RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
-  RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
-  const SortedPairs sp(std::move(src), std::move(dst));
+  {
+    RINGO_TRACE_SPAN("TableToGraph/extract");
+    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
+    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
+  }
+  const SortedPairs sp(std::move(src), std::move(dst), "TableToGraph/sort",
+                       "TableToGraph/count");
 
+  trace::Span fill_span("TableToGraph/fill");
   DirectedGraph g;
   const int64_t nn = static_cast<int64_t>(sp.nodes.size());
   g.ReserveNodes(nn);
@@ -127,18 +145,27 @@ Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
   int64_t edges = 0;
   for (int64_t c : edge_count_per_node) edges += c;
   g.BumpEdgeCount(edges);
+  fill_span.AddAttr("nodes", nn);
+  fill_span.AddAttr("edges", edges);
+  span.AddAttr("nodes", nn);
+  span.AddAttr("edges", edges);
   return g;
 }
 
 Result<UndirectedGraph> TableToUndirectedGraph(const Table& t,
                                                std::string_view src_col,
                                                std::string_view dst_col) {
+  trace::Span span("TableToUndirectedGraph");
+  span.AddAttr("rows", t.NumRows());
   std::vector<NodeId> src, dst;
   RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
   RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
   // Undirected adjacency of u = dedup(out-run ∪ in-run).
-  const SortedPairs sp(std::move(src), std::move(dst));
+  const SortedPairs sp(std::move(src), std::move(dst),
+                       "TableToUndirectedGraph/sort",
+                       "TableToUndirectedGraph/count");
 
+  RINGO_TRACE_SPAN("TableToUndirectedGraph/fill");
   UndirectedGraph g;
   const int64_t nn = static_cast<int64_t>(sp.nodes.size());
   g.ReserveNodes(nn);
@@ -197,6 +224,8 @@ Result<WeightedGraphResult> TableToWeightedGraph(const Table& t,
     return Status::TypeMismatch("weight column '" + std::string(weight_col) +
                                 "' must be numeric");
   }
+  trace::Span span("TableToWeightedGraph");
+  span.AddAttr("rows", t.NumRows());
   WeightedGraphResult out;
   RINGO_ASSIGN_OR_RETURN(out.graph, TableToGraph(t, src_col, dst_col));
 
@@ -256,6 +285,9 @@ TablePtr GraphToEdgeTable(const DirectedGraph& g,
                           std::shared_ptr<StringPool> pool,
                           const std::string& src_name,
                           const std::string& dst_name) {
+  trace::Span span("GraphToEdgeTable");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
   Schema schema;
   schema.AddColumn(src_name, ColumnType::kInt).Abort("GraphToEdgeTable");
   schema.AddColumn(dst_name, ColumnType::kInt).Abort("GraphToEdgeTable");
@@ -297,6 +329,8 @@ TablePtr GraphToEdgeTable(const DirectedGraph& g,
 TablePtr GraphToNodeTable(const DirectedGraph& g,
                           std::shared_ptr<StringPool> pool,
                           const std::string& id_name) {
+  trace::Span span("GraphToNodeTable");
+  span.AddAttr("nodes", g.NumNodes());
   Schema schema;
   schema.AddColumn(id_name, ColumnType::kInt).Abort("GraphToNodeTable");
   schema.AddColumn("InDeg", ColumnType::kInt).Abort("GraphToNodeTable");

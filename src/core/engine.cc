@@ -81,11 +81,13 @@ Status Ringo::SaveTableTSV(const Table& t, const std::string& path,
 
 Result<TablePtr> Ringo::Select(const TablePtr& t,
                                std::string_view expr) const {
+  RINGO_TRACE_SPAN("Engine/Select");
   RINGO_ASSIGN_OR_RETURN(const ParsedPredicate p, ParsePredicate(expr));
   return t->Select(p.column, p.op, p.value);
 }
 
 Status Ringo::SelectInPlace(const TablePtr& t, std::string_view expr) const {
+  RINGO_TRACE_SPAN("Engine/SelectInPlace");
   RINGO_ASSIGN_OR_RETURN(const ParsedPredicate p, ParsePredicate(expr));
   return t->SelectInPlace(p.column, p.op, p.value);
 }
@@ -93,47 +95,56 @@ Status Ringo::SelectInPlace(const TablePtr& t, std::string_view expr) const {
 Result<TablePtr> Ringo::Join(const TablePtr& left, const TablePtr& right,
                              std::string_view left_col,
                              std::string_view right_col) const {
+  RINGO_TRACE_SPAN("Engine/Join");
   return Table::Join(*left, *right, left_col, right_col);
 }
 
 Result<DirectedGraph> Ringo::ToGraph(const TablePtr& t,
                                      std::string_view src_col,
                                      std::string_view dst_col) const {
+  RINGO_TRACE_SPAN("Engine/ToGraph");
   return TableToGraph(*t, src_col, dst_col);
 }
 
 Result<UndirectedGraph> Ringo::ToUndirectedGraph(
     const TablePtr& t, std::string_view src_col,
     std::string_view dst_col) const {
+  RINGO_TRACE_SPAN("Engine/ToUndirectedGraph");
   return TableToUndirectedGraph(*t, src_col, dst_col);
 }
 
 Result<WeightedGraphResult> Ringo::ToWeightedGraph(
     const TablePtr& t, std::string_view src_col, std::string_view dst_col,
     std::string_view weight_col) const {
+  RINGO_TRACE_SPAN("Engine/ToWeightedGraph");
   return TableToWeightedGraph(*t, src_col, dst_col, weight_col);
 }
 
 TablePtr Ringo::ToEdgeTable(const DirectedGraph& g,
                             const std::string& src_name,
                             const std::string& dst_name) const {
+  RINGO_TRACE_SPAN("Engine/ToEdgeTable");
   return GraphToEdgeTable(g, pool_, src_name, dst_name);
 }
 
 TablePtr Ringo::ToNodeTable(const DirectedGraph& g,
                             const std::string& id_name) const {
+  RINGO_TRACE_SPAN("Engine/ToNodeTable");
   return GraphToNodeTable(g, pool_, id_name);
 }
 
 Result<NodeValues> Ringo::GetPageRank(const DirectedGraph& g) const {
+  RINGO_TRACE_SPAN("Engine/GetPageRank");
   return ParallelPageRank(g);
 }
 
 Result<HitsScores> Ringo::GetHits(const DirectedGraph& g) const {
+  RINGO_TRACE_SPAN("Engine/GetHits");
   return Hits(g);
 }
 
 TablePtr Ringo::SummaryTable(const DirectedGraph& g) const {
+  RINGO_TRACE_SPAN("Engine/SummaryTable");
   const GraphSummary s = Summarize(g);
   Schema schema{{"Stat", ColumnType::kString}, {"Value", ColumnType::kFloat}};
   TablePtr out = Table::Create(std::move(schema), pool_);
@@ -198,6 +209,24 @@ TablePtr Ringo::TableFromMap(const NodeInts& values,
                              const std::string& id_name,
                              const std::string& value_name) const {
   return MapToTable(values, ColumnType::kInt, id_name, value_name, pool_);
+}
+
+trace::QueryStats Ringo::LastQueryStats() const {
+  return trace::LastRootSpan();
+}
+
+TablePtr Ringo::StatsTable() const {
+  Schema schema{{"Span", ColumnType::kString},
+                {"Count", ColumnType::kInt},
+                {"TotalMs", ColumnType::kFloat},
+                {"MaxMs", ColumnType::kFloat}};
+  TablePtr out = Table::Create(std::move(schema), pool_);
+  for (const trace::FlatStat& s : trace::FlatStats()) {
+    RINGO_CHECK_OK(out->AppendRow(
+        {s.name, s.count, static_cast<double>(s.total_ns) / 1e6,
+         static_cast<double>(s.max_ns) / 1e6}));
+  }
+  return out;
 }
 
 }  // namespace ringo

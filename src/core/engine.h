@@ -28,6 +28,7 @@
 #include "table/table.h"
 #include "table/table_io.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -85,6 +86,17 @@ class Ringo {
                         const std::string& value_name) const;
   TablePtr TableFromMap(const NodeInts& values, const std::string& id_name,
                         const std::string& value_name) const;
+
+  // ------------------------------------------------------ observability
+  // Wall time, peak-RSS delta, and the recorded attributes (rows, edges,
+  // radix passes, ...) of the most recent engine entry point, from the
+  // trace layer's last completed root span. `valid` is false when tracing
+  // is disabled (RINGO_METRICS=off) or nothing ran yet.
+  trace::QueryStats LastQueryStats() const;
+
+  // Flat per-span aggregate (Span, Count, TotalMs, MaxMs) of everything
+  // traced so far in this process, as a table for the interactive loop.
+  TablePtr StatsTable() const;
 
  private:
   std::shared_ptr<StringPool> pool_;

@@ -33,6 +33,17 @@ Status SaveEdgeList(const DirectedGraph& g, const std::string& path) {
   }
   out << "# Directed graph saved by Ringo\n";
   out << "# Nodes: " << g.NumNodes() << " Edges: " << g.NumEdges() << "\n";
+  // Isolated (degree-0) nodes appear on no edge line, so the plain
+  // edge-list format would drop them on reload. They are written as
+  // "# Node: <id>" marker lines: Ringo's loader parses them back while
+  // SNAP-style readers skip them as comments. Nodes with at least one
+  // incident edge are recovered from the edge lines themselves.
+  for (NodeId u : g.SortedNodeIds()) {
+    const auto* nd = g.GetNode(u);
+    if (nd->out.empty() && nd->in.empty()) {
+      out << "# Node: " << u << '\n';
+    }
+  }
   out << "# SrcNId\tDstNId\n";
   for (NodeId u : g.SortedNodeIds()) {
     for (NodeId v : g.GetNode(u)->out) {
@@ -53,18 +64,45 @@ Result<DirectedGraph> LoadEdgeList(const std::string& path) {
   DirectedGraph g;
   std::string line;
   int64_t lineno = 0;
+  constexpr std::string_view kNodeMarker = "# Node:";
   while (std::getline(in, line)) {
     ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty() || line[0] == '#') continue;
-    const auto fields = SplitFields(line, '\t');
-    if (fields.size() != 2) {
-      return Status::InvalidArgument("line " + std::to_string(lineno) +
-                                     ": expected 'src\\tdst'");
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# Node: <id>" markers carry isolated nodes; other '#' lines are
+      // comments (backward compatible with files that lack the section).
+      if (StartsWith(line, kNodeMarker)) {
+        const auto fields =
+            SplitWhitespace(std::string_view(line).substr(kNodeMarker.size()));
+        if (fields.size() != 1) {
+          return Status::Corruption("line " + std::to_string(lineno) +
+                                    ": expected '# Node: <id>'");
+        }
+        const auto id = ParseInt64(fields[0]);
+        if (!id.ok()) {
+          return Status::Corruption("line " + std::to_string(lineno) +
+                                    ": bad node id '" + std::string(fields[0]) +
+                                    "'");
+        }
+        g.AddNode(id.value());
+      }
+      continue;
     }
-    RINGO_ASSIGN_OR_RETURN(const int64_t src, ParseInt64(fields[0]));
-    RINGO_ASSIGN_OR_RETURN(const int64_t dst, ParseInt64(fields[1]));
-    g.AddEdge(src, dst);
+    // Edge lines tokenize on any run of spaces/tabs, like SNAP datasets.
+    const auto fields = SplitWhitespace(line);
+    if (fields.size() != 2) {
+      return Status::Corruption("line " + std::to_string(lineno) +
+                                ": expected 'src dst', got " +
+                                std::to_string(fields.size()) + " fields");
+    }
+    const auto src = ParseInt64(fields[0]);
+    const auto dst = ParseInt64(fields[1]);
+    if (!src.ok() || !dst.ok()) {
+      return Status::Corruption("line " + std::to_string(lineno) +
+                                ": cannot parse edge '" + line + "'");
+    }
+    g.AddEdge(src.value(), dst.value());
   }
   return g;
 }

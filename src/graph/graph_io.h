@@ -12,8 +12,16 @@
 
 namespace ringo {
 
-// Text edge list. Lines starting with '#' and blank lines are skipped;
-// isolated nodes are not representable (matching the SNAP dataset files).
+// Text edge list, SNAP-compatible with one extension. Format:
+//   * edge lines "src dst" tokenized on any run of spaces/tabs;
+//   * lines starting with '#' and blank lines are comments — except
+//     "# Node: <id>" marker lines, which carry isolated (degree-0) nodes
+//     so the text round-trip preserves them. SaveEdgeList writes one
+//     marker per isolated node; LoadEdgeList parses them back and still
+//     accepts files without the section (plain SNAP downloads).
+// LoadEdgeList returns Status::Corruption with the 1-based line number
+// for malformed edge or marker lines (wrong field count, unparsable ids)
+// instead of skipping them.
 Status SaveEdgeList(const DirectedGraph& g, const std::string& path);
 Result<DirectedGraph> LoadEdgeList(const std::string& path);
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace ringo {
 
@@ -60,10 +61,27 @@ class FlatHashMap {
   V& SlotValue(int64_t i) { return slots_[i].value; }
   const V& SlotValue(int64_t i) const { return slots_[i].value; }
 
-  // Reserves capacity for at least n elements without rehashing.
-  void Reserve(int64_t n) {
+  // Smallest power-of-two slot count whose load factor stays at or below
+  // kMaxLoadNum/kMaxLoadDen for n elements. The comparison runs in 128-bit
+  // arithmetic and the result is clamped to kMaxCapacity, so adversarial n
+  // (where the old `want * 7 < n * 10` int64 product overflowed and
+  // `want <<= 1` shifted into the sign bit, looping forever) terminates.
+  static int64_t CapacityFor(int64_t n) {
+    if (n <= 0) return 16;
     int64_t want = 16;
-    while (want * kMaxLoadNum < n * kMaxLoadDen) want <<= 1;
+    while (want < kMaxCapacity &&
+           static_cast<__int128>(want) * kMaxLoadNum <
+               static_cast<__int128>(n) * kMaxLoadDen) {
+      want <<= 1;
+    }
+    return want;
+  }
+
+  // Reserves capacity for at least n elements without rehashing (beyond
+  // the one pre-sizing rehash this call may itself perform, which is NOT
+  // counted in GrowRehashes).
+  void Reserve(int64_t n) {
+    const int64_t want = CapacityFor(n);
     if (want > capacity()) Rehash(want);
   }
 
@@ -75,7 +93,7 @@ class FlatHashMap {
   // Inserts (key, value) if absent; returns {pointer-to-value, inserted}.
   std::pair<V*, bool> Insert(const K& key, V value) {
     MaybeGrow();
-    int64_t i = FindSlot(key);
+    int64_t i = FindSlotCounted(key);
     if (full_[i]) return {&slots_[i].value, false};
     slots_[i].key = key;
     slots_[i].value = std::move(value);
@@ -87,7 +105,7 @@ class FlatHashMap {
   // operator[]-style access: default-constructs the value if absent.
   V& GetOrInsert(const K& key) {
     MaybeGrow();
-    int64_t i = FindSlot(key);
+    int64_t i = FindSlotCounted(key);
     if (!full_[i]) {
       slots_[i].key = key;
       slots_[i].value = V{};
@@ -112,7 +130,7 @@ class FlatHashMap {
   // Removes key if present; returns whether a removal happened. Uses
   // backward-shift deletion to keep probe chains compact.
   bool Erase(const K& key) {
-    int64_t i = FindSlot(key);
+    int64_t i = FindSlotCounted(key);
     if (!full_[i]) return false;
     const int64_t mask = capacity() - 1;
     full_[i] = 0;
@@ -164,6 +182,22 @@ class FlatHashMap {
     return static_cast<int64_t>(slots_.size() * sizeof(Slot) + full_.size());
   }
 
+  // ------------------------------------------------------ instrumentation
+  // Probe/rehash counters for the observability layer (DESIGN.md §8).
+  // Counted only on the mutating paths (Insert / GetOrInsert / Erase),
+  // which are single-threaded by contract — the const Find path stays
+  // side-effect free so concurrent readers (conversion fill phase) remain
+  // race-free. A correctly pre-sized build (Reserve before inserts, e.g.
+  // the hash-join build side) reports GrowRehashes() == 0.
+  struct ProbeStats {
+    int64_t probes = 0;        // Mutating-path slot searches.
+    int64_t probe_steps = 0;   // Linear-probe advances beyond the ideal slot.
+    int64_t grow_rehashes = 0; // Rehashes forced by load-factor growth.
+  };
+  const ProbeStats& stats() const { return stats_; }
+  int64_t GrowRehashes() const { return stats_.grow_rehashes; }
+  void ResetStats() { stats_ = ProbeStats{}; }
+
  private:
   struct Slot {
     K key{};
@@ -173,6 +207,9 @@ class FlatHashMap {
   // Maximum load factor 7/10; linear probing degrades quickly past ~0.75.
   static constexpr int64_t kMaxLoadNum = 7;
   static constexpr int64_t kMaxLoadDen = 10;
+  // CapacityFor clamp: far beyond any allocatable slot array, but small
+  // enough that `want <<= 1` can never reach the sign bit.
+  static constexpr int64_t kMaxCapacity = int64_t{1} << 62;
 
   int64_t IdealSlot(const K& key) const {
     return static_cast<int64_t>(internal::MixHash(Hash{}(key))) &
@@ -189,8 +226,25 @@ class FlatHashMap {
     return i;
   }
 
+  // FindSlot plus probe accounting; only for the mutating entry points
+  // (see ProbeStats above for why the const path must stay clean).
+  int64_t FindSlotCounted(const K& key) {
+    const int64_t mask = capacity() - 1;
+    int64_t i = IdealSlot(key);
+    int64_t steps = 0;
+    while (full_[i] && !(slots_[i].key == key)) {
+      i = (i + 1) & mask;
+      ++steps;
+    }
+    ++stats_.probes;
+    stats_.probe_steps += steps;
+    return i;
+  }
+
   void MaybeGrow() {
     if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+      ++stats_.grow_rehashes;
+      RINGO_COUNTER_ADD("flat_hash_map/grow_rehashes", 1);
       Rehash(capacity() * 2);
     }
   }
@@ -215,6 +269,7 @@ class FlatHashMap {
   std::vector<Slot> slots_;
   std::vector<uint8_t> full_;
   int64_t size_ = 0;
+  ProbeStats stats_;
 };
 
 // FlatHashSet: set interface over FlatHashMap.

@@ -9,6 +9,7 @@
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -96,6 +97,11 @@ Result<TablePtr> Table::GroupByAggregate(
   std::vector<int> gidx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, group_cols, &gidx));
 
+  trace::Span span("Table/GroupBy");
+  span.AddAttr("rows", num_rows_);
+  span.AddAttr("group_columns", static_cast<int64_t>(gidx.size()));
+  span.AddAttr("aggregates", static_cast<int64_t>(aggs.size()));
+
   // Validate aggregate specs.
   std::vector<int> aidx(aggs.size(), -1);
   for (size_t a = 0; a < aggs.size(); ++a) {
@@ -111,6 +117,7 @@ Result<TablePtr> Table::GroupByAggregate(
 
   std::vector<int64_t> gid;
   RINGO_ASSIGN_OR_RETURN(const int64_t groups, GroupIndex(group_cols, &gid));
+  span.AddAttr("groups", groups);
 
   // One pass over rows per aggregate column (column-at-a-time).
   std::vector<std::vector<AggState>> state(aggs.size());

@@ -11,7 +11,9 @@
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "table/table_build.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -114,6 +116,11 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
   }
   const bool composite = lci.size() > 1;
 
+  trace::Span span("Table/Join");
+  span.AddAttr("left_rows", left.NumRows());
+  span.AddAttr("right_rows", right.NumRows());
+  span.AddAttr("key_columns", static_cast<int64_t>(lci.size()));
+
   // Output schema: left columns then right columns, collisions suffixed.
   Schema out_schema;
   RINGO_RETURN_NOT_OK(
@@ -148,14 +155,24 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
   FlatHashMap<uint64_t, int64_t> heads;
   heads.Reserve(nr);
   std::vector<int64_t> next(nr, -1);
-  for (int64_t r = nr - 1; r >= 0; --r) {
-    if (!rkey_ok[r]) continue;
-    auto [slot, inserted] = heads.Insert(rkey[r], r);
-    if (!inserted) {
-      next[r] = *slot;
-      *slot = r;
+  {
+    trace::Span build_span("Table/Join/build");
+    for (int64_t r = nr - 1; r >= 0; --r) {
+      if (!rkey_ok[r]) continue;
+      auto [slot, inserted] = heads.Insert(rkey[r], r);
+      if (!inserted) {
+        next[r] = *slot;
+        *slot = r;
+      }
     }
+    // The pre-sized build side must never rehash (PR 2's claim); the
+    // counter makes that checkable per query and in the aggregate.
+    build_span.AddAttr("build_rehashes", heads.GrowRehashes());
+    build_span.AddAttr("build_probe_steps", heads.stats().probe_steps);
+    RINGO_COUNTER_ADD("join/build_rehashes", heads.GrowRehashes());
+    RINGO_COUNTER_ADD("join/build_probe_steps", heads.stats().probe_steps);
   }
+  span.AddAttr("build_rehashes", heads.GrowRehashes());
 
   // Probe left rows, partitioned; per-thread buffers keep the output
   // deterministic after in-order concatenation.
@@ -163,21 +180,24 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
   const int threads = NumThreads();
   const std::vector<int64_t> bounds = PartitionRange(nl, threads);
   std::vector<std::vector<int64_t>> lbuf(threads), rbuf(threads);
-#pragma omp parallel num_threads(threads)
   {
-    const int t = omp_get_thread_num();
-    if (t < threads) {
-      std::vector<int64_t>& lo = lbuf[t];
-      std::vector<int64_t>& ro = rbuf[t];
-      for (int64_t l = bounds[t]; l < bounds[t + 1]; ++l) {
-        uint64_t k = 0;
-        if (!CompositeKey(lkeys, l, &k)) continue;
-        const int64_t* head = heads.Find(k);
-        if (head == nullptr) continue;
-        for (int64_t r = *head; r >= 0; r = next[r]) {
-          if (composite && !verify.Equal(l, r)) continue;
-          lo.push_back(l);
-          ro.push_back(r);
+    RINGO_TRACE_SPAN("Table/Join/probe");
+#pragma omp parallel num_threads(threads)
+    {
+      const int t = omp_get_thread_num();
+      if (t < threads) {
+        std::vector<int64_t>& lo = lbuf[t];
+        std::vector<int64_t>& ro = rbuf[t];
+        for (int64_t l = bounds[t]; l < bounds[t + 1]; ++l) {
+          uint64_t k = 0;
+          if (!CompositeKey(lkeys, l, &k)) continue;
+          const int64_t* head = heads.Find(k);
+          if (head == nullptr) continue;
+          for (int64_t r = *head; r >= 0; r = next[r]) {
+            if (composite && !verify.Equal(l, r)) continue;
+            lo.push_back(l);
+            ro.push_back(r);
+          }
         }
       }
     }
@@ -187,6 +207,7 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
     lrows.insert(lrows.end(), lbuf[t].begin(), lbuf[t].end());
     rrows.insert(rrows.end(), rbuf[t].begin(), rbuf[t].end());
   }
+  span.AddAttr("matches", static_cast<int64_t>(lrows.size()));
 
   // Materialize: join always produces a new table object (paper §3).
   TablePtr out = Create(std::move(out_schema), out_pool);

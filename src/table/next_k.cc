@@ -10,6 +10,7 @@
 #include "table/table.h"
 #include "table/table_build.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -21,6 +22,10 @@ Result<TablePtr> Table::NextK(const Table& t, std::string_view group_col,
   RINGO_ASSIGN_OR_RETURN(const int gci,
                          t.FindColumn(group_col));
   RINGO_ASSIGN_OR_RETURN(const int oci, t.FindColumn(order_col));
+
+  trace::Span span("Table/NextK");
+  span.AddAttr("rows", t.NumRows());
+  span.AddAttr("k", static_cast<int64_t>(k));
 
   // Sort rows by (group, order, position) — the position tiebreak keeps
   // ties deterministic and respects input order. The radix path sorts
@@ -56,6 +61,7 @@ Result<TablePtr> Table::NextK(const Table& t, std::string_view group_col,
       succ_rows.push_back(perm[j]);
     }
   }
+  span.AddAttr("pairs", static_cast<int64_t>(pred_rows.size()));
   return internal::BuildPairedOutput(t, t, pred_rows, succ_rows);
 }
 

@@ -8,6 +8,7 @@
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -59,6 +60,9 @@ std::vector<int64_t> SortedDistinctFirsts(const Table& t,
 
 Result<TablePtr> Table::UnionTables(const Table& a, const Table& b) {
   RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  trace::Span span("Table/Union");
+  span.AddAttr("left_rows", a.NumRows());
+  span.AddAttr("right_rows", b.NumRows());
   // Concatenate (interning b's strings into a's pool), then dedupe.
   TablePtr cat = Create(a.schema(), a.pool());
   std::vector<std::string> names;
@@ -84,6 +88,9 @@ Result<TablePtr> Table::UnionTables(const Table& a, const Table& b) {
 
 Result<TablePtr> Table::IntersectTables(const Table& a, const Table& b) {
   RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  trace::Span span("Table/Intersect");
+  span.AddAttr("left_rows", a.NumRows());
+  span.AddAttr("right_rows", b.NumRows());
   const std::vector<int> cols_a = AllColumns(a);
   const std::vector<int> cols_b = AllColumns(b);
   RowComparator cmp_a(&a, &a, cols_a, cols_a);
@@ -114,6 +121,9 @@ Result<TablePtr> Table::IntersectTables(const Table& a, const Table& b) {
 
 Result<TablePtr> Table::MinusTables(const Table& a, const Table& b) {
   RINGO_RETURN_NOT_OK(CheckSameSchema(a, b));
+  trace::Span span("Table/Minus");
+  span.AddAttr("left_rows", a.NumRows());
+  span.AddAttr("right_rows", b.NumRows());
   const std::vector<int> cols_a = AllColumns(a);
   const std::vector<int> cols_b = AllColumns(b);
   RowComparator cmp_a(&a, &a, cols_a, cols_a);

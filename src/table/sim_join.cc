@@ -17,6 +17,7 @@
 #include "table/table.h"
 #include "table/table_build.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -80,6 +81,10 @@ Result<TablePtr> Table::SimJoin(const Table& left, const Table& right,
   if (!(threshold > 0) || !std::isfinite(threshold)) {
     return Status::InvalidArgument("SimJoin threshold must be positive");
   }
+  trace::Span span("Table/SimJoin");
+  span.AddAttr("left_rows", left.NumRows());
+  span.AddAttr("right_rows", right.NumRows());
+  span.AddAttr("dims", static_cast<int64_t>(left_cols.size()));
   std::vector<std::vector<double>> lk, rk;
   RINGO_RETURN_NOT_OK(ExtractKeys(left, left_cols, &lk));
   RINGO_RETURN_NOT_OK(ExtractKeys(right, right_cols, &rk));
@@ -88,7 +93,15 @@ Result<TablePtr> Table::SimJoin(const Table& left, const Table& right,
   std::vector<int64_t> lrows, rrows;
 
   if (dims == 1) {
-    // Sort-merge sweep over one dimension.
+    // Sort-merge sweep over one dimension. In 1-D every metric reduces to
+    // |diff|, so a pair joins iff |lk - rk| < threshold (strict, like the
+    // kD grid path's exact verification). The window boundaries are only
+    // conservative pruning: the old `rk <= v - threshold` /
+    // `rk < v + threshold` bounds evaluated the rounded sums `v ∓
+    // threshold` rather than the difference the metric computes, so ties
+    // at exactly `threshold` (and boundary keys whose `v - threshold`
+    // rounds the other way than `v - rk`) could disagree with the grid
+    // path. Inclusion now re-checks the exact metric predicate per pair.
     std::vector<int64_t> lp(left.NumRows()), rp(right.NumRows());
     std::iota(lp.begin(), lp.end(), 0);
     std::iota(rp.begin(), rp.end(), 0);
@@ -99,10 +112,14 @@ Result<TablePtr> Table::SimJoin(const Table& left, const Table& right,
     size_t lo = 0;
     for (int64_t l : lp) {
       const double v = lk[0][l];
-      while (lo < rp.size() && rk[0][rp[lo]] <= v - threshold) ++lo;
-      for (size_t j = lo; j < rp.size() && rk[0][rp[j]] < v + threshold; ++j) {
-        lrows.push_back(l);
-        rrows.push_back(rp[j]);
+      // Skip rows definitely below the window: the exact |diff| test is
+      // monotone in rk here, so once v - rk < threshold we stop advancing.
+      while (lo < rp.size() && v - rk[0][rp[lo]] >= threshold) ++lo;
+      for (size_t j = lo; j < rp.size() && rk[0][rp[j]] - v < threshold; ++j) {
+        if (std::abs(v - rk[0][rp[j]]) < threshold) {
+          lrows.push_back(l);
+          rrows.push_back(rp[j]);
+        }
       }
     }
   } else {
@@ -138,6 +155,8 @@ Result<TablePtr> Table::SimJoin(const Table& left, const Table& right,
       }
     }
   }
+
+  span.AddAttr("pairs", static_cast<int64_t>(lrows.size()));
 
   // Deterministic output: (left row, right row) ascending.
   std::vector<int64_t> order(lrows.size());

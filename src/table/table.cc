@@ -7,6 +7,7 @@
 #include "table/key_normalize.h"
 #include "table/row_compare.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -239,16 +240,22 @@ Status Table::EvalPredicate(std::string_view col, CmpOp op,
 
 Status Table::SelectInPlace(std::string_view col, CmpOp op,
                             const Value& value) {
+  trace::Span span("Table/SelectInPlace");
+  span.AddAttr("rows", num_rows_);
   std::vector<int64_t> keep;
   RINGO_RETURN_NOT_OK(EvalPredicate(col, op, value, &keep));
+  span.AddAttr("kept", static_cast<int64_t>(keep.size()));
   CompactKeep(keep);
   return Status::OK();
 }
 
 Result<TablePtr> Table::Select(std::string_view col, CmpOp op,
                                const Value& value) const {
+  trace::Span span("Table/Select");
+  span.AddAttr("rows", num_rows_);
   std::vector<int64_t> keep;
   RINGO_RETURN_NOT_OK(EvalPredicate(col, op, value, &keep));
+  span.AddAttr("kept", static_cast<int64_t>(keep.size()));
   return GatherRows(keep);
 }
 
@@ -296,6 +303,9 @@ Result<TablePtr> Table::OrderBy(const std::vector<std::string>& cols,
                                 const std::vector<bool>& ascending) const {
   std::vector<int> idx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, cols, &idx));
+  trace::Span span("Table/OrderBy");
+  span.AddAttr("rows", num_rows_);
+  span.AddAttr("key_columns", static_cast<int64_t>(idx.size()));
   std::vector<int64_t> perm;
   // Fast path: radix-sort normalized (key, row) pairs; falls through to
   // the comparison sort for 3+ key columns. Both yield the stable-sort
@@ -320,6 +330,8 @@ Result<TablePtr> Table::OrderBy(const std::vector<std::string>& cols,
 Result<TablePtr> Table::Unique(const std::vector<std::string>& cols) const {
   std::vector<int> idx;
   RINGO_RETURN_NOT_OK(ResolveColumns(*this, cols, &idx));
+  trace::Span span("Table/Unique");
+  span.AddAttr("rows", num_rows_);
   std::vector<int64_t> perm;
   std::vector<uint8_t> new_run;
   if (!internal::SortedPermByKeys(*this, idx, {}, &perm, &new_run)) {

@@ -10,6 +10,7 @@
 #include "table/table.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -28,6 +29,9 @@ Result<TablePtr> Table::TopK(std::string_view col, int64_t k,
   RINGO_ASSIGN_OR_RETURN(const int ci, schema_.FindColumn(col));
   const std::vector<int> cols{ci};
   const int64_t take = std::min(k, num_rows_);
+  trace::Span span("Table/TopK");
+  span.AddAttr("rows", num_rows_);
+  span.AddAttr("k", take);
   // Radix path: full distribution sort of (key, row) pairs, then keep the
   // first `take` — a handful of linear passes beats the O(n log k) heap
   // partial sort well before n reaches table sizes that matter.

@@ -1,0 +1,328 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <sstream>
+#include <iomanip>
+
+namespace ringo {
+namespace metrics {
+
+namespace {
+
+constexpr uint32_t kMaxCounters = 256;
+constexpr uint32_t kMaxTimers = 64;
+// Ids past the shard capacity land here; their adds are dropped.
+constexpr uint32_t kOverflowId = UINT32_MAX;
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One thread's slice of every counter and timer. Written only by the
+// owning thread (relaxed atomics); read by snapshotters from any thread.
+struct Shard {
+  std::atomic<int64_t> counters[kMaxCounters];
+  struct TimerCell {
+    std::atomic<int64_t> count;
+    std::atomic<int64_t> total_ns;
+    std::atomic<int64_t> min_ns;  // INT64_MAX when empty.
+    std::atomic<int64_t> max_ns;
+    std::atomic<int64_t> buckets[kTimerBuckets];
+  } timers[kMaxTimers];
+
+  Shard() {
+    for (auto& c : counters) c.store(0, std::memory_order_relaxed);
+    for (auto& t : timers) {
+      t.count.store(0, std::memory_order_relaxed);
+      t.total_ns.store(0, std::memory_order_relaxed);
+      t.min_ns.store(INT64_MAX, std::memory_order_relaxed);
+      t.max_ns.store(0, std::memory_order_relaxed);
+      for (auto& b : t.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+class RegistryImpl {
+ public:
+  static RegistryImpl& Instance() {
+    // Leaked on purpose: shards must outlive any thread that might still
+    // record during static destruction.
+    static RegistryImpl* r = new RegistryImpl();
+    return *r;
+  }
+
+  uint32_t InternCounter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_ids_.find(std::string(name));
+    if (it != counter_ids_.end()) return it->second;
+    if (counter_names_.size() >= kMaxCounters) return kOverflowId;
+    const uint32_t id = static_cast<uint32_t>(counter_names_.size());
+    counter_names_.emplace_back(name);
+    counter_ids_.emplace(std::string(name), id);
+    return id;
+  }
+
+  uint32_t InternTimer(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = timer_ids_.find(std::string(name));
+    if (it != timer_ids_.end()) return it->second;
+    if (timer_names_.size() >= kMaxTimers) return kOverflowId;
+    const uint32_t id = static_cast<uint32_t>(timer_names_.size());
+    timer_names_.emplace_back(name);
+    timer_ids_.emplace(std::string(name), id);
+    return id;
+  }
+
+  Shard* ThreadShard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      auto owned = std::make_unique<Shard>();
+      shard = owned.get();
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(std::move(owned));
+    }
+    return shard;
+  }
+
+  void GaugeSet(std::string_view name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    gauges_[std::string(name)] = value;
+  }
+
+  double GaugeValue(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(std::string(name));
+    return it == gauges_.end() ? 0.0 : it->second;
+  }
+
+  int64_t CounterValue(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_ids_.find(std::string(name));
+    if (it == counter_ids_.end()) return 0;
+    int64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s->counters[it->second].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  TimerStats TimerValueLocked(uint32_t id) {
+    TimerStats out;
+    int64_t min_ns = INT64_MAX;
+    for (const auto& s : shards_) {
+      const auto& t = s->timers[id];
+      out.count += t.count.load(std::memory_order_relaxed);
+      out.total_ns += t.total_ns.load(std::memory_order_relaxed);
+      min_ns = std::min(min_ns, t.min_ns.load(std::memory_order_relaxed));
+      out.max_ns = std::max(out.max_ns,
+                            t.max_ns.load(std::memory_order_relaxed));
+      for (int b = 0; b < kTimerBuckets; ++b) {
+        out.buckets[b] += t.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    out.min_ns = out.count > 0 ? min_ns : 0;
+    return out;
+  }
+
+  TimerStats TimerValue(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = timer_ids_.find(std::string(name));
+    if (it == timer_ids_.end()) return {};
+    return TimerValueLocked(it->second);
+  }
+
+  Snapshot TakeSnapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    for (uint32_t id = 0; id < counter_names_.size(); ++id) {
+      int64_t sum = 0;
+      for (const auto& s : shards_) {
+        sum += s->counters[id].load(std::memory_order_relaxed);
+      }
+      snap.counters.emplace_back(counter_names_[id], sum);
+    }
+    for (const auto& [name, value] : gauges_) {
+      snap.gauges.emplace_back(name, value);
+    }
+    for (uint32_t id = 0; id < timer_names_.size(); ++id) {
+      snap.timers.emplace_back(timer_names_[id], TimerValueLocked(id));
+    }
+    auto by_name = [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+    return snap;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : shards_) {
+      for (auto& c : s->counters) c.store(0, std::memory_order_relaxed);
+      for (auto& t : s->timers) {
+        t.count.store(0, std::memory_order_relaxed);
+        t.total_ns.store(0, std::memory_order_relaxed);
+        t.min_ns.store(INT64_MAX, std::memory_order_relaxed);
+        t.max_ns.store(0, std::memory_order_relaxed);
+        for (auto& b : t.buckets) b.store(0, std::memory_order_relaxed);
+      }
+    }
+    gauges_.clear();
+  }
+
+ private:
+  RegistryImpl() = default;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> timer_names_;
+  std::map<std::string, uint32_t> counter_ids_;
+  std::map<std::string, uint32_t> timer_ids_;
+  std::map<std::string, double> gauges_;
+};
+
+// -1 = uninitialized (read RINGO_METRICS on first use), 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+bool InitEnabledFromEnv() {
+  const char* env = std::getenv("RINGO_METRICS");
+  bool on = true;
+  if (env != nullptr &&
+      (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+       std::strcmp(env, "false") == 0 || std::strcmp(env, "OFF") == 0)) {
+    on = false;
+  }
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) == 1;
+}
+
+// Relaxed-max/min update loops for the timer extrema.
+void AtomicMax(std::atomic<int64_t>& a, int64_t v) {
+  int64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void AtomicMin(std::atomic<int64_t>& a, int64_t v) {
+  int64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int TimerBucket(int64_t nanos) {
+  int b = 0;
+  uint64_t v = nanos > 0 ? static_cast<uint64_t>(nanos) : 0;
+  while (v > 1 && b < kTimerBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int e = g_enabled.load(std::memory_order_relaxed);
+  if (e >= 0) return e == 1;
+  return InitEnabledFromEnv();
+}
+
+void SetEnabled(bool on) {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint32_t InternCounter(std::string_view name) {
+  return RegistryImpl::Instance().InternCounter(name);
+}
+
+void CounterAdd(uint32_t id, int64_t delta) {
+  if (id >= kMaxCounters) return;  // Overflowed intern table: dropped.
+  RegistryImpl::Instance().ThreadShard()->counters[id].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+int64_t CounterValue(std::string_view name) {
+  return RegistryImpl::Instance().CounterValue(name);
+}
+
+void GaugeSet(std::string_view name, double value) {
+  RegistryImpl::Instance().GaugeSet(name, value);
+}
+
+double GaugeValue(std::string_view name) {
+  return RegistryImpl::Instance().GaugeValue(name);
+}
+
+uint32_t InternTimer(std::string_view name) {
+  return RegistryImpl::Instance().InternTimer(name);
+}
+
+void TimerRecord(uint32_t id, int64_t nanos) {
+  if (id >= kMaxTimers) return;
+  auto& cell = RegistryImpl::Instance().ThreadShard()->timers[id];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(nanos, std::memory_order_relaxed);
+  AtomicMin(cell.min_ns, nanos);
+  AtomicMax(cell.max_ns, nanos);
+  cell.buckets[TimerBucket(nanos)].fetch_add(1, std::memory_order_relaxed);
+}
+
+TimerStats TimerValue(std::string_view name) {
+  return RegistryImpl::Instance().TimerValue(name);
+}
+
+ScopedTimer::ScopedTimer(uint32_t id)
+    : id_(id), start_ns_(Enabled() ? NowNanos() : -1) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ >= 0) TimerRecord(id_, NowNanos() - start_ns_);
+}
+
+Snapshot TakeSnapshot() { return RegistryImpl::Instance().TakeSnapshot(); }
+
+std::string RenderStatsTable() {
+  const Snapshot snap = TakeSnapshot();
+  std::ostringstream os;
+  os << std::left;
+  if (!snap.counters.empty()) {
+    os << "-- counters --\n";
+    for (const auto& [name, value] : snap.counters) {
+      os << "  " << std::setw(40) << name << ' ' << value << '\n';
+    }
+  }
+  if (!snap.gauges.empty()) {
+    os << "-- gauges --\n";
+    for (const auto& [name, value] : snap.gauges) {
+      os << "  " << std::setw(40) << name << ' ' << value << '\n';
+    }
+  }
+  if (!snap.timers.empty()) {
+    os << "-- timers --\n";
+    for (const auto& [name, t] : snap.timers) {
+      os << "  " << std::setw(40) << name << " count=" << t.count
+         << " total_ms=" << std::fixed << std::setprecision(3)
+         << static_cast<double>(t.total_ns) / 1e6
+         << " max_ms=" << static_cast<double>(t.max_ns) / 1e6 << '\n';
+      os.unsetf(std::ios::fixed);
+    }
+  }
+  return os.str();
+}
+
+void ResetForTest() { RegistryImpl::Instance().Reset(); }
+
+}  // namespace metrics
+}  // namespace ringo

@@ -1,0 +1,125 @@
+// Process-wide metrics registry (DESIGN.md §8): monotonic counters, gauges,
+// and histogram timers behind stable string names. The hot path — a counter
+// increment or a timer record from inside an operator — touches only the
+// calling thread's shard (a relaxed atomic add on a thread-owned cache
+// line), so instrumented code stays TSan-clean and scales with no shared
+// contention; readers merge every shard on demand.
+//
+// Cost model:
+//   * disabled (RINGO_METRICS=off or SetEnabled(false)): one relaxed atomic
+//     load per RINGO_COUNTER_ADD / timer record — near-zero;
+//   * enabled: name→id interning happens once per call site (function-local
+//     static); the per-event cost is one TLS lookup + one relaxed
+//     fetch_add.
+//
+// Counters are monotonic and survive thread exit (a thread's shard is owned
+// by the registry, not the thread). Gauges are last-writer-wins and stored
+// centrally (they are set rarely). Timers record nanosecond durations into
+// count/sum/min/max plus log2 buckets, enough for the flat stats table and
+// coarse percentiles.
+//
+// See util/trace.h for the structured (nested span) side of observability.
+#ifndef RINGO_UTIL_METRICS_H_
+#define RINGO_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ringo {
+namespace metrics {
+
+// Runtime switch. Initialized lazily from the RINGO_METRICS environment
+// variable ("off"/"0"/"false" disable; anything else — including unset —
+// enables). SetEnabled overrides the environment for the rest of the
+// process (used by tests and the overhead ablation).
+bool Enabled();
+void SetEnabled(bool on);
+
+// ---------------------------------------------------------------- counters
+// Interns `name` to a dense id; stable for the process lifetime. The shard
+// capacity is fixed (kMaxCounters); names interned past it map to a
+// sentinel id whose adds are dropped (and counted in "metrics/dropped").
+uint32_t InternCounter(std::string_view name);
+void CounterAdd(uint32_t id, int64_t delta);
+
+// Merged value across all shards (0 for unknown names).
+int64_t CounterValue(std::string_view name);
+
+// ------------------------------------------------------------------ gauges
+void GaugeSet(std::string_view name, double value);
+double GaugeValue(std::string_view name);  // 0.0 for unknown names.
+
+// ------------------------------------------------------------------ timers
+constexpr int kTimerBuckets = 40;  // log2(ns) buckets, clamped.
+
+struct TimerStats {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t min_ns = 0;  // 0 when count == 0.
+  int64_t max_ns = 0;
+  int64_t buckets[kTimerBuckets] = {};
+};
+
+uint32_t InternTimer(std::string_view name);
+void TimerRecord(uint32_t id, int64_t nanos);
+TimerStats TimerValue(std::string_view name);
+
+// A RAII stopwatch recording into a timer on destruction (only when
+// metrics are enabled at construction time).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(uint32_t id);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  uint32_t id_;
+  int64_t start_ns_;  // -1 when inactive.
+};
+
+// ---------------------------------------------------------------- snapshot
+struct Snapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;  // Name-sorted.
+  std::vector<std::pair<std::string, double>> gauges;     // Name-sorted.
+  std::vector<std::pair<std::string, TimerStats>> timers; // Name-sorted.
+};
+
+// Merges every shard; safe to call while other threads keep recording
+// (their in-flight increments land in a later snapshot).
+Snapshot TakeSnapshot();
+
+// Aligned text rendering of TakeSnapshot() for logs and the shell.
+std::string RenderStatsTable();
+
+// Zeroes all counter/timer cells and gauges. Interned ids stay valid.
+// Intended for tests and benchmark phase boundaries only: concurrent
+// writers may survive a reset with partial counts.
+void ResetForTest();
+
+}  // namespace metrics
+}  // namespace ringo
+
+// Adds `delta` to the named monotonic counter. `name` must be a string
+// literal (or otherwise outlive the process); interning cost is paid once
+// per call site.
+#define RINGO_COUNTER_ADD(name, delta)                                   \
+  do {                                                                   \
+    if (::ringo::metrics::Enabled()) {                                   \
+      static const uint32_t _ringo_metrics_cid =                         \
+          ::ringo::metrics::InternCounter(name);                         \
+      ::ringo::metrics::CounterAdd(_ringo_metrics_cid,                   \
+                                   static_cast<int64_t>(delta));         \
+    }                                                                    \
+  } while (0)
+
+// Times the enclosing scope into the named histogram timer.
+#define RINGO_SCOPED_TIMER(name)                                         \
+  static const uint32_t _ringo_metrics_tid_##__LINE__ =                  \
+      ::ringo::metrics::InternTimer(name);                               \
+  ::ringo::metrics::ScopedTimer _ringo_metrics_timer_##__LINE__(         \
+      _ringo_metrics_tid_##__LINE__)
+
+#endif  // RINGO_UTIL_METRICS_H_

@@ -83,14 +83,17 @@ constexpr int64_t kRadixTinyCutoff = 256;
 // individually, so they must be trivially destructible and cheaply
 // assignable (plain structs of scalars; std::pair of scalars qualifies
 // despite its user-provided assignment operator).
+//
+// Returns the number of scatter passes executed (0 when the tiny-input
+// stable_sort leaf ran) — the observability layer records it per sort.
 template <int W, typename R, typename KeyFn>
-void LsdRadixSort(R* data, int64_t n, KeyFn key_of) {
+int LsdRadixSort(R* data, int64_t n, KeyFn key_of) {
   static_assert(W >= 1);
   static_assert(std::is_trivially_destructible_v<R> &&
                     std::is_copy_assignable_v<R> &&
                     std::is_default_constructible_v<R>,
                 "radix sort records must be POD-like");
-  if (n <= 1) return;
+  if (n <= 1) return 0;
   if (n <= kRadixTinyCutoff) {
     std::stable_sort(data, data + n, [&](const R& a, const R& b) {
       for (int w = W - 1; w >= 0; --w) {
@@ -99,7 +102,7 @@ void LsdRadixSort(R* data, int64_t n, KeyFn key_of) {
       }
       return false;
     });
-    return;
+    return 0;
   }
 
   const int parts = n <= kRadixSeqCutoff ? 1 : std::max(1, NumThreads());
@@ -153,11 +156,13 @@ void LsdRadixSort(R* data, int64_t n, KeyFn key_of) {
   R* src = data;
   R* dst = scratch.get();
   std::vector<int64_t> hist(static_cast<size_t>(parts) * 256);
+  int passes_run = 0;
 
   for (int pass = 0; pass < 8 * W; ++pass) {
     const int w = pass / 8;
     const int shift = 8 * (pass % 8);
     if ((((key_or[w] ^ key_and[w]) >> shift) & 0xFF) == 0) continue;
+    ++passes_run;
 
     // Per-part histograms of this pass's digit.
     std::fill(hist.begin(), hist.end(), 0);
@@ -210,6 +215,7 @@ void LsdRadixSort(R* data, int64_t n, KeyFn key_of) {
       ParallelFor(0, parts, copy_back);
     }
   }
+  return passes_run;
 }
 
 }  // namespace internal

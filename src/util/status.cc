@@ -16,6 +16,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kIOError: return "IO error";
     case StatusCode::kNotImplemented: return "Not implemented";
     case StatusCode::kInternal: return "Internal error";
+    case StatusCode::kCorruption: return "Corruption";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode : char {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kCorruption = 9,
 };
 
 // Returns a stable human-readable name for `code` ("Invalid argument", ...).
@@ -74,6 +75,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  // Malformed or inconsistent persisted data (files that parse but violate
+  // the format), as opposed to kIOError for filesystem-level failures.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -90,6 +96,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
 
   // "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -20,6 +20,21 @@ std::vector<std::string_view> SplitFields(std::string_view line, char delim) {
   return out;
 }
 
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  const auto is_ws = [](char c) { return c == ' ' || c == '\t'; };
+  while (i < line.size()) {
+    while (i < line.size() && is_ws(line[i])) ++i;
+    if (i >= line.size()) break;
+    size_t j = i;
+    while (j < line.size() && !is_ws(line[j])) ++j;
+    out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
 Result<int64_t> ParseInt64(std::string_view s) {
   int64_t value = 0;
   const char* first = s.data();

@@ -14,6 +14,11 @@ namespace ringo {
 // Splits `line` on `delim` without copying. Empty fields are preserved.
 std::vector<std::string_view> SplitFields(std::string_view line, char delim);
 
+// Splits `line` on runs of whitespace (spaces and tabs) without copying,
+// the way SNAP edge lists tokenize. Leading/trailing whitespace is
+// ignored; no empty fields are produced.
+std::vector<std::string_view> SplitWhitespace(std::string_view line);
+
 // Strict numeric parsers: the whole field must parse, surrounding
 // whitespace is rejected.
 Result<int64_t> ParseInt64(std::string_view s);

@@ -45,11 +45,21 @@ TEST_F(GraphIoTest, EdgeListSkipsCommentsAndBlanks) {
 }
 
 TEST_F(GraphIoTest, EdgeListRejectsMalformed) {
+  // Malformed persisted data is Corruption (not InvalidArgument), and the
+  // message carries the 1-based line number for debugging.
   const std::string path = TempPath("bad.txt");
   std::ofstream(path) << "1\t2\t3\n";
-  EXPECT_TRUE(LoadEdgeList(path).status().IsInvalidArgument());
-  std::ofstream(path) << "x\ty\n";
-  EXPECT_TRUE(LoadEdgeList(path).status().IsInvalidArgument());
+  {
+    const Status s = LoadEdgeList(path).status();
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    EXPECT_NE(s.ToString().find("line 1"), std::string::npos) << s.ToString();
+  }
+  std::ofstream(path) << "1\t2\nx\ty\n";
+  {
+    const Status s = LoadEdgeList(path).status();
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+    EXPECT_NE(s.ToString().find("line 2"), std::string::npos) << s.ToString();
+  }
   EXPECT_TRUE(LoadEdgeList("/no/such/file").status().IsIOError());
 }
 

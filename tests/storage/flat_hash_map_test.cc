@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <unordered_map>
 
@@ -105,6 +106,63 @@ TEST(FlatHashMapTest, ReserveAvoidsRehash) {
   const int64_t cap = m.capacity();
   for (int64_t i = 0; i < 1000; ++i) m.Insert(i, i);
   EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatHashMapTest, CapacityForTerminatesOnAdversarialCounts) {
+  // Regression: the old `want * 7 < n * 10` comparison overflowed int64 for
+  // huge n, so `want <<= 1` shifted into the sign bit and looped forever.
+  using Map = FlatHashMap<int64_t, int64_t>;
+  constexpr int64_t kMax = int64_t{1} << 62;
+  EXPECT_EQ(Map::CapacityFor(std::numeric_limits<int64_t>::max()), kMax);
+  EXPECT_EQ(Map::CapacityFor(kMax), kMax);
+  // Below the clamp the load-factor rule still decides: 2^61 slots hold
+  // INT64_MAX/10 elements at ≤ 0.7 load.
+  EXPECT_EQ(Map::CapacityFor(std::numeric_limits<int64_t>::max() / 10),
+            int64_t{1} << 61);
+}
+
+TEST(FlatHashMapTest, CapacityForSmallCounts) {
+  using Map = FlatHashMap<int64_t, int64_t>;
+  EXPECT_EQ(Map::CapacityFor(0), 16);
+  EXPECT_EQ(Map::CapacityFor(-5), 16);
+  EXPECT_EQ(Map::CapacityFor(1), 16);
+  EXPECT_EQ(Map::CapacityFor(11), 16);   // 11/16 ≤ 0.7 fails → next check:
+  EXPECT_EQ(Map::CapacityFor(12), 32);   // 12/16 > 0.7 → grow.
+  // Resulting load factor is always ≤ 7/10.
+  for (int64_t n = 1; n < 5000; n = n * 3 + 1) {
+    const int64_t cap = Map::CapacityFor(n);
+    EXPECT_LE(n * 10, cap * 7) << n;
+  }
+}
+
+TEST(FlatHashMapTest, ReservedBuildReportsZeroGrowRehashes) {
+  // The hash-join build side pre-sizes with Reserve; the rehash counter
+  // must then stay at zero through the whole insert loop (Reserve's own
+  // pre-sizing rehash is intentionally not counted).
+  FlatHashMap<int64_t, int64_t> m;
+  m.Reserve(5000);
+  for (int64_t i = 0; i < 5000; ++i) m.Insert(i, i);
+  EXPECT_EQ(m.GrowRehashes(), 0);
+  EXPECT_EQ(m.stats().grow_rehashes, 0);
+  EXPECT_GE(m.stats().probes, 5000);
+
+  FlatHashMap<int64_t, int64_t> unsized;
+  for (int64_t i = 0; i < 5000; ++i) unsized.Insert(i, i);
+  EXPECT_GT(unsized.GrowRehashes(), 0);
+  unsized.ResetStats();
+  EXPECT_EQ(unsized.GrowRehashes(), 0);
+  EXPECT_EQ(unsized.stats().probes, 0);
+}
+
+TEST(FlatHashMapTest, ConstFindLeavesStatsUntouched) {
+  // Concurrent readers share the map during the conversion fill phase, so
+  // the const lookup path must never write the stats block.
+  FlatHashMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 100; ++i) m.Insert(i, i);
+  const auto before = m.stats().probes;
+  const FlatHashMap<int64_t, int64_t>& cm = m;
+  for (int64_t i = 0; i < 100; ++i) cm.Find(i);
+  EXPECT_EQ(m.stats().probes, before);
 }
 
 TEST(FlatHashMapTest, AdversarialKeysSameLowBits) {

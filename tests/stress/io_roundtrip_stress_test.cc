@@ -1,0 +1,175 @@
+// Stress: graph persistence round-trips as properties over seeded random
+// graphs. Text and binary save→load must reproduce the exact structure —
+// including the cases the plain SNAP edge-list format silently loses
+// (isolated nodes, preserved here via "# Node:" markers) — and the parser
+// must accept any whitespace-run tokenization while rejecting malformed
+// lines with a Corruption status.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+class IoRoundtripStress : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& f : files_) std::remove(f.c_str());
+  }
+
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/" + name;
+    files_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> files_;
+};
+
+// Random graph guaranteed to contain the awkward structures: isolated
+// nodes (no in- or out-edges), self-loops, and sparse high ids.
+DirectedGraph AwkwardGraph(int64_t nodes, int64_t edges, uint64_t seed) {
+  Rng rng(seed);
+  DirectedGraph g = testing::RandomDirected(nodes, edges, seed);
+  for (int i = 0; i < 5; ++i) g.AddNode(1000000 + rng.UniformInt(0, 1000) * 7);
+  g.AddEdge(0, 0);  // Self-loop on an existing node.
+  return g;
+}
+
+TEST_F(IoRoundtripStress, TextRoundTripExactAcrossSeeds) {
+  for (const uint64_t seed : {1u, 17u, 5000u, 424242u}) {
+    const DirectedGraph g = AwkwardGraph(200, 900, seed);
+    const std::string path = TempPath("t" + std::to_string(seed) + ".txt");
+    ASSERT_TRUE(SaveEdgeList(g, path).ok());
+    auto back = LoadEdgeList(path);
+    ASSERT_TRUE(back.ok()) << back.status();
+    // Isolated nodes survive via the "# Node:" markers — exact structure.
+    EXPECT_TRUE(back->SameStructure(g)) << "seed=" << seed;
+  }
+}
+
+TEST_F(IoRoundtripStress, BinaryRoundTripExactAcrossSeeds) {
+  for (const uint64_t seed : {1u, 17u, 5000u, 424242u}) {
+    const DirectedGraph g = AwkwardGraph(300, 1500, seed);
+    const std::string path = TempPath("b" + std::to_string(seed) + ".bin");
+    ASSERT_TRUE(SaveGraphBinary(g, path).ok());
+    auto back = LoadGraphBinary(path);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_TRUE(back->SameStructure(g)) << "seed=" << seed;
+  }
+}
+
+TEST_F(IoRoundtripStress, EmptyGraphBothFormats) {
+  const DirectedGraph g;
+  const std::string tpath = TempPath("empty.txt");
+  ASSERT_TRUE(SaveEdgeList(g, tpath).ok());
+  auto tback = LoadEdgeList(tpath);
+  ASSERT_TRUE(tback.ok());
+  EXPECT_EQ(tback->NumNodes(), 0);
+  EXPECT_EQ(tback->NumEdges(), 0);
+
+  const std::string bpath = TempPath("empty.bin");
+  ASSERT_TRUE(SaveGraphBinary(g, bpath).ok());
+  auto bback = LoadGraphBinary(bpath);
+  ASSERT_TRUE(bback.ok());
+  EXPECT_EQ(bback->NumNodes(), 0);
+  EXPECT_EQ(bback->NumEdges(), 0);
+}
+
+TEST_F(IoRoundtripStress, IsolatedNodesOnlyGraph) {
+  DirectedGraph g;
+  for (NodeId id : {NodeId{3}, NodeId{99}, NodeId{100000}}) g.AddNode(id);
+  const std::string path = TempPath("iso.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto back = LoadEdgeList(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->SameStructure(g));
+  EXPECT_EQ(back->NumEdges(), 0);
+  EXPECT_EQ(back->NumNodes(), 3);
+}
+
+TEST_F(IoRoundtripStress, PlainSnapFileWithoutNodeSectionStillLoads) {
+  // Backward compatibility: files written by SNAP (or an older Ringo) have
+  // no "# Node:" section and arbitrary comment headers.
+  const std::string path = TempPath("snap.txt");
+  std::ofstream(path) << "# Directed graph: web-Foo.txt\n"
+                      << "# Nodes: 4 Edges: 3\n"
+                      << "# FromNodeId\tToNodeId\n"
+                      << "0\t1\n1\t2\n2\t3\n";
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 4);
+  EXPECT_EQ(g->NumEdges(), 3);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 3));
+}
+
+TEST_F(IoRoundtripStress, WhitespaceRunTokenization) {
+  // SNAP mirrors mix tabs, spaces, and runs of both; all must parse to the
+  // same graph.
+  const std::string variants[] = {
+      "1\t2\n3\t4\n",          // Single tabs.
+      "1 2\n3 4\n",            // Single spaces.
+      "1   2\n3 \t 4\n",       // Runs and mixes.
+      "  1\t2  \n\t3 4\t\n",   // Leading/trailing whitespace.
+  };
+  for (const std::string& body : variants) {
+    const std::string path = TempPath("ws.txt");
+    std::ofstream(path) << body;
+    auto g = LoadEdgeList(path);
+    ASSERT_TRUE(g.ok()) << g.status() << " for body " << body;
+    EXPECT_EQ(g->NumEdges(), 2) << body;
+    EXPECT_TRUE(g->HasEdge(1, 2)) << body;
+    EXPECT_TRUE(g->HasEdge(3, 4)) << body;
+  }
+}
+
+TEST_F(IoRoundtripStress, MalformedLinesAreCorruptionWithLineNumbers) {
+  struct Case {
+    const char* body;
+    const char* line_tag;  // Expected "line N" fragment in the message.
+  };
+  const Case cases[] = {
+      {"1\t2\n1\t2\t3\n", "line 2"},        // Too many fields.
+      {"1\n", "line 1"},                    // Too few fields.
+      {"a\tb\n", "line 1"},                 // Unparsable ids.
+      {"1\t2\n# Node: x\n", "line 2"},      // Bad node marker.
+      {"# Node: 1 2\n", "line 1"},          // Marker with extra field.
+  };
+  for (const Case& c : cases) {
+    const std::string path = TempPath("bad.txt");
+    std::ofstream(path) << c.body;
+    const Status s = LoadEdgeList(path).status();
+    EXPECT_TRUE(s.IsCorruption()) << c.body << " -> " << s.ToString();
+    EXPECT_NE(s.ToString().find(c.line_tag), std::string::npos)
+        << c.body << " -> " << s.ToString();
+  }
+}
+
+TEST_F(IoRoundtripStress, DoubleRoundTripIsIdempotent) {
+  // save(load(save(g))) must byte-identically reproduce the first file —
+  // the writer is deterministic (sorted ids, fixed header).
+  const DirectedGraph g = AwkwardGraph(150, 600, 0xD00D);
+  const std::string p1 = TempPath("rt1.txt");
+  const std::string p2 = TempPath("rt2.txt");
+  ASSERT_TRUE(SaveEdgeList(g, p1).ok());
+  auto mid = LoadEdgeList(p1);
+  ASSERT_TRUE(mid.ok());
+  ASSERT_TRUE(SaveEdgeList(*mid, p2).ok());
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
+}  // namespace
+}  // namespace ringo

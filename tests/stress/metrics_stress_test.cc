@@ -1,0 +1,144 @@
+// Stress: the observability layer under real concurrency. Counter shards
+// are the lock-free hot path — every thread of an OpenMP team increments
+// through its own relaxed-atomic cells — so the merged totals must be
+// exact (not approximate) at every thread count, and span recording from
+// parallel regions must neither race (TSan gate) nor lose events below
+// the per-thread cap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stress/stress_support.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+class MetricsStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::SetEnabled(true);
+    metrics::ResetForTest();
+    trace::Clear();
+  }
+};
+
+TEST_F(MetricsStress, CounterTotalsExactAtEveryThreadCount) {
+  constexpr int64_t kN = 200000;
+  int64_t expect = 0;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ParallelFor(0, kN, [](int64_t i) {
+      RINGO_COUNTER_ADD("stress/ticks", 1);
+      RINGO_COUNTER_ADD("stress/weighted", i & 7);
+    });
+    expect += kN;
+    ASSERT_EQ(metrics::CounterValue("stress/ticks"), expect) << "tc=" << tc;
+  }
+  // Σ (i & 7) over [0, kN): kN is a multiple of 8, each residue hit kN/8
+  // times per round.
+  const int64_t weighted_round = (kN / 8) * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(metrics::CounterValue("stress/weighted"),
+            weighted_round * static_cast<int64_t>(StressThreadCounts().size()));
+}
+
+TEST_F(MetricsStress, TimerCountsExactUnderConcurrency) {
+  constexpr int64_t kN = 20000;
+  const uint32_t id = metrics::InternTimer("stress/timer");
+  int64_t expect = 0;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ParallelFor(0, kN, [&](int64_t i) { metrics::TimerRecord(id, i + 1); });
+    expect += kN;
+    const metrics::TimerStats s = metrics::TimerValue("stress/timer");
+    ASSERT_EQ(s.count, expect) << "tc=" << tc;
+    ASSERT_EQ(s.max_ns, kN);
+  }
+}
+
+TEST_F(MetricsStress, SpansFromParallelRegionsAllRecorded) {
+  constexpr int64_t kPerRound = 2000;  // Well below kMaxSpansPerThread.
+  int64_t expect = 0;
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ParallelFor(0, kPerRound, [](int64_t i) {
+      trace::Span span("stress/span");
+      span.AddAttr("i", i);
+    });
+    expect += kPerRound;
+  }
+  EXPECT_EQ(trace::DroppedSpans(), 0);
+  const std::vector<trace::FlatStat> stats = trace::FlatStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "stress/span");
+  EXPECT_EQ(stats[0].count, expect);
+}
+
+TEST_F(MetricsStress, NestedSpansInsideParallelWorkers) {
+  // Each worker iteration opens a parent + child pair; depths must pair up
+  // per thread with no cross-thread bleed.
+  constexpr int64_t kN = 1000;
+  ParallelFor(0, kN, [](int64_t) {
+    trace::Span parent("stress/parent");
+    trace::Span child("stress/child");
+  });
+  int64_t parents = 0, children = 0;
+  for (const trace::SpanEvent& e : trace::Spans()) {
+    if (e.name == "stress/parent") {
+      EXPECT_EQ(e.depth, 0);
+      ++parents;
+    } else if (e.name == "stress/child") {
+      EXPECT_EQ(e.depth, 1);
+      ++children;
+    }
+  }
+  EXPECT_EQ(parents, kN);
+  EXPECT_EQ(children, kN);
+}
+
+TEST_F(MetricsStress, SnapshotWhileWritersRun) {
+  // Readers merge shards while writers keep adding: totals observed by the
+  // final snapshot must be exact, and mid-flight snapshots must be
+  // monotonically non-decreasing.
+  constexpr int64_t kN = 100000;
+  ScopedNumThreads threads(StressThreadCounts().back());
+  std::atomic<bool> done{false};
+  bool monotone = true;
+  std::thread reader([&] {
+    int64_t last_seen = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t v = metrics::CounterValue("stress/live");
+      if (v < last_seen) monotone = false;
+      last_seen = v;
+    }
+  });
+  ParallelFor(0, kN, [](int64_t) { RINGO_COUNTER_ADD("stress/live", 1); });
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(metrics::CounterValue("stress/live"), kN);
+}
+
+TEST_F(MetricsStress, SpanBufferCapDropsButNeverBlocks) {
+  // Overflowing one thread's buffer must drop (and count) the excess, not
+  // deadlock or crash; FlatStats still reports only the retained spans.
+  trace::Clear();
+  const int64_t burst = trace::kMaxSpansPerThread + 500;
+  for (int64_t i = 0; i < burst; ++i) trace::Span span("stress/burst");
+  EXPECT_GE(trace::DroppedSpans(), 500);
+  const std::vector<trace::FlatStat> stats = trace::FlatStats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_LE(stats[0].count, trace::kMaxSpansPerThread);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -150,5 +150,79 @@ INSTANTIATE_TEST_SUITE_P(
                                          DistanceMetric::kLInf),
                        ::testing::Values<uint64_t>(1, 2)));
 
+// Regression for the 1-D sweep's window boundaries: inclusion must be
+// exactly `|l - r| < threshold` (what the kD grid path verifies), not the
+// rounded window bounds `fl(v - thr)` / `fl(v + thr)` the sweep prunes
+// with. Pairs at exactly the threshold are excluded for every metric, and
+// the 1-D path agrees pairwise with the same data pushed through the kD
+// grid path via a constant padding dimension.
+TEST(SimJoinBoundaryTest, ExactThresholdTieExcludedAllMetrics) {
+  // In 1-D every metric reduces to |diff|; ties sit exactly at threshold.
+  TablePtr l = FloatTable({{0.0}, {10.0}}, {"x"});
+  TablePtr r = FloatTable({{2.0}, {8.0}, {12.0}}, {"x"});
+  for (const DistanceMetric m :
+       {DistanceMetric::kL1, DistanceMetric::kL2, DistanceMetric::kLInf}) {
+    auto exact = Table::SimJoin(*l, *r, {"x"}, {"x"}, 2.0, m);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_EQ((*exact)->NumRows(), 0) << "metric " << static_cast<int>(m);
+    // Widening past the tie admits (0,2), (10,8) and (10,12).
+    auto open = Table::SimJoin(*l, *r, {"x"}, {"x"}, 2.0000001, m);
+    ASSERT_TRUE(open.ok());
+    EXPECT_EQ((*open)->NumRows(), 3) << "metric " << static_cast<int>(m);
+  }
+}
+
+TEST(SimJoinBoundaryTest, NegativeZeroKeysJoinLikePositiveZero) {
+  TablePtr l = FloatTable({{-0.0}}, {"x"});
+  TablePtr r = FloatTable({{0.0}}, {"x"});
+  auto j = Table::SimJoin(*l, *r, {"x"}, {"x"}, 0.5);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ((*j)->NumRows(), 1);
+}
+
+TEST(SimJoinBoundaryTest, SweepMatchesGridOnRoundingBoundaries) {
+  // Coarse-grid coordinates × a non-representable threshold generate many
+  // pairs whose rounded window bound fl(v ∓ thr) disagrees with the exact
+  // difference fl(v - rk); the sweep and the grid must still agree.
+  for (const uint64_t seed : {3u, 7u, 99u}) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> lrows, rrows;
+    for (int i = 0; i < 120; ++i) {
+      lrows.push_back({rng.UniformInt(-40, 40) * 0.1});
+      rrows.push_back({rng.UniformInt(-40, 40) * 0.1});
+    }
+    auto pad = [](const std::vector<std::vector<double>>& rows) {
+      std::vector<std::vector<double>> out;
+      for (const auto& r : rows) out.push_back({r[0], 0.0});
+      return out;
+    };
+    TablePtr l1 = FloatTable(lrows, {"x"});
+    TablePtr r1 = FloatTable(rrows, {"x"});
+    TablePtr l2 = FloatTable(pad(lrows), {"x", "pad"});
+    TablePtr r2 = FloatTable(pad(rrows), {"x", "pad"});
+    const double thr = 0.3;
+    for (const DistanceMetric m :
+         {DistanceMetric::kL1, DistanceMetric::kL2, DistanceMetric::kLInf}) {
+      auto sweep = Table::SimJoin(*l1, *r1, {"x"}, {"x"}, thr, m);
+      auto grid =
+          Table::SimJoin(*l2, *r2, {"x", "pad"}, {"x", "pad"}, thr, m);
+      ASSERT_TRUE(sweep.ok());
+      ASSERT_TRUE(grid.ok());
+      auto value_pairs = [](const Table& out, int lcol, int rcol) {
+        std::multiset<std::pair<double, double>> pairs;
+        for (int64_t i = 0; i < out.NumRows(); ++i) {
+          pairs.insert(
+              {out.column(lcol).GetFloat(i), out.column(rcol).GetFloat(i)});
+        }
+        return pairs;
+      };
+      EXPECT_EQ((*sweep)->NumRows(), (*grid)->NumRows())
+          << "seed=" << seed << " metric=" << static_cast<int>(m);
+      EXPECT_EQ(value_pairs(**sweep, 0, 1), value_pairs(**grid, 0, 2))
+          << "seed=" << seed << " metric=" << static_cast<int>(m);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ringo
