@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validates BENCH_algos.json (the traversal benchmark artifact).
+
+Usage: scripts/check_bench_algos.py BENCH_algos.json
+
+Structural gate for the BFS/AlgoView rows, run by run_bench.sh and the CI
+bench-smoke job:
+  * every expected benchmark row is present with a positive real_time;
+  * the engine rows prove the snapshot cache worked — a warm AlgoView is
+    reused every iteration (view_hits_in_loop >= iterations) and never
+    rebuilt mid-loop (view_builds_in_loop == 0).
+
+The BFS-vs-baseline speedup ratio is printed for the before/after record
+in EXPERIMENTS.md but deliberately NOT gated — absolute timings must stay
+green on slow single-core CI machines.
+"""
+import json
+import sys
+
+EXPECTED = [
+    "BM_Algos_Bfs_SeqBaseline_LiveJournalSim",
+    "BM_Algos_Bfs_LiveJournalSim",
+    "BM_Algos_Bfs_SeqBaseline_TwitterSim",
+    "BM_Algos_Bfs_TwitterSim",
+    "BM_Algos_AlgoViewBuild_TwitterSim",
+    "BM_Algos_Diameter_LiveJournalSim",
+]
+
+
+def fail(msg):
+    print(f"check_bench_algos: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <BENCH_algos.json>")
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+    rows = {b.get("name"): b for b in doc.get("benchmarks", [])}
+    for name in EXPECTED:
+        if name not in rows:
+            fail(f"missing benchmark row {name}")
+        if rows[name].get("real_time", 0) <= 0:
+            fail(f"{name}: non-positive real_time")
+
+    for name in ("BM_Algos_Bfs_LiveJournalSim", "BM_Algos_Bfs_TwitterSim"):
+        row = rows[name]
+        builds = row.get("view_builds_in_loop")
+        hits = row.get("view_hits_in_loop")
+        iters = row.get("iterations", 0)
+        if builds is None or hits is None:
+            fail(f"{name}: missing view_builds_in_loop/view_hits_in_loop "
+                 "counters (metrics disabled?)")
+        if builds != 0:
+            fail(f"{name}: warm AlgoView was rebuilt {builds} time(s) "
+                 "inside the timed loop — the snapshot cache is broken")
+        if hits < iters:
+            fail(f"{name}: only {hits} cache hits for {iters} iterations")
+
+    for sim in ("LiveJournalSim", "TwitterSim"):
+        base = rows[f"BM_Algos_Bfs_SeqBaseline_{sim}"]["real_time"]
+        new = rows[f"BM_Algos_Bfs_{sim}"]["real_time"]
+        print(f"check_bench_algos: {sim} single-source BFS speedup "
+              f"vs seed baseline: {base / new:.2f}x "
+              f"({base:.3f} -> {new:.3f} "
+              f"{rows[f'BM_Algos_Bfs_{sim}'].get('time_unit', 'ms')})")
+    print(f"check_bench_algos: OK ({len(EXPECTED)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#include "algo/algo_view.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace ringo {
+
+namespace {
+
+// Counts degrees, prefix-sums them into offsets, and fills the neighbor
+// array with dense indices. `adj` maps a NodeData pointer to its sorted
+// adjacency vector; translation through the monotone id->index map keeps
+// each span ascending, so no per-node re-sort is needed.
+template <typename Graph, typename AdjFn>
+void FillCsr(const Graph& g, const NodeIndex& ni, const AdjFn& adj,
+             std::vector<int64_t>* offsets, std::vector<int64_t>* nbrs) {
+  const int64_t n = ni.size();
+  offsets->assign(n + 1, 0);
+  std::vector<const std::vector<NodeId>*> lists(n);
+  ParallelFor(0, n, [&](int64_t i) {
+    lists[i] = &adj(g.GetNode(ni.IdOf(i)));
+    (*offsets)[i] = static_cast<int64_t>(lists[i]->size());
+  });
+  // offsets holds degrees in [0, n) and 0 at n; the exclusive scan turns it
+  // into the n+1 CSR offsets with the total at offsets[n].
+  const int64_t total = ExclusivePrefixSum(offsets->data(), offsets->data(),
+                                           n + 1);
+  nbrs->resize(total);
+  ParallelForDynamic(0, n, [&](int64_t i) {
+    int64_t pos = (*offsets)[i];
+    for (NodeId v : *lists[i]) (*nbrs)[pos++] = ni.IndexOf(v);
+  });
+}
+
+template <typename Graph>
+std::shared_ptr<const AlgoView> CachedOf(const Graph& g) {
+  if (auto cached = g.FreshCachedView()) {
+    RINGO_COUNTER_ADD("algo_view/hit", 1);
+    return std::static_pointer_cast<const AlgoView>(std::move(cached));
+  }
+  if (g.HasCachedView()) RINGO_COUNTER_ADD("algo_view/invalidate", 1);
+  std::shared_ptr<const AlgoView> view = AlgoView::Build(g);
+  g.SetCachedView(view);
+  return view;
+}
+
+}  // namespace
+
+std::shared_ptr<const AlgoView> AlgoView::Of(const DirectedGraph& g) {
+  return CachedOf(g);
+}
+
+std::shared_ptr<const AlgoView> AlgoView::Of(const UndirectedGraph& g) {
+  return CachedOf(g);
+}
+
+std::shared_ptr<const AlgoView> AlgoView::Build(const DirectedGraph& g) {
+  trace::Span span("AlgoView/build");
+  RINGO_COUNTER_ADD("algo_view/build", 1);
+  auto view = std::shared_ptr<AlgoView>(new AlgoView());
+  view->directed_ = true;
+  view->ni_ = NodeIndex::FromGraph(g);
+  FillCsr(
+      g, view->ni_,
+      [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+        return nd->out;
+      },
+      &view->out_offsets_, &view->out_nbrs_);
+  FillCsr(
+      g, view->ni_,
+      [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+        return nd->in;
+      },
+      &view->in_offsets_, &view->in_nbrs_);
+  span.AddAttr("nodes", view->NumNodes());
+  span.AddAttr("arcs", view->NumOutArcs());
+  return view;
+}
+
+std::shared_ptr<const AlgoView> AlgoView::Build(const UndirectedGraph& g) {
+  trace::Span span("AlgoView/build");
+  RINGO_COUNTER_ADD("algo_view/build", 1);
+  auto view = std::shared_ptr<AlgoView>(new AlgoView());
+  view->directed_ = false;
+  view->ni_ = NodeIndex::FromGraph(g);
+  FillCsr(
+      g, view->ni_,
+      [](const UndirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+        return nd->nbrs;
+      },
+      &view->out_offsets_, &view->out_nbrs_);
+  span.AddAttr("nodes", view->NumNodes());
+  span.AddAttr("arcs", view->NumOutArcs());
+  return view;
+}
+
+}  // namespace ringo

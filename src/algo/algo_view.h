@@ -1,0 +1,93 @@
+// AlgoView: a read-optimized CSR snapshot of a dynamic graph, cached on the
+// graph behind its mutation stamp (DESIGN.md §9).
+//
+// The dynamic representations (hash table of nodes, sorted adjacency
+// vectors) pay a hash probe per edge access; traversal cost is dominated by
+// that machinery, not the algorithm. AlgoView materializes the graph once
+// into a NodeIndex (ascending-id dense numbering) plus offset+neighbor
+// arrays, so every traversal-style algorithm runs over flat int64 arrays.
+// Repeated analytics calls on an unmodified graph reuse the cached snapshot
+// (counter "algo_view/hit"); any structural mutation bumps the graph's
+// stamp and the next Of() call rebuilds ("algo_view/build", plus
+// "algo_view/invalidate" when a stale snapshot was evicted).
+//
+// Layout invariants:
+//   * dense index i corresponds to the i-th smallest node id;
+//   * Out(i)/In(i) are ascending spans of dense indices (the adjacency
+//     vectors are id-sorted and the id->index map is monotone);
+//   * undirected graphs store one neighbor array; In(i) == Out(i).
+//
+// Thread-safety: Of() participates in the graph's single-writer contract —
+// do not call it concurrently with graph mutation or with another Of() on
+// the same graph. The build itself parallelizes internally, and a built
+// view is immutable (safe to share across threads).
+#ifndef RINGO_ALGO_ALGO_VIEW_H_
+#define RINGO_ALGO_ALGO_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "algo/node_index.h"
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace ringo {
+
+class AlgoView {
+ public:
+  // Cached accessors: return the snapshot built at the graph's current
+  // mutation stamp, building and caching it if needed.
+  static std::shared_ptr<const AlgoView> Of(const DirectedGraph& g);
+  static std::shared_ptr<const AlgoView> Of(const UndirectedGraph& g);
+
+  // Uncached builds (benchmarks, tests).
+  static std::shared_ptr<const AlgoView> Build(const DirectedGraph& g);
+  static std::shared_ptr<const AlgoView> Build(const UndirectedGraph& g);
+
+  bool directed() const { return directed_; }
+  int64_t NumNodes() const { return ni_.size(); }
+  // Stored arcs: directed edges once per direction array; undirected edges
+  // twice (self-loops once), matching the adjacency vectors.
+  int64_t NumOutArcs() const { return static_cast<int64_t>(out_nbrs_.size()); }
+  int64_t NumInArcs() const {
+    return directed_ ? static_cast<int64_t>(in_nbrs_.size()) : NumOutArcs();
+  }
+
+  const NodeIndex& node_index() const { return ni_; }
+  int64_t IndexOf(NodeId id) const { return ni_.IndexOf(id); }
+  NodeId IdOf(int64_t index) const { return ni_.IdOf(index); }
+
+  // Ascending spans of dense neighbor indices.
+  std::span<const int64_t> Out(int64_t i) const {
+    return {out_nbrs_.data() + out_offsets_[i],
+            static_cast<size_t>(out_offsets_[i + 1] - out_offsets_[i])};
+  }
+  std::span<const int64_t> In(int64_t i) const {
+    if (!directed_) return Out(i);
+    return {in_nbrs_.data() + in_offsets_[i],
+            static_cast<size_t>(in_offsets_[i + 1] - in_offsets_[i])};
+  }
+  int64_t OutDegree(int64_t i) const {
+    return out_offsets_[i + 1] - out_offsets_[i];
+  }
+  int64_t InDegree(int64_t i) const {
+    if (!directed_) return OutDegree(i);
+    return in_offsets_[i + 1] - in_offsets_[i];
+  }
+
+ private:
+  AlgoView() = default;
+
+  bool directed_ = true;
+  NodeIndex ni_;
+  std::vector<int64_t> out_offsets_;  // n+1 entries.
+  std::vector<int64_t> out_nbrs_;
+  std::vector<int64_t> in_offsets_;   // Empty for undirected views.
+  std::vector<int64_t> in_nbrs_;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_ALGO_VIEW_H_

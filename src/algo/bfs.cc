@@ -1,66 +1,52 @@
 #include "algo/bfs.h"
 
 #include <algorithm>
-#include <deque>
 
+#include "algo/algo_view.h"
+#include "algo/bfs_engine.h"
 #include "storage/flat_hash_map.h"
+#include "util/parallel.h"
 #include "util/trace.h"
 
 namespace ringo {
 
 namespace {
 
-// Generic BFS: calls visit(node, dist) for every reached node; expand(node)
-// yields neighbor ranges to follow.
-template <typename Expand>
-void RunBfs(NodeId src, const Expand& expand,
-            FlatHashMap<NodeId, int64_t>* dist) {
-  std::deque<NodeId> queue;
-  dist->Insert(src, 0);
-  queue.push_back(src);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    const int64_t du = *dist->Find(u);
-    expand(u, [&](NodeId v) {
-      if (dist->Insert(v, du + 1).second) queue.push_back(v);
-    });
-  }
-}
-
-NodeInts SortedPairs(const FlatHashMap<NodeId, int64_t>& dist) {
+// Compacts a dense engine result into the public (id, hops) pairs sorted by
+// id: blocked count + prefix + fill, sequential below the engine's own
+// parallel granularity.
+NodeInts DensePairs(const AlgoView& view, const bfs::DenseBfs& r) {
+  const int64_t n = view.NumNodes();
   NodeInts out;
-  out.reserve(dist.size());
-  dist.ForEach([&](NodeId id, const int64_t& d) { out.emplace_back(id, d); });
-  std::sort(out.begin(), out.end());
+  if (r.reached < (1 << 12) || NumThreads() <= 1) {
+    out.reserve(r.reached);
+    for (int64_t i = 0; i < n; ++i) {
+      if (r.dist[i] >= 0) out.emplace_back(view.IdOf(i), r.dist[i]);
+    }
+    return out;
+  }
+  constexpr int64_t kBlock = 1 << 12;
+  const int64_t nblocks = (n + kBlock - 1) / kBlock;
+  std::vector<int64_t> offsets(nblocks + 1, 0);
+  ParallelFor(0, nblocks, [&](int64_t b) {
+    const int64_t lo = b * kBlock;
+    const int64_t hi = std::min(n, lo + kBlock);
+    int64_t c = 0;
+    for (int64_t i = lo; i < hi; ++i) c += (r.dist[i] >= 0);
+    offsets[b] = c;
+  });
+  const int64_t total = ExclusivePrefixSum(offsets);
+  out.resize(total);
+  ParallelFor(0, nblocks, [&](int64_t b) {
+    const int64_t lo = b * kBlock;
+    const int64_t hi = std::min(n, lo + kBlock);
+    int64_t pos = offsets[b];
+    for (int64_t i = lo; i < hi; ++i) {
+      if (r.dist[i] >= 0) out[pos++] = {view.IdOf(i), r.dist[i]};
+    }
+  });
   return out;
 }
-
-// Neighbor expansion for a directed graph under a BfsDir policy.
-struct DirectedExpand {
-  const DirectedGraph* g;
-  BfsDir dir;
-
-  template <typename Visit>
-  void operator()(NodeId u, const Visit& visit) const {
-    const DirectedGraph::NodeData* nd = g->GetNode(u);
-    if (dir == BfsDir::kOut || dir == BfsDir::kBoth) {
-      for (NodeId v : nd->out) visit(v);
-    }
-    if (dir == BfsDir::kIn || dir == BfsDir::kBoth) {
-      for (NodeId v : nd->in) visit(v);
-    }
-  }
-};
-
-struct UndirectedExpand {
-  const UndirectedGraph* g;
-
-  template <typename Visit>
-  void operator()(NodeId u, const Visit& visit) const {
-    for (NodeId v : g->GetNode(u)->nbrs) visit(v);
-  }
-};
 
 }  // namespace
 
@@ -68,20 +54,24 @@ NodeInts BfsDistances(const DirectedGraph& g, NodeId src, BfsDir dir) {
   if (!g.HasNode(src)) return {};
   trace::Span span("Algo/BfsDistances");
   span.AddAttr("nodes", g.NumNodes());
-  FlatHashMap<NodeId, int64_t> dist;
-  RunBfs(src, DirectedExpand{&g, dir}, &dist);
-  span.AddAttr("reached", dist.size());
-  return SortedPairs(dist);
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const bfs::DenseBfs r = bfs::Run(*view, view->IndexOf(src), dir);
+  span.AddAttr("reached", r.reached);
+  span.AddAttr("top_down_steps", r.top_down_steps);
+  span.AddAttr("bottom_up_steps", r.bottom_up_steps);
+  return DensePairs(*view, r);
 }
 
 NodeInts BfsDistances(const UndirectedGraph& g, NodeId src) {
   if (!g.HasNode(src)) return {};
   trace::Span span("Algo/BfsDistances");
   span.AddAttr("nodes", g.NumNodes());
-  FlatHashMap<NodeId, int64_t> dist;
-  RunBfs(src, UndirectedExpand{&g}, &dist);
-  span.AddAttr("reached", dist.size());
-  return SortedPairs(dist);
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const bfs::DenseBfs r = bfs::Run(*view, view->IndexOf(src), BfsDir::kOut);
+  span.AddAttr("reached", r.reached);
+  span.AddAttr("top_down_steps", r.top_down_steps);
+  span.AddAttr("bottom_up_steps", r.bottom_up_steps);
+  return DensePairs(*view, r);
 }
 
 std::vector<NodeId> BfsReachable(const DirectedGraph& g, NodeId src,
@@ -100,75 +90,71 @@ std::vector<NodeId> BfsReachable(const UndirectedGraph& g, NodeId src) {
 std::vector<NodeId> ShortestPath(const DirectedGraph& g, NodeId src,
                                  NodeId dst, BfsDir dir) {
   if (!g.HasNode(src) || !g.HasNode(dst)) return {};
-  FlatHashMap<NodeId, NodeId> parent;
-  FlatHashMap<NodeId, int64_t> dist;
-  std::deque<NodeId> queue;
-  dist.Insert(src, 0);
-  queue.push_back(src);
-  const DirectedExpand expand{&g, dir};
-  bool found = (src == dst);
-  while (!queue.empty() && !found) {
-    const NodeId u = queue.front();
-    queue.pop_front();
-    const int64_t du = *dist.Find(u);
-    expand(u, [&](NodeId v) {
-      if (dist.Insert(v, du + 1).second) {
-        parent.Insert(v, u);
-        if (v == dst) found = true;
-        queue.push_back(v);
-      }
-    });
-  }
-  if (!found) return {};
+  if (src == dst) return {src};
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const int64_t src_i = view->IndexOf(src);
+  const int64_t dst_i = view->IndexOf(dst);
+  bfs::Options opts;
+  opts.need_parents = true;
+  opts.stop_at = dst_i;
+  const bfs::DenseBfs r = bfs::Run(*view, src_i, dir, opts);
+  if (r.dist[dst_i] < 0) return {};
+  // Walking min-id parents yields the same path for every thread count.
   std::vector<NodeId> path{dst};
-  while (path.back() != src) path.push_back(*parent.Find(path.back()));
+  int64_t cur = dst_i;
+  while (cur != src_i) {
+    cur = r.parent[cur];
+    path.push_back(view->IdOf(cur));
+  }
   std::reverse(path.begin(), path.end());
   return path;
 }
 
 int64_t BfsDepth(const DirectedGraph& g, NodeId src, BfsDir dir) {
   if (!g.HasNode(src)) return -1;
-  int64_t depth = 0;
-  for (const auto& [id, d] : BfsDistances(g, src, dir)) {
-    depth = std::max(depth, d);
-  }
-  return depth;
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  return bfs::Run(*view, view->IndexOf(src), dir).max_depth;
 }
 
 int64_t BfsDepth(const UndirectedGraph& g, NodeId src) {
   if (!g.HasNode(src)) return -1;
-  int64_t depth = 0;
-  for (const auto& [id, d] : BfsDistances(g, src)) depth = std::max(depth, d);
-  return depth;
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  return bfs::Run(*view, view->IndexOf(src), BfsDir::kOut).max_depth;
 }
 
 namespace {
 
-// Shared iterative DFS skeleton; emits preorder or postorder.
+// Shared iterative DFS skeleton; emits preorder or postorder. Each frame
+// caches its node's out-vector (NodeData pointers are stable while the
+// graph is const), so the node hash lookup happens once per push instead
+// of twice per loop iteration.
 std::vector<NodeId> DfsOrder(const DirectedGraph& g, NodeId src,
                              bool preorder) {
   if (!g.HasNode(src)) return {};
   std::vector<NodeId> order;
   FlatHashSet<NodeId> visited;
-  // Frame: (node, index of next child to expand).
-  std::vector<std::pair<NodeId, size_t>> stack{{src, 0}};
+  struct Frame {
+    NodeId u;
+    const std::vector<NodeId>* out;  // Sorted: ascending-id children.
+    size_t child;
+  };
+  std::vector<Frame> stack{{src, &g.GetNode(src)->out, 0}};
   visited.Insert(src);
   if (preorder) order.push_back(src);
   while (!stack.empty()) {
-    auto& [u, child] = stack.back();
-    const auto& out = g.GetNode(u)->out;  // Sorted: ascending-id children.
+    Frame& f = stack.back();
     bool descended = false;
-    while (child < out.size()) {
-      const NodeId v = out[child++];
+    while (f.child < f.out->size()) {
+      const NodeId v = (*f.out)[f.child++];
       if (visited.Insert(v)) {
         if (preorder) order.push_back(v);
-        stack.emplace_back(v, 0);
+        stack.push_back({v, &g.GetNode(v)->out, 0});
         descended = true;
         break;
       }
     }
-    if (!descended && child >= g.GetNode(u)->out.size()) {
-      if (!preorder) order.push_back(u);
+    if (!descended) {
+      if (!preorder) order.push_back(f.u);
       stack.pop_back();
     }
   }

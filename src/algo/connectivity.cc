@@ -1,8 +1,10 @@
 #include "algo/connectivity.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
+#include "algo/algo_view.h"
 #include "algo/node_index.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -59,44 +61,44 @@ ComponentLabels WeaklyConnectedComponents(const DirectedGraph& g) {
   trace::Span span("Algo/WeaklyConnectedComponents");
   span.AddAttr("nodes", g.NumNodes());
   span.AddAttr("edges", g.NumEdges());
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  UnionFind uf(ni.size());
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    uf.Union(ni.IndexOf(u), ni.IndexOf(v));
-  });
-  std::vector<int64_t> raw(ni.size());
-  for (int64_t i = 0; i < ni.size(); ++i) raw[i] = uf.Find(i);
-  return Relabel(ni, raw);
+  // The view's arcs are already dense indices — no per-edge hash lookups.
+  // Union order cannot affect the labels: Relabel renumbers by first
+  // occurrence in ascending index order.
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const int64_t n = view->NumNodes();
+  UnionFind uf(n);
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t v : view->Out(u)) uf.Union(u, v);
+  }
+  std::vector<int64_t> raw(n);
+  for (int64_t i = 0; i < n; ++i) raw[i] = uf.Find(i);
+  return Relabel(view->node_index(), raw);
 }
 
 ComponentLabels ConnectedComponents(const UndirectedGraph& g) {
   trace::Span span("Algo/ConnectedComponents");
   span.AddAttr("nodes", g.NumNodes());
   span.AddAttr("edges", g.NumEdges());
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  UnionFind uf(ni.size());
-  g.ForEachEdge([&](NodeId u, NodeId v) {
-    uf.Union(ni.IndexOf(u), ni.IndexOf(v));
-  });
-  std::vector<int64_t> raw(ni.size());
-  for (int64_t i = 0; i < ni.size(); ++i) raw[i] = uf.Find(i);
-  return Relabel(ni, raw);
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const int64_t n = view->NumNodes();
+  UnionFind uf(n);
+  for (int64_t u = 0; u < n; ++u) {
+    // Each edge appears from both endpoints; the second Union is a no-op.
+    for (int64_t v : view->Out(u)) uf.Union(u, v);
+  }
+  std::vector<int64_t> raw(n);
+  for (int64_t i = 0; i < n; ++i) raw[i] = uf.Find(i);
+  return Relabel(view->node_index(), raw);
 }
 
 ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
   trace::Span span("Algo/StronglyConnectedComponents");
   span.AddAttr("nodes", g.NumNodes());
   span.AddAttr("edges", g.NumEdges());
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  const int64_t n = ni.size();
-
-  // Dense out-adjacency.
-  std::vector<std::vector<int64_t>> out(n);
-  for (int64_t i = 0; i < n; ++i) {
-    const auto& o = g.GetNode(ni.IdOf(i))->out;
-    out[i].reserve(o.size());
-    for (NodeId v : o) out[i].push_back(ni.IndexOf(v));
-  }
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const int64_t n = view->NumNodes();
+  // Tarjan walks the view's out-arc spans directly (dense indices).
+  const AlgoView& out = *view;
 
   // Iterative Tarjan. An explicit frame stack replaces recursion so graphs
   // with multi-million-node chains don't blow the C++ stack.
@@ -118,8 +120,8 @@ ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
         stack.push_back(u);
         on_stack[u] = 1;
       }
-      if (child < out[u].size()) {
-        const int64_t v = out[u][child++];
+      if (child < static_cast<size_t>(out.OutDegree(u))) {
+        const int64_t v = out.Out(u)[child++];
         if (disc[v] == kUnvisited) {
           frames.emplace_back(v, 0);
         } else if (on_stack[v]) {
@@ -145,7 +147,7 @@ ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
       }
     }
   }
-  return Relabel(ni, scc);
+  return Relabel(view->node_index(), scc);
 }
 
 std::vector<int64_t> ComponentSizes(const ComponentLabels& labels) {

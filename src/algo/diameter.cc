@@ -1,12 +1,15 @@
 #include "algo/diameter.h"
 
 #include <algorithm>
-#include <numeric>
+#include <memory>
 #include <vector>
 
-#include "algo/bfs.h"
+#include "algo/algo_view.h"
+#include "algo/bfs_engine.h"
 #include "algo/centrality.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -15,26 +18,66 @@ DiameterEstimate EstimateDiameter(const UndirectedGraph& g, int64_t samples,
   DiameterEstimate est;
   const int64_t n = g.NumNodes();
   if (n == 0) return est;
+  trace::Span span("Algo/EstimateDiameter");
+  span.AddAttr("nodes", n);
+  // Pivot sample: partial Fisher-Yates over ascending ids — a pure function
+  // of (node set, seed), independent of thread count.
   std::vector<NodeId> ids = g.SortedNodeIds();
   samples = std::min(samples, n);
   Rng rng(seed);
   for (int64_t i = 0; i < samples; ++i) {
     std::swap(ids[i], ids[rng.UniformInt(i, n - 1)]);
   }
+  span.AddAttr("samples", samples);
 
-  // Histogram of pairwise distances from the pivots.
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+
+  // Pivot BFS runs in parallel, one sequential walk per pivot. Each pivot
+  // accumulates its own histogram / pair count / distance sum over vertices
+  // in ascending dense (= ascending id) order, and the partials merge in
+  // pivot order below — a fixed association, so DiameterEstimate (doubles
+  // included) is bit-identical for every thread count.
+  struct PivotStats {
+    std::vector<int64_t> hist;
+    int64_t pairs = 0;
+    double dist_sum = 0;
+    int64_t ecc = 0;
+  };
+  std::vector<PivotStats> per(samples);
+  std::vector<std::vector<int64_t>> scratch(
+      std::max(omp_get_max_threads(), 1));
+  auto pivot_bfs = [&](int64_t i) {
+    std::vector<int64_t>& dist = scratch[omp_get_thread_num()];
+    bfs::SequentialDistances(*view, view->IndexOf(ids[i]), BfsDir::kOut,
+                             &dist);
+    PivotStats& ps = per[i];
+    const int64_t nv = view->NumNodes();
+    for (int64_t v = 0; v < nv; ++v) {
+      const int64_t d = dist[v];
+      if (d <= 0) continue;
+      if (d >= static_cast<int64_t>(ps.hist.size())) ps.hist.resize(d + 1, 0);
+      ++ps.hist[d];
+      ++ps.pairs;
+      ps.dist_sum += static_cast<double>(d);
+      ps.ecc = std::max(ps.ecc, d);
+    }
+  };
+  if (samples > 1 && NumThreads() > 1) {
+    ParallelForDynamic(0, samples, pivot_bfs, /*chunk=*/1);
+  } else {
+    for (int64_t i = 0; i < samples; ++i) pivot_bfs(i);
+  }
+
   std::vector<int64_t> hist;
   int64_t pairs = 0;
   double dist_sum = 0;
   for (int64_t i = 0; i < samples; ++i) {
-    for (const auto& [v, d] : BfsDistances(g, ids[i])) {
-      if (d == 0) continue;
-      if (d >= static_cast<int64_t>(hist.size())) hist.resize(d + 1, 0);
-      ++hist[d];
-      ++pairs;
-      dist_sum += static_cast<double>(d);
-      est.diameter = std::max(est.diameter, d);
-    }
+    const PivotStats& ps = per[i];
+    if (ps.hist.size() > hist.size()) hist.resize(ps.hist.size(), 0);
+    for (size_t d = 0; d < ps.hist.size(); ++d) hist[d] += ps.hist[d];
+    pairs += ps.pairs;
+    dist_sum += ps.dist_sum;
+    est.diameter = std::max(est.diameter, ps.ecc);
   }
   if (pairs == 0) return est;
   est.avg_distance = dist_sum / static_cast<double>(pairs);

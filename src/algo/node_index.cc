@@ -1,0 +1,32 @@
+#include "algo/node_index.h"
+
+#include "util/radix_sort.h"
+
+namespace ringo {
+
+NodeIndex NodeIndex::FromIds(std::vector<NodeId> ids) {
+  NodeIndex ni;
+  RadixSortI64(ids);
+  ni.ids_ = std::move(ids);
+  const int64_t n = ni.size();
+  if (n == 0) {
+    ni.dense_lookup_ = true;
+    return ni;
+  }
+  const uint64_t span = static_cast<uint64_t>(ni.ids_.back()) -
+                        static_cast<uint64_t>(ni.ids_.front());
+  if (span < static_cast<uint64_t>(4 * n + 16)) {
+    ni.dense_lookup_ = true;
+    ni.base_ = ni.ids_.front();
+    ni.dense_.assign(span + 1, -1);
+    ParallelFor(0, n, [&](int64_t i) {
+      ni.dense_[ni.ids_[i] - ni.base_] = i;
+    });
+  } else {
+    ni.index_.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) ni.index_.Insert(ni.ids_[i], i);
+  }
+  return ni;
+}
+
+}  // namespace ringo

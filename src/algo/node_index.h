@@ -5,7 +5,7 @@
 #ifndef RINGO_ALGO_NODE_INDEX_H_
 #define RINGO_ALGO_NODE_INDEX_H_
 
-#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph_defs.h"
@@ -16,25 +16,36 @@ namespace ringo {
 
 class NodeIndex {
  public:
+  NodeIndex() = default;
+
   // Builds from any graph exposing NodeIds(). Sorted by id.
   template <typename Graph>
   static NodeIndex FromGraph(const Graph& g) {
-    NodeIndex ni;
-    ni.ids_ = g.NodeIds();
-    ParallelSort(ni.ids_.begin(), ni.ids_.end());
-    ni.index_.Reserve(static_cast<int64_t>(ni.ids_.size()));
-    for (int64_t i = 0; i < static_cast<int64_t>(ni.ids_.size()); ++i) {
-      ni.index_.Insert(ni.ids_[i], i);
-    }
-    return ni;
+    return FromIds(g.NodeIds());
   }
+
+  // Builds from a set of distinct node ids (any order; radix-sorted here).
+  // When the id universe is dense — span at most ~4x the node count, the
+  // common case for generated and renumbered graphs — the reverse lookup is
+  // a flat direct-address array filled in parallel (disjoint slots). Sparse
+  // universes fall back to a pre-sized hash map, whose inserts must stay
+  // sequential but never rehash.
+  static NodeIndex FromIds(std::vector<NodeId> ids);
 
   int64_t size() const { return static_cast<int64_t>(ids_.size()); }
   NodeId IdOf(int64_t index) const { return ids_[index]; }
   const std::vector<NodeId>& ids() const { return ids_; }
 
-  // Dense index of `id`; -1 if the node is not in the graph.
+  // Dense index of `id`; -1 if the node is not in the graph. Side-effect
+  // free, so concurrent lookups from parallel loops are safe.
   int64_t IndexOf(NodeId id) const {
+    if (dense_lookup_) {
+      // Unsigned wrap also rejects ids below base_.
+      const uint64_t off =
+          static_cast<uint64_t>(id) - static_cast<uint64_t>(base_);
+      if (off >= dense_.size()) return -1;
+      return dense_[off];  // -1 when the slot is a hole.
+    }
     const int64_t* i = index_.Find(id);
     return i == nullptr ? -1 : *i;
   }
@@ -51,7 +62,10 @@ class NodeIndex {
 
  private:
   std::vector<NodeId> ids_;
-  FlatHashMap<NodeId, int64_t> index_;
+  bool dense_lookup_ = false;
+  NodeId base_ = 0;                // ids_.front() when dense_lookup_.
+  std::vector<int64_t> dense_;     // Direct-address table; -1 = hole.
+  FlatHashMap<NodeId, int64_t> index_;  // Sparse fallback.
 };
 
 }  // namespace ringo

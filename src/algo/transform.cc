@@ -1,8 +1,11 @@
 #include "algo/transform.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "algo/algo_view.h"
 #include "algo/bfs.h"
+#include "algo/bfs_engine.h"
 #include "algo/connectivity.h"
 #include "storage/flat_hash_map.h"
 #include "util/rng.h"
@@ -192,10 +195,15 @@ DirectedGraph GraphDifference(const DirectedGraph& a,
 DirectedGraph Egonet(const DirectedGraph& g, NodeId center, int64_t radius,
                      bool undirected) {
   if (!g.HasNode(center)) return DirectedGraph{};
+  // Run the dense engine directly: the ball is read straight off the dist
+  // array instead of materializing the full (id, hops) pair list.
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const bfs::DenseBfs r = bfs::Run(
+      *view, view->IndexOf(center), undirected ? BfsDir::kBoth : BfsDir::kOut);
   std::vector<NodeId> ball;
-  for (const auto& [id, d] :
-       BfsDistances(g, center, undirected ? BfsDir::kBoth : BfsDir::kOut)) {
-    if (d <= radius) ball.push_back(id);
+  const int64_t n = view->NumNodes();
+  for (int64_t i = 0; i < n; ++i) {
+    if (r.dist[i] >= 0 && r.dist[i] <= radius) ball.push_back(view->IdOf(i));
   }
   return Subgraph(g, ball);
 }

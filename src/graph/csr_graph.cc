@@ -4,6 +4,7 @@
 
 #include "graph/directed_graph.h"
 #include "util/parallel.h"
+#include "util/radix_sort.h"
 
 namespace ringo {
 
@@ -55,10 +56,39 @@ CsrGraph CsrGraph::FromEdges(std::vector<Edge> edges) {
 }
 
 CsrGraph CsrGraph::FromGraph(const DirectedGraph& src) {
-  std::vector<Edge> edges;
-  edges.reserve(src.NumEdges());
-  src.ForEachEdge([&](NodeId u, NodeId v) { edges.emplace_back(u, v); });
-  return FromEdges(std::move(edges));
+  // Degree count + exclusive prefix sum + parallel translated fill straight
+  // from the sorted adjacency vectors — the dynamic graph already has
+  // unique sorted edges, so the materialize/sort/dedupe path of FromEdges
+  // is unnecessary, and translation through the monotone id->index map
+  // keeps each neighbor run sorted.
+  CsrGraph g;
+  g.ids_ = src.NodeIds();
+  RadixSortI64(g.ids_);
+  const int64_t n = g.NumNodes();
+  g.index_.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) g.index_.Insert(g.ids_[i], i);
+
+  std::vector<const DirectedGraph::NodeData*> nodes(n);
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  ParallelFor(0, n, [&](int64_t i) {
+    nodes[i] = src.GetNode(g.ids_[i]);
+    g.out_offsets_[i] = static_cast<int64_t>(nodes[i]->out.size());
+    g.in_offsets_[i] = static_cast<int64_t>(nodes[i]->in.size());
+  });
+  const int64_t m_out = ExclusivePrefixSum(g.out_offsets_.data(),
+                                           g.out_offsets_.data(), n + 1);
+  const int64_t m_in = ExclusivePrefixSum(g.in_offsets_.data(),
+                                          g.in_offsets_.data(), n + 1);
+  g.out_nbrs_.resize(m_out);
+  g.in_nbrs_.resize(m_in);
+  ParallelForDynamic(0, n, [&](int64_t i) {
+    int64_t pos = g.out_offsets_[i];
+    for (NodeId v : nodes[i]->out) g.out_nbrs_[pos++] = *g.index_.Find(v);
+    pos = g.in_offsets_[i];
+    for (NodeId v : nodes[i]->in) g.in_nbrs_[pos++] = *g.index_.Find(v);
+  });
+  return g;
 }
 
 bool CsrGraph::HasEdge(NodeId src, NodeId dst) const {

@@ -22,7 +22,10 @@ bool DirectedGraph::SortedContains(const std::vector<NodeId>& vec, NodeId v) {
 
 bool DirectedGraph::AddNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) NoteMaxNodeId(id);
+  if (inserted) {
+    NoteMaxNodeId(id);
+    ++stamp_;
+  }
   return inserted;
 }
 
@@ -30,6 +33,7 @@ NodeId DirectedGraph::AddNode() {
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
   const NodeId id = next_node_id_++;
   nodes_.Insert(id, NodeData{});
+  ++stamp_;
   return id;
 }
 
@@ -44,6 +48,7 @@ bool DirectedGraph::AddEdge(NodeId src, NodeId dst) {
   NodeData* d = nodes_.Find(dst);
   SortedInsert(d->in, src);
   ++num_edges_;
+  ++stamp_;
   return true;
 }
 
@@ -53,6 +58,7 @@ bool DirectedGraph::DelEdge(NodeId src, NodeId dst) {
   NodeData* d = nodes_.Find(dst);
   SortedErase(d->in, src);
   --num_edges_;
+  ++stamp_;
   return true;
 }
 
@@ -74,6 +80,7 @@ bool DirectedGraph::DelNode(NodeId id) {
   }
   num_edges_ -= removed;
   nodes_.Erase(id);
+  ++stamp_;
   return true;
 }
 

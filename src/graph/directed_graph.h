@@ -17,6 +17,8 @@
 #define RINGO_GRAPH_DIRECTED_GRAPH_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph_defs.h"
@@ -86,12 +88,20 @@ class DirectedGraph {
   }
 
   // Direct slot access to the node table for OpenMP partitioned loops.
+  // The mutable accessor bumps the mutation stamp because callers use it to
+  // splice structure in directly (conversion, IO loaders).
   const NodeTable& node_table() const { return nodes_; }
-  NodeTable& mutable_node_table() { return nodes_; }
+  NodeTable& mutable_node_table() {
+    ++stamp_;
+    return nodes_;
+  }
 
   // Registers `count` edges added externally via mutable_node_table() (the
   // sort-first conversion fills adjacency vectors directly, §2.4).
-  void BumpEdgeCount(int64_t count) { num_edges_ += count; }
+  void BumpEdgeCount(int64_t count) {
+    num_edges_ += count;
+    ++stamp_;
+  }
   void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
 
   // Structure-only heap usage in bytes (node table + adjacency vectors).
@@ -99,6 +109,26 @@ class DirectedGraph {
 
   // Structural equality: same node set and same edge set.
   bool SameStructure(const DirectedGraph& other) const;
+
+  // --------------------------------------------------------------------
+  // Mutation stamp + cached analytics view (DESIGN.md §9).
+  //
+  // Every structural mutation bumps the stamp; read-optimized snapshots
+  // (algo/algo_view.h) are cached here keyed by the stamp value at build
+  // time, so back-to-back analytics calls on an unmodified graph reuse one
+  // snapshot and a mutation lazily invalidates it. The slot is type-erased
+  // so the graph layer stays independent of the algo layer.
+  uint64_t MutationStamp() const { return stamp_; }
+
+  // The cached view if it was built at the current stamp, else nullptr.
+  std::shared_ptr<const void> FreshCachedView() const {
+    return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
+  }
+  bool HasCachedView() const { return cached_view_ != nullptr; }
+  void SetCachedView(std::shared_ptr<const void> view) const {
+    cached_view_ = std::move(view);
+    cached_view_stamp_ = stamp_;
+  }
 
  private:
   // Inserts v into sorted vec if absent; returns false if present.
@@ -109,6 +139,10 @@ class DirectedGraph {
   NodeTable nodes_;
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
+  // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
+  uint64_t stamp_ = 1;
+  mutable std::shared_ptr<const void> cached_view_;
+  mutable uint64_t cached_view_stamp_ = 0;
 };
 
 }  // namespace ringo

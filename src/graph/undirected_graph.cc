@@ -18,7 +18,10 @@ bool UndirectedGraph::SortedErase(std::vector<NodeId>& vec, NodeId v) {
 
 bool UndirectedGraph::AddNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) NoteMaxNodeId(id);
+  if (inserted) {
+    NoteMaxNodeId(id);
+    ++stamp_;
+  }
   return inserted;
 }
 
@@ -26,6 +29,7 @@ NodeId UndirectedGraph::AddNode() {
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
   const NodeId id = next_node_id_++;
   nodes_.Insert(id, NodeData{});
+  ++stamp_;
   return id;
 }
 
@@ -35,6 +39,7 @@ bool UndirectedGraph::AddEdge(NodeId src, NodeId dst) {
   if (!SortedInsert(nodes_.Find(src)->nbrs, dst)) return false;
   if (src != dst) SortedInsert(nodes_.Find(dst)->nbrs, src);
   ++num_edges_;
+  ++stamp_;
   return true;
 }
 
@@ -43,6 +48,7 @@ bool UndirectedGraph::DelEdge(NodeId src, NodeId dst) {
   if (s == nullptr || !SortedErase(s->nbrs, dst)) return false;
   if (src != dst) SortedErase(nodes_.Find(dst)->nbrs, src);
   --num_edges_;
+  ++stamp_;
   return true;
 }
 
@@ -55,6 +61,7 @@ bool UndirectedGraph::DelNode(NodeId id) {
     SortedErase(nodes_.Find(v)->nbrs, id);
   }
   nodes_.Erase(id);
+  ++stamp_;
   return true;
 }
 

@@ -6,6 +6,8 @@
 #define RINGO_GRAPH_UNDIRECTED_GRAPH_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph_defs.h"
@@ -64,12 +66,30 @@ class UndirectedGraph {
   }
 
   const NodeTable& node_table() const { return nodes_; }
-  NodeTable& mutable_node_table() { return nodes_; }
-  void BumpEdgeCount(int64_t count) { num_edges_ += count; }
+  NodeTable& mutable_node_table() {
+    ++stamp_;
+    return nodes_;
+  }
+  void BumpEdgeCount(int64_t count) {
+    num_edges_ += count;
+    ++stamp_;
+  }
   void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
 
   int64_t MemoryUsageBytes() const;
   bool SameStructure(const UndirectedGraph& other) const;
+
+  // Mutation stamp + cached analytics view; see DirectedGraph and
+  // DESIGN.md §9 for the contract.
+  uint64_t MutationStamp() const { return stamp_; }
+  std::shared_ptr<const void> FreshCachedView() const {
+    return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
+  }
+  bool HasCachedView() const { return cached_view_ != nullptr; }
+  void SetCachedView(std::shared_ptr<const void> view) const {
+    cached_view_ = std::move(view);
+    cached_view_stamp_ = stamp_;
+  }
 
  private:
   static bool SortedInsert(std::vector<NodeId>& vec, NodeId v);
@@ -78,6 +98,10 @@ class UndirectedGraph {
   NodeTable nodes_;
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
+  // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
+  uint64_t stamp_ = 1;
+  mutable std::shared_ptr<const void> cached_view_;
+  mutable uint64_t cached_view_stamp_ = 0;
 };
 
 }  // namespace ringo

@@ -1,0 +1,161 @@
+#include "algo/algo_view.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "algo/node_index.h"
+#include "gen/graph_gen.h"
+#include "test_support.h"
+#include "util/metrics.h"
+
+namespace ringo {
+namespace {
+
+TEST(NodeIndexTest, DenseUniverseRoundTrips) {
+  // Ids span ~n, so the direct-address path is taken.
+  std::vector<NodeId> ids = {9, 2, 5, 0, 7, 3};
+  const NodeIndex ni = NodeIndex::FromIds(ids);
+  ASSERT_EQ(ni.size(), 6);
+  for (int64_t i = 0; i < ni.size(); ++i) {
+    EXPECT_EQ(ni.IndexOf(ni.IdOf(i)), i);
+    if (i > 0) {
+      EXPECT_LT(ni.IdOf(i - 1), ni.IdOf(i));
+    }
+  }
+  EXPECT_EQ(ni.IndexOf(1), -1);   // Hole inside the span.
+  EXPECT_EQ(ni.IndexOf(-1), -1);  // Below base.
+  EXPECT_EQ(ni.IndexOf(10), -1);  // Above span.
+}
+
+TEST(NodeIndexTest, SparseUniverseFallsBackToHash) {
+  const std::vector<NodeId> ids = {-5'000'000'000'000, 7, 1'000'000'000'000};
+  const NodeIndex ni = NodeIndex::FromIds(ids);
+  ASSERT_EQ(ni.size(), 3);
+  EXPECT_EQ(ni.IdOf(0), -5'000'000'000'000);
+  EXPECT_EQ(ni.IndexOf(7), 1);
+  EXPECT_EQ(ni.IndexOf(1'000'000'000'000), 2);
+  EXPECT_EQ(ni.IndexOf(8), -1);
+  EXPECT_EQ(ni.IndexOf(0), -1);
+}
+
+TEST(NodeIndexTest, EmptyIds) {
+  const NodeIndex ni = NodeIndex::FromIds({});
+  EXPECT_EQ(ni.size(), 0);
+  EXPECT_EQ(ni.IndexOf(0), -1);
+}
+
+TEST(AlgoViewTest, DirectedViewMatchesAdjacency) {
+  const DirectedGraph g = testing::RandomDirected(200, 900, 3, true);
+  const std::shared_ptr<const AlgoView> view = AlgoView::Build(g);
+  ASSERT_EQ(view->NumNodes(), g.NumNodes());
+  EXPECT_EQ(view->NumOutArcs(), g.NumEdges());
+  EXPECT_EQ(view->NumInArcs(), g.NumEdges());
+  EXPECT_TRUE(view->directed());
+  for (int64_t i = 0; i < view->NumNodes(); ++i) {
+    const NodeId id = view->IdOf(i);
+    const DirectedGraph::NodeData* nd = g.GetNode(id);
+    ASSERT_NE(nd, nullptr);
+    const auto out = view->Out(i);
+    ASSERT_EQ(out.size(), nd->out.size());
+    for (size_t k = 0; k < out.size(); ++k) {
+      EXPECT_EQ(view->IdOf(out[k]), nd->out[k]);  // Same ascending order.
+    }
+    const auto in = view->In(i);
+    ASSERT_EQ(in.size(), nd->in.size());
+    for (size_t k = 0; k < in.size(); ++k) {
+      EXPECT_EQ(view->IdOf(in[k]), nd->in[k]);
+    }
+  }
+}
+
+TEST(AlgoViewTest, UndirectedViewSharesNeighborArray) {
+  const UndirectedGraph g = testing::RandomUndirected(150, 500, 5);
+  const std::shared_ptr<const AlgoView> view = AlgoView::Build(g);
+  EXPECT_FALSE(view->directed());
+  for (int64_t i = 0; i < view->NumNodes(); ++i) {
+    const auto out = view->Out(i);
+    const auto in = view->In(i);
+    ASSERT_EQ(out.data(), in.data());
+    ASSERT_EQ(out.size(), in.size());
+    const NodeId id = view->IdOf(i);
+    ASSERT_EQ(static_cast<int64_t>(out.size()), g.Degree(id));
+  }
+}
+
+TEST(AlgoViewTest, CacheHitAndInvalidateCounters) {
+  metrics::SetEnabled(true);
+  DirectedGraph g = testing::RandomDirected(60, 200, 7);
+  const int64_t b0 = metrics::CounterValue("algo_view/build");
+  const int64_t h0 = metrics::CounterValue("algo_view/hit");
+  const int64_t i0 = metrics::CounterValue("algo_view/invalidate");
+
+  const std::shared_ptr<const AlgoView> v1 = AlgoView::Of(g);
+  EXPECT_EQ(metrics::CounterValue("algo_view/build"), b0 + 1);
+  EXPECT_EQ(metrics::CounterValue("algo_view/hit"), h0);
+
+  // Second call on the unmodified graph: same snapshot, no rebuild.
+  const std::shared_ptr<const AlgoView> v2 = AlgoView::Of(g);
+  EXPECT_EQ(v1.get(), v2.get());
+  EXPECT_EQ(metrics::CounterValue("algo_view/build"), b0 + 1);
+  EXPECT_EQ(metrics::CounterValue("algo_view/hit"), h0 + 1);
+  EXPECT_EQ(metrics::CounterValue("algo_view/invalidate"), i0);
+
+  // Mutation invalidates; the next call rebuilds.
+  ASSERT_TRUE(g.AddEdge(1000, 1001));
+  const std::shared_ptr<const AlgoView> v3 = AlgoView::Of(g);
+  EXPECT_NE(v1.get(), v3.get());
+  EXPECT_EQ(v3->NumNodes(), g.NumNodes());
+  EXPECT_EQ(metrics::CounterValue("algo_view/build"), b0 + 2);
+  EXPECT_EQ(metrics::CounterValue("algo_view/invalidate"), i0 + 1);
+}
+
+TEST(AlgoViewTest, MutationStampTracksStructuralChanges) {
+  DirectedGraph g;
+  uint64_t last = g.MutationStamp();
+  auto bumped = [&](bool expect) {
+    const bool did = g.MutationStamp() != last;
+    last = g.MutationStamp();
+    return did == expect;
+  };
+  EXPECT_TRUE(g.AddNode(1));
+  EXPECT_TRUE(bumped(true));
+  EXPECT_FALSE(g.AddNode(1));  // Duplicate: no structural change.
+  EXPECT_TRUE(bumped(false));
+  EXPECT_TRUE(g.AddEdge(1, 2));
+  EXPECT_TRUE(bumped(true));
+  EXPECT_FALSE(g.AddEdge(1, 2));
+  EXPECT_TRUE(bumped(false));
+  (void)g.NumNodes();
+  (void)g.GetNode(1);
+  (void)g.HasEdge(1, 2);
+  EXPECT_TRUE(bumped(false));  // Queries never bump.
+  EXPECT_TRUE(g.DelEdge(1, 2));
+  EXPECT_TRUE(bumped(true));
+  EXPECT_FALSE(g.DelEdge(1, 2));
+  EXPECT_TRUE(bumped(false));
+  EXPECT_TRUE(g.DelNode(1));
+  EXPECT_TRUE(bumped(true));
+}
+
+TEST(AlgoViewTest, DeletionsInvalidateCachedView) {
+  UndirectedGraph g = gen::Ring(8);
+  const std::shared_ptr<const AlgoView> v1 = AlgoView::Of(g);
+  EXPECT_EQ(v1->NumOutArcs(), 16);  // 8 edges, both directions.
+  ASSERT_TRUE(g.DelEdge(0, 1));
+  const std::shared_ptr<const AlgoView> v2 = AlgoView::Of(g);
+  EXPECT_NE(v1.get(), v2.get());
+  EXPECT_EQ(v2->NumOutArcs(), 14);
+}
+
+TEST(AlgoViewTest, EmptyGraph) {
+  const DirectedGraph g;
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  EXPECT_EQ(view->NumNodes(), 0);
+  EXPECT_EQ(view->NumOutArcs(), 0);
+  EXPECT_EQ(view->IndexOf(0), -1);
+}
+
+}  // namespace
+}  // namespace ringo

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <memory>
+
+#include "algo/algo_view.h"
+#include "algo/bfs_engine.h"
 #include "gen/graph_gen.h"
+#include "storage/flat_hash_map.h"
 #include "test_support.h"
 
 namespace ringo {
@@ -145,6 +151,142 @@ TEST_P(BfsProperty, MatchesBruteForceAllPairs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BfsProperty, ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------
+// Parity suite: the direction-optimizing engine against the legacy
+// sequential deque + hash-map BFS it replaced, and against its own
+// top-down-only strategy.
+
+template <typename Expand>
+NodeInts LegacyBfs(NodeId src, const Expand& expand) {
+  FlatHashMap<NodeId, int64_t> dist;
+  std::deque<NodeId> queue;
+  dist.Insert(src, 0);
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const int64_t du = *dist.Find(u);
+    expand(u, [&](NodeId v) {
+      if (dist.Insert(v, du + 1).second) queue.push_back(v);
+    });
+  }
+  NodeInts out;
+  out.reserve(dist.size());
+  dist.ForEach([&](NodeId id, const int64_t& d) { out.emplace_back(id, d); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+NodeInts LegacyBfs(const DirectedGraph& g, NodeId src, BfsDir dir) {
+  return LegacyBfs(src, [&](NodeId u, const auto& visit) {
+    const DirectedGraph::NodeData* nd = g.GetNode(u);
+    if (dir == BfsDir::kOut || dir == BfsDir::kBoth) {
+      for (NodeId v : nd->out) visit(v);
+    }
+    if (dir == BfsDir::kIn || dir == BfsDir::kBoth) {
+      for (NodeId v : nd->in) visit(v);
+    }
+  });
+}
+
+NodeInts LegacyBfs(const UndirectedGraph& g, NodeId src) {
+  return LegacyBfs(src, [&](NodeId u, const auto& visit) {
+    for (NodeId v : g.GetNode(u)->nbrs) visit(v);
+  });
+}
+
+void ExpectDirectedParity(const DirectedGraph& g, NodeId src) {
+  for (BfsDir dir : {BfsDir::kOut, BfsDir::kIn, BfsDir::kBoth}) {
+    EXPECT_EQ(BfsDistances(g, src, dir), LegacyBfs(g, src, dir))
+        << "src=" << src << " dir=" << static_cast<int>(dir);
+  }
+}
+
+TEST(BfsParityTest, RandomDirected) {
+  const DirectedGraph g = testing::RandomDirected(300, 1500, 11, true);
+  for (NodeId src : {0, 17, 299}) ExpectDirectedParity(g, src);
+}
+
+TEST(BfsParityTest, Rmat) {
+  const DirectedGraph g =
+      gen::BuildDirected(gen::RMatEdges(10, 6000, 5).ValueOrDie());
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  for (size_t s : {size_t{0}, ids.size() / 2, ids.size() - 1}) {
+    ExpectDirectedParity(g, ids[s]);
+  }
+}
+
+TEST(BfsParityTest, StarTriggersBottomUp) {
+  // From a leaf, level 1 is the hub whose forward degree is nearly every
+  // arc — kAuto flips to bottom-up while kTopDown must agree anyway.
+  const UndirectedGraph g = gen::Star(4000);
+  EXPECT_EQ(BfsDistances(g, 5), LegacyBfs(g, 5));
+  EXPECT_EQ(BfsDistances(g, 0), LegacyBfs(g, 0));
+}
+
+TEST(BfsParityTest, ChainAndDisconnected) {
+  DirectedGraph chain = Chain(500);
+  ExpectDirectedParity(chain, 0);
+  ExpectDirectedParity(chain, 499);
+
+  DirectedGraph two;  // Two components + an isolated node.
+  for (NodeId i = 0; i < 50; ++i) two.AddEdge(i, (i + 1) % 50);
+  for (NodeId i = 100; i < 140; ++i) two.AddEdge(i, i + 1);
+  two.AddNode(999);
+  ExpectDirectedParity(two, 0);
+  ExpectDirectedParity(two, 100);
+  ExpectDirectedParity(two, 999);
+}
+
+TEST(BfsParityTest, StrategiesAgreeOnDistAndParent) {
+  const DirectedGraph g =
+      gen::BuildDirected(gen::RMatEdges(9, 4000, 13).ValueOrDie());
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  for (BfsDir dir : {BfsDir::kOut, BfsDir::kBoth}) {
+    bfs::Options auto_opts, td_opts;
+    auto_opts.need_parents = td_opts.need_parents = true;
+    td_opts.strategy = bfs::Strategy::kTopDown;
+    const bfs::DenseBfs a = bfs::Run(*view, 0, dir, auto_opts);
+    const bfs::DenseBfs b = bfs::Run(*view, 0, dir, td_opts);
+    EXPECT_EQ(a.dist, b.dist);
+    EXPECT_EQ(a.parent, b.parent);
+    EXPECT_EQ(a.reached, b.reached);
+    EXPECT_EQ(a.max_depth, b.max_depth);
+  }
+}
+
+TEST(BfsParityTest, ParentsAreMinIdPredecessors) {
+  // Diamond: 0→1→3 and 0→2→3. Both paths are shortest; the engine must
+  // pick parent 1 (the minimum id), so ShortestPath is deterministic.
+  DirectedGraph g;
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(1, 3);
+  EXPECT_EQ(ShortestPath(g, 0, 3), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(BfsParityTest, ShortestPathIsValidAndOptimal) {
+  const DirectedGraph g = testing::RandomDirected(200, 1000, 21);
+  const NodeInts dist = BfsDistances(g, 0);
+  FlatHashMap<NodeId, int64_t> dm;
+  for (const auto& [id, d] : dist) dm.Insert(id, d);
+  for (NodeId dst : {3, 77, 150, 199}) {
+    const auto path = ShortestPath(g, 0, dst);
+    const int64_t* d = dm.Find(dst);
+    if (d == nullptr) {
+      EXPECT_TRUE(path.empty());
+      continue;
+    }
+    ASSERT_EQ(static_cast<int64_t>(path.size()), *d + 1) << "dst=" << dst;
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), dst);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(path[i], path[i + 1]));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ringo

@@ -1,0 +1,108 @@
+// Stress: the direction-optimizing BFS engine and everything built on it
+// must be bit-identical across stress thread counts. The engine's strategy
+// decisions depend only on deterministic frontier statistics and parents
+// are min-id predecessors, so these tests assert *exact* equality — any
+// scheduling-dependent tie-break reintroduced into the traversal fails
+// loudly here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/algo_view.h"
+#include "algo/bfs.h"
+#include "algo/bfs_engine.h"
+#include "algo/diameter.h"
+#include "gen/graph_gen.h"
+#include "stress/stress_support.h"
+#include "test_support.h"
+#include "util/parallel.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+TEST(BfsStress, DistancesAreThreadCountInvariant) {
+  const DirectedGraph rmat =
+      gen::BuildDirected(gen::RMatEdges(11, 30000, 0xB1F).ValueOrDie());
+  const UndirectedGraph rnd = testing::RandomUndirected(5000, 25000, 0x5EED);
+  const UndirectedGraph star = gen::Star(3000);  // Forces bottom-up steps.
+  DirectedGraph chain;  // Maximum-depth frontier: many tiny levels.
+  for (NodeId i = 0; i < 2000; ++i) chain.AddEdge(i, i + 1);
+
+  ScopedNumThreads seq(1);
+  const NodeId rmat_src = rmat.SortedNodeIds().front();
+  const NodeInts rmat_out = BfsDistances(rmat, rmat_src, BfsDir::kOut);
+  const NodeInts rmat_both = BfsDistances(rmat, rmat_src, BfsDir::kBoth);
+  const NodeInts rnd_ref = BfsDistances(rnd, 0);
+  const NodeInts star_ref = BfsDistances(star, 7);
+  const NodeInts chain_ref = BfsDistances(chain, 0, BfsDir::kOut);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(BfsDistances(rmat, rmat_src, BfsDir::kOut), rmat_out)
+        << "tc=" << tc;
+    ASSERT_EQ(BfsDistances(rmat, rmat_src, BfsDir::kBoth), rmat_both)
+        << "tc=" << tc;
+    ASSERT_EQ(BfsDistances(rnd, 0), rnd_ref) << "tc=" << tc;
+    ASSERT_EQ(BfsDistances(star, 7), star_ref) << "tc=" << tc;
+    ASSERT_EQ(BfsDistances(chain, 0, BfsDir::kOut), chain_ref) << "tc=" << tc;
+  }
+}
+
+TEST(BfsStress, EngineDistAndParentAreThreadCountInvariant) {
+  const DirectedGraph g =
+      gen::BuildDirected(gen::RMatEdges(10, 15000, 0xE7E).ValueOrDie());
+  bfs::Options opts;
+  opts.need_parents = true;
+
+  ScopedNumThreads seq(1);
+  const std::shared_ptr<const AlgoView> ref_view = AlgoView::Build(g);
+  const bfs::DenseBfs reference = bfs::Run(*ref_view, 0, BfsDir::kOut, opts);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    // A fresh view per thread count also exercises the parallel CSR build.
+    const std::shared_ptr<const AlgoView> view = AlgoView::Build(g);
+    const bfs::DenseBfs got = bfs::Run(*view, 0, BfsDir::kOut, opts);
+    ASSERT_EQ(got.dist, reference.dist) << "tc=" << tc;
+    ASSERT_EQ(got.parent, reference.parent) << "tc=" << tc;
+    ASSERT_EQ(got.reached, reference.reached) << "tc=" << tc;
+    ASSERT_EQ(got.max_depth, reference.max_depth) << "tc=" << tc;
+  }
+}
+
+TEST(BfsStress, ShortestPathsAreThreadCountInvariant) {
+  const DirectedGraph g = testing::RandomDirected(4000, 24000, 0x9A7);
+  const std::vector<std::pair<NodeId, NodeId>> pairs = {
+      {0, 3999}, {17, 2500}, {123, 124}, {5, 5}, {3999, 0}};
+  ScopedNumThreads seq(1);
+  std::vector<std::vector<NodeId>> reference;
+  for (const auto& [s, d] : pairs) reference.push_back(ShortestPath(g, s, d));
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      ASSERT_EQ(ShortestPath(g, pairs[i].first, pairs[i].second), reference[i])
+          << "tc=" << tc << " pair=" << i;
+    }
+  }
+}
+
+TEST(BfsStress, DiameterEstimateIsThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(2000, 8000, 9);
+  ScopedNumThreads seq(1);
+  const DiameterEstimate reference = EstimateDiameter(g, 16, 3);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const DiameterEstimate got = EstimateDiameter(g, 16, 3);
+    ASSERT_EQ(got.diameter, reference.diameter) << "tc=" << tc;
+    // Exact double equality: per-pivot partials merge in pivot order.
+    ASSERT_EQ(got.effective_diameter, reference.effective_diameter)
+        << "tc=" << tc;
+    ASSERT_EQ(got.avg_distance, reference.avg_distance) << "tc=" << tc;
+  }
+}
+
+}  // namespace
+}  // namespace ringo
