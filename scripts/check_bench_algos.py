@@ -1,16 +1,16 @@
 #!/usr/bin/env python3
-"""Validates BENCH_algos.json (the traversal benchmark artifact).
+"""Validates BENCH_algos.json (the algorithm benchmark artifact).
 
 Usage: scripts/check_bench_algos.py BENCH_algos.json
 
-Structural gate for the BFS/AlgoView rows, run by run_bench.sh and the CI
+Structural gate for the BM_Algos_ rows, run by run_bench.sh and the CI
 bench-smoke job:
   * every expected benchmark row is present with a positive real_time;
-  * the engine rows prove the snapshot cache worked — a warm AlgoView is
+  * every CSR row proves the snapshot cache worked — a warm AlgoView is
     reused every iteration (view_hits_in_loop >= iterations) and never
     rebuilt mid-loop (view_builds_in_loop == 0).
 
-The BFS-vs-baseline speedup ratio is printed for the before/after record
+The legacy-vs-CSR speedup ratios are printed for the before/after record
 in EXPERIMENTS.md but deliberately NOT gated — absolute timings must stay
 green on slow single-core CI machines.
 """
@@ -25,6 +25,29 @@ EXPECTED = [
     "BM_Algos_AlgoViewBuild_TwitterSim",
     "BM_Algos_Diameter_LiveJournalSim",
 ]
+
+# Legacy-vs-CSR pairs for the ported algorithm library: each algorithm has
+# a BM_Algos_<Algo>_LiveJournalSim (CSR, default path) and a
+# BM_Algos_<Algo>_Legacy_LiveJournalSim (hash-adjacency oracle) row.
+PORTED_ALGOS = [
+    "PageRank",
+    "Hits",
+    "Triangles",
+    "KCore",
+    "LabelProp",
+    "Louvain",
+    "Anf",
+    "Betweenness",
+]
+for _algo in PORTED_ALGOS:
+    EXPECTED.append(f"BM_Algos_{_algo}_LiveJournalSim")
+    EXPECTED.append(f"BM_Algos_{_algo}_Legacy_LiveJournalSim")
+
+# Rows that must carry warm-snapshot counters (builds == 0, hits >= iters).
+COUNTER_GATED = [
+    "BM_Algos_Bfs_LiveJournalSim",
+    "BM_Algos_Bfs_TwitterSim",
+] + [f"BM_Algos_{a}_LiveJournalSim" for a in PORTED_ALGOS]
 
 
 def fail(msg):
@@ -51,7 +74,7 @@ def main():
         if rows[name].get("real_time", 0) <= 0:
             fail(f"{name}: non-positive real_time")
 
-    for name in ("BM_Algos_Bfs_LiveJournalSim", "BM_Algos_Bfs_TwitterSim"):
+    for name in COUNTER_GATED:
         row = rows[name]
         builds = row.get("view_builds_in_loop")
         hits = row.get("view_hits_in_loop")
@@ -72,6 +95,12 @@ def main():
               f"vs seed baseline: {base / new:.2f}x "
               f"({base:.3f} -> {new:.3f} "
               f"{rows[f'BM_Algos_Bfs_{sim}'].get('time_unit', 'ms')})")
+    for algo in PORTED_ALGOS:
+        legacy = rows[f"BM_Algos_{algo}_Legacy_LiveJournalSim"]["real_time"]
+        csr = rows[f"BM_Algos_{algo}_LiveJournalSim"]["real_time"]
+        unit = rows[f"BM_Algos_{algo}_LiveJournalSim"].get("time_unit", "ms")
+        print(f"check_bench_algos: {algo} CSR speedup vs legacy oracle: "
+              f"{legacy / csr:.2f}x ({legacy:.3f} -> {csr:.3f} {unit})")
     print(f"check_bench_algos: OK ({len(EXPECTED)} rows)")
 
 

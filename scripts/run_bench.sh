@@ -35,14 +35,15 @@ echo "== bench_table4_table_ops (RINGO_BENCH_SCALE=$SCALE) =="
 "$BUILD_DIR/bench/bench_table4_table_ops" \
   --benchmark_format=json | tee BENCH_table_ops.json >/dev/null
 
-# Traversal rows (BFS engine + AlgoView + diameter) run at a fixed thread
-# count so the artifact is comparable across machines; the acceptance gate
-# for BFS work is the Bfs vs Bfs_SeqBaseline ratio checked below.
+# Algorithm rows (BFS engine, AlgoView, diameter, plus the legacy-vs-CSR
+# pair for every ported algorithm) run at a fixed thread count so the
+# artifact is comparable across machines; the acceptance gates are the
+# per-pair legacy/CSR ratios and the warm-view counters checked below.
 THREADS="${RINGO_BENCH_THREADS:-8}"
-echo "== bench_table3_parallel_algorithms/Bfs rows (OMP_NUM_THREADS=$THREADS) =="
+echo "== bench_table3_parallel_algorithms/BM_Algos_ rows (OMP_NUM_THREADS=$THREADS) =="
 OMP_NUM_THREADS="$THREADS" \
   "$BUILD_DIR/bench/bench_table3_parallel_algorithms" \
-  --benchmark_filter='Bfs|AlgoView|Diameter' \
+  --benchmark_filter='BM_Algos_' \
   --benchmark_format=json | tee BENCH_algos.json >/dev/null
 
 if command -v python3 >/dev/null 2>&1; then

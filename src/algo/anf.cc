@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "algo/algo_view.h"
+#include "algo/csr_switch.h"
 #include "algo/node_index.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -22,30 +26,18 @@ int LowestZeroBit(uint64_t mask) {
   return 64;
 }
 
-}  // namespace
-
-Result<AnfResult> ApproxNeighborhoodFunction(const UndirectedGraph& g,
-                                             int64_t max_h, int64_t k,
-                                             uint64_t seed) {
-  if (max_h < 0 || k < 1 || k > 4096) {
-    return Status::InvalidArgument("ANF needs max_h >= 0 and k in [1, 4096]");
-  }
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  const int64_t n = ni.size();
+// Shared FM-sketch propagation. `nbrs_of(i)` yields i's neighbors as an
+// ascending dense-index span; a self entry is harmless (OR with the node's
+// own sketch is idempotent), so CSR spans need no filtering and match the
+// legacy scaffold exactly. Sketch seeding consumes the Rng in dense-index
+// order, identical on both paths, and the cardinality estimate uses the
+// blocked deterministic sum — the old `omp reduction` combined partials in
+// a team-size-dependent order, so estimates drifted in the last ulps as the
+// thread count changed (the "ANF seed stability" bug).
+template <typename NbrsFn>
+AnfResult AnfKernel(int64_t n, NbrsFn&& nbrs_of, int64_t max_h, int64_t k,
+                    uint64_t seed) {
   AnfResult out;
-  if (n == 0) {
-    out.neighborhood.assign(max_h + 1, 0.0);
-    return out;
-  }
-
-  // Dense adjacency.
-  std::vector<std::vector<int64_t>> adj(n);
-  ParallelForDynamic(0, n, [&](int64_t i) {
-    for (NodeId v : g.GetNode(ni.IdOf(i))->nbrs) {
-      const int64_t j = ni.IndexOf(v);
-      if (j != i) adj[i].push_back(j);
-    }
-  });
 
   // k sketches per node; each node seeds one geometric bit per sketch.
   std::vector<uint64_t> cur(n * k, 0);
@@ -59,16 +51,13 @@ Result<AnfResult> ApproxNeighborhoodFunction(const UndirectedGraph& g,
   }
 
   auto estimate_total = [&](const std::vector<uint64_t>& sketches) {
-    double total = 0;
-#pragma omp parallel for reduction(+ : total) schedule(static)
-    for (int64_t i = 0; i < n; ++i) {
+    return DeterministicBlockSum(0, n, [&](int64_t i) {
       double rsum = 0;
       for (int64_t r = 0; r < k; ++r) {
         rsum += LowestZeroBit(sketches[i * k + r]);
       }
-      total += std::pow(2.0, rsum / static_cast<double>(k)) / kPhi;
-    }
-    return total;
+      return std::pow(2.0, rsum / static_cast<double>(k)) / kPhi;
+    });
   };
 
   out.neighborhood.reserve(max_h + 1);
@@ -78,7 +67,7 @@ Result<AnfResult> ApproxNeighborhoodFunction(const UndirectedGraph& g,
     ParallelForDynamic(0, n, [&](int64_t i) {
       for (int64_t r = 0; r < k; ++r) {
         uint64_t m = cur[i * k + r];
-        for (int64_t j : adj[i]) m |= cur[j * k + r];
+        for (const int64_t j : nbrs_of(i)) m |= cur[j * k + r];
         next[i * k + r] = m;
       }
     });
@@ -104,6 +93,47 @@ Result<AnfResult> ApproxNeighborhoodFunction(const UndirectedGraph& g,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Result<AnfResult> ApproxNeighborhoodFunction(const UndirectedGraph& g,
+                                             int64_t max_h, int64_t k,
+                                             uint64_t seed) {
+  if (max_h < 0 || k < 1 || k > 4096) {
+    return Status::InvalidArgument("ANF needs max_h >= 0 and k in [1, 4096]");
+  }
+  const int64_t n = g.NumNodes();
+  if (n == 0) {
+    AnfResult out;
+    out.neighborhood.assign(max_h + 1, 0.0);
+    return out;
+  }
+  trace::Span span("Algo/Anf");
+  span.AddAttr("nodes", n);
+  span.AddAttr("edges", g.NumEdges());
+  span.AddAttr("max_h", max_h);
+  span.AddAttr("sketches", k);
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    return AnfKernel(
+        n, [&](int64_t i) { return view->Out(i); }, max_h, k, seed);
+  }
+
+  // Legacy oracle: per-call dense adjacency, one hash probe per edge.
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  std::vector<std::vector<int64_t>> adj(n);
+  ParallelForDynamic(0, n, [&](int64_t i) {
+    for (NodeId v : g.GetNode(ni.IdOf(i))->nbrs) {
+      const int64_t j = ni.IndexOf(v);
+      if (j != i) adj[i].push_back(j);
+    }
+  });
+  return AnfKernel(
+      n, [&](int64_t i) { return std::span<const int64_t>(adj[i]); }, max_h,
+      k, seed);
 }
 
 }  // namespace ringo

@@ -3,21 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
+#include "algo/algo_view.h"
+#include "algo/csr_switch.h"
 #include "algo/node_index.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace ringo {
 
 namespace {
 
-// Dense undirected adjacency scaffold shared by the BFS-per-node measures.
-struct DenseAdj {
+// Legacy adjacency scaffold: dense neighbor vectors copied out of the hash
+// table, self-loops stripped (they never lie on a shortest path). Kept as
+// the reference oracle behind csr::SetEnabled(false).
+struct LegacyAdj {
   NodeIndex ni;
   std::vector<std::vector<int64_t>> adj;
 
-  explicit DenseAdj(const UndirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
+  explicit LegacyAdj(const UndirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
     const int64_t n = ni.size();
     adj.resize(n);
     ParallelForDynamic(0, n, [&](int64_t i) {
@@ -25,13 +31,13 @@ struct DenseAdj {
       adj[i].reserve(nbrs.size());
       for (NodeId v : nbrs) {
         const int64_t j = ni.IndexOf(v);
-        if (j != i) adj[i].push_back(j);  // Self-loops don't affect paths.
+        if (j != i) adj[i].push_back(j);
       }
     });
   }
 
   // Directed view: traversal follows out-edges only.
-  explicit DenseAdj(const DirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
+  explicit LegacyAdj(const DirectedGraph& g) : ni(NodeIndex::FromGraph(g)) {
     const int64_t n = ni.size();
     adj.resize(n);
     ParallelForDynamic(0, n, [&](int64_t i) {
@@ -45,11 +51,29 @@ struct DenseAdj {
   }
 
   int64_t size() const { return ni.size(); }
+  std::span<const int64_t> nbrs(int64_t i) const {
+    return std::span<const int64_t>(adj[i]);
+  }
 };
 
-// BFS from `src` over dense adjacency; fills dist (-1 = unreachable) and
-// returns the visit order.
-std::vector<int64_t> DenseBfs(const DenseAdj& da, int64_t src,
+// CSR adjacency: spans straight off the pinned AlgoView snapshot. Spans may
+// contain a self-loop entry; the traversal kernels below are immune to it
+// (a self edge never relaxes dist or sigma) and the eigenvector kernel
+// skips it explicitly, so both scaffolds feed identical arithmetic.
+struct CsrAdj {
+  std::shared_ptr<const AlgoView> view;
+
+  explicit CsrAdj(std::shared_ptr<const AlgoView> v) : view(std::move(v)) {}
+
+  int64_t size() const { return view->NumNodes(); }
+  std::span<const int64_t> nbrs(int64_t i) const { return view->Out(i); }
+  const NodeIndex& node_index() const { return view->node_index(); }
+};
+
+// BFS from `src`; fills dist (-1 = unreachable) and returns the visit
+// order. A self-loop entry in nbrs(u) is a no-op: dist[u] is already set.
+template <typename Adj>
+std::vector<int64_t> DenseBfs(const Adj& da, int64_t src,
                               std::vector<int64_t>* dist) {
   dist->assign(da.size(), -1);
   std::vector<int64_t> order;
@@ -58,7 +82,7 @@ std::vector<int64_t> DenseBfs(const DenseAdj& da, int64_t src,
   order.push_back(src);
   for (size_t head = 0; head < order.size(); ++head) {
     const int64_t u = order[head];
-    for (int64_t v : da.adj[u]) {
+    for (int64_t v : da.nbrs(u)) {
       if ((*dist)[v] < 0) {
         (*dist)[v] = (*dist)[u] + 1;
         order.push_back(v);
@@ -73,13 +97,20 @@ NodeValues DegreeCentralityImpl(const NodeIndex& ni,
   const int64_t n = ni.size();
   std::vector<double> c(n, 0.0);
   const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
-  ParallelFor(0, n, [&](int64_t i) { c[i] = static_cast<double>(deg[i]) / denom; });
+  ParallelFor(0, n,
+              [&](int64_t i) { c[i] = static_cast<double>(deg[i]) / denom; });
   return ni.Zip(c);
 }
 
 }  // namespace
 
 NodeValues DegreeCentrality(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    std::vector<int64_t> deg(view->NumNodes());
+    for (int64_t i = 0; i < view->NumNodes(); ++i) deg[i] = view->OutDegree(i);
+    return DegreeCentralityImpl(view->node_index(), deg);
+  }
   const NodeIndex ni = NodeIndex::FromGraph(g);
   std::vector<int64_t> deg(ni.size());
   for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.Degree(ni.IdOf(i));
@@ -87,6 +118,12 @@ NodeValues DegreeCentrality(const UndirectedGraph& g) {
 }
 
 NodeValues InDegreeCentrality(const DirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    std::vector<int64_t> deg(view->NumNodes());
+    for (int64_t i = 0; i < view->NumNodes(); ++i) deg[i] = view->InDegree(i);
+    return DegreeCentralityImpl(view->node_index(), deg);
+  }
   const NodeIndex ni = NodeIndex::FromGraph(g);
   std::vector<int64_t> deg(ni.size());
   for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.InDegree(ni.IdOf(i));
@@ -94,6 +131,12 @@ NodeValues InDegreeCentrality(const DirectedGraph& g) {
 }
 
 NodeValues OutDegreeCentrality(const DirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    std::vector<int64_t> deg(view->NumNodes());
+    for (int64_t i = 0; i < view->NumNodes(); ++i) deg[i] = view->OutDegree(i);
+    return DegreeCentralityImpl(view->node_index(), deg);
+  }
   const NodeIndex ni = NodeIndex::FromGraph(g);
   std::vector<int64_t> deg(ni.size());
   for (int64_t i = 0; i < ni.size(); ++i) deg[i] = g.OutDegree(ni.IdOf(i));
@@ -102,14 +145,24 @@ NodeValues OutDegreeCentrality(const DirectedGraph& g) {
 
 namespace {
 
-NodeValues ClosenessImpl(const DenseAdj& da) {
+// BFS-per-node measures run over fixed blocks of sources so the dist
+// scratch is allocated once per block, not once per BFS. Blocks go
+// through ParallelForDynamic — never a raw `#pragma omp parallel`,
+// whose fork/join TSan cannot see (util/parallel.h) — and each output
+// slot depends only on its own source, so blocking can't change results.
+constexpr int64_t kBfsSourcesPerBlock = 16;
+
+template <typename Adj>
+std::vector<double> ClosenessKernel(const Adj& da) {
   const int64_t n = da.size();
   std::vector<double> c(n, 0.0);
-#pragma omp parallel
-  {
+  const int64_t nblocks =
+      (n + kBfsSourcesPerBlock - 1) / kBfsSourcesPerBlock;
+  ParallelForDynamic(0, nblocks, [&](int64_t b) {
     std::vector<int64_t> dist;
-#pragma omp for schedule(dynamic, 16)
-    for (int64_t u = 0; u < n; ++u) {
+    const int64_t lo = b * kBfsSourcesPerBlock;
+    const int64_t hi = std::min(n, lo + kBfsSourcesPerBlock);
+    for (int64_t u = lo; u < hi; ++u) {
       const std::vector<int64_t> order = DenseBfs(da, u, &dist);
       int64_t total = 0;
       for (int64_t v : order) total += dist[v];
@@ -120,27 +173,42 @@ NodeValues ClosenessImpl(const DenseAdj& da) {
                (static_cast<double>(r - 1) / static_cast<double>(n - 1));
       }
     }
+  }, /*chunk=*/1);
+  return c;
+}
+
+template <typename Graph>
+NodeValues ClosenessDispatch(const Graph& g) {
+  trace::Span span("Algo/Closeness");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return da.node_index().Zip(ClosenessKernel(da));
   }
-  return da.ni.Zip(c);
+  const LegacyAdj da(g);
+  return da.ni.Zip(ClosenessKernel(da));
 }
 
 }  // namespace
 
 NodeValues ClosenessCentrality(const UndirectedGraph& g) {
-  return ClosenessImpl(DenseAdj(g));
+  return ClosenessDispatch(g);
 }
 
 NodeValues ClosenessCentralityDirected(const DirectedGraph& g) {
-  return ClosenessImpl(DenseAdj(g));
+  return ClosenessDispatch(g);
 }
 
-NodeValues ApproxClosenessCentrality(const UndirectedGraph& g,
-                                     int64_t samples, uint64_t seed) {
-  const DenseAdj da(g);
+namespace {
+
+// Shared body for the sampled-closeness estimator; pivots are dense
+// indices, chosen identically on both paths (dense index i = i-th smallest
+// node id under either scaffold).
+template <typename Adj>
+std::vector<double> ApproxClosenessKernel(const Adj& da, int64_t samples,
+                                          uint64_t seed) {
   const int64_t n = da.size();
-  if (n == 0) return {};
-  samples = std::min(samples, n);
-  // Deterministic pivot sample without replacement.
   std::vector<int64_t> pivots(n);
   std::iota(pivots.begin(), pivots.end(), 0);
   Rng rng(seed);
@@ -175,18 +243,37 @@ NodeValues ApproxClosenessCentrality(const UndirectedGraph& g,
       c[v] = (1.0 / avg) * ((r_est - 1) / static_cast<double>(n - 1));
     }
   }
-  return da.ni.Zip(c);
+  return c;
 }
 
-NodeValues HarmonicCentrality(const UndirectedGraph& g) {
-  const DenseAdj da(g);
+}  // namespace
+
+NodeValues ApproxClosenessCentrality(const UndirectedGraph& g,
+                                     int64_t samples, uint64_t seed) {
+  const int64_t n = g.NumNodes();
+  if (n == 0) return {};
+  samples = std::min(samples, n);
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return da.node_index().Zip(ApproxClosenessKernel(da, samples, seed));
+  }
+  const LegacyAdj da(g);
+  return da.ni.Zip(ApproxClosenessKernel(da, samples, seed));
+}
+
+namespace {
+
+template <typename Adj>
+std::vector<double> HarmonicKernel(const Adj& da) {
   const int64_t n = da.size();
   std::vector<double> c(n, 0.0);
-#pragma omp parallel
-  {
+  const int64_t nblocks =
+      (n + kBfsSourcesPerBlock - 1) / kBfsSourcesPerBlock;
+  ParallelForDynamic(0, nblocks, [&](int64_t b) {
     std::vector<int64_t> dist;
-#pragma omp for schedule(dynamic, 16)
-    for (int64_t u = 0; u < n; ++u) {
+    const int64_t lo = b * kBfsSourcesPerBlock;
+    const int64_t hi = std::min(n, lo + kBfsSourcesPerBlock);
+    for (int64_t u = lo; u < hi; ++u) {
       const std::vector<int64_t> order = DenseBfs(da, u, &dist);
       double acc = 0.0;
       for (int64_t v : order) {
@@ -194,14 +281,28 @@ NodeValues HarmonicCentrality(const UndirectedGraph& g) {
       }
       c[u] = n > 1 ? acc / static_cast<double>(n - 1) : 0.0;
     }
+  }, /*chunk=*/1);
+  return c;
+}
+
+}  // namespace
+
+NodeValues HarmonicCentrality(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return da.node_index().Zip(HarmonicKernel(da));
   }
-  return da.ni.Zip(c);
+  const LegacyAdj da(g);
+  return da.ni.Zip(HarmonicKernel(da));
 }
 
 namespace {
 
-// One Brandes source accumulation into `delta_out` (per-thread buffer).
-void BrandesFromSource(const DenseAdj& da, int64_t s,
+// One Brandes source accumulation into `delta_out`. A self-loop entry never
+// fires either branch (dist[v] is set and != dist[u] + 1 for v == u), so
+// CSR spans need no filtering.
+template <typename Adj>
+void BrandesFromSource(const Adj& da, int64_t s,
                        std::vector<double>* delta_out) {
   const int64_t n = da.size();
   std::vector<int64_t> dist(n, -1);
@@ -215,7 +316,7 @@ void BrandesFromSource(const DenseAdj& da, int64_t s,
   order.push_back(s);
   for (size_t head = 0; head < order.size(); ++head) {
     const int64_t u = order[head];
-    for (int64_t v : da.adj[u]) {
+    for (int64_t v : da.nbrs(u)) {
       if (dist[v] < 0) {
         dist[v] = dist[u] + 1;
         order.push_back(v);
@@ -236,29 +337,56 @@ void BrandesFromSource(const DenseAdj& da, int64_t s,
   }
 }
 
-NodeValues BetweennessImpl(const DenseAdj& da,
-                           const std::vector<int64_t>& sources, double scale,
-                           bool halve_pairs) {
+// Sources are grouped into fixed blocks of 32; each block accumulates its
+// Brandes contributions sequentially into its own buffer, and buffers merge
+// in block order. Which thread ran which block no longer matters, so the
+// result is bit-identical at every thread count (the old per-thread-buffer
+// merge depended on the dynamic schedule).
+template <typename Adj>
+std::vector<double> BetweennessKernel(const Adj& da,
+                                      const std::vector<int64_t>& sources,
+                                      double scale, bool halve_pairs) {
   const int64_t n = da.size();
-  const int threads = NumThreads();
-  std::vector<std::vector<double>> partial(threads,
-                                           std::vector<double>(n, 0.0));
-#pragma omp parallel num_threads(threads)
-  {
-    const int t = omp_get_thread_num();
-#pragma omp for schedule(dynamic, 4)
-    for (size_t i = 0; i < sources.size(); ++i) {
-      BrandesFromSource(da, sources[i], &partial[t]);
+  constexpr int64_t kSourcesPerBlock = 32;
+  const int64_t nsources = static_cast<int64_t>(sources.size());
+  const int64_t nblocks =
+      (nsources + kSourcesPerBlock - 1) / kSourcesPerBlock;
+  std::vector<std::vector<double>> block_sum(nblocks);
+  ParallelForDynamic(0, nblocks, [&](int64_t b) {
+    std::vector<double> acc(n, 0.0);
+    const int64_t lo = b * kSourcesPerBlock;
+    const int64_t hi = std::min(lo + kSourcesPerBlock, nsources);
+    for (int64_t i = lo; i < hi; ++i) {
+      BrandesFromSource(da, sources[i], &acc);
     }
-  }
-  std::vector<double> bc(n, 0.0);
-  for (int t = 0; t < threads; ++t) {
-    for (int64_t v = 0; v < n; ++v) bc[v] += partial[t][v];
-  }
+    block_sum[b] = std::move(acc);
+  });
   // Undirected: each pair was counted from both endpoints.
   const double factor = (halve_pairs ? 0.5 : 1.0) * scale;
-  for (int64_t v = 0; v < n; ++v) bc[v] *= factor;
-  return da.ni.Zip(bc);
+  std::vector<double> bc(n, 0.0);
+  ParallelFor(0, n, [&](int64_t v) {
+    double acc = 0.0;
+    for (int64_t b = 0; b < nblocks; ++b) acc += block_sum[b][v];
+    bc[v] = acc * factor;
+  });
+  return bc;
+}
+
+template <typename Graph>
+NodeValues BetweennessDispatch(const Graph& g,
+                               const std::vector<int64_t>& sources,
+                               double scale, bool halve_pairs) {
+  trace::Span span("Algo/Betweenness");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("sources", static_cast<int64_t>(sources.size()));
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return da.node_index().Zip(
+        BetweennessKernel(da, sources, scale, halve_pairs));
+  }
+  const LegacyAdj da(g);
+  return da.ni.Zip(BetweennessKernel(da, sources, scale, halve_pairs));
 }
 
 }  // namespace
@@ -267,14 +395,14 @@ NodeValues BetweennessCentrality(const UndirectedGraph& g) {
   const int64_t n = g.NumNodes();
   std::vector<int64_t> sources(n);
   std::iota(sources.begin(), sources.end(), 0);
-  return BetweennessImpl(DenseAdj(g), sources, 1.0, /*halve_pairs=*/true);
+  return BetweennessDispatch(g, sources, 1.0, /*halve_pairs=*/true);
 }
 
 NodeValues BetweennessCentralityDirected(const DirectedGraph& g) {
   const int64_t n = g.NumNodes();
   std::vector<int64_t> sources(n);
   std::iota(sources.begin(), sources.end(), 0);
-  return BetweennessImpl(DenseAdj(g), sources, 1.0, /*halve_pairs=*/false);
+  return BetweennessDispatch(g, sources, 1.0, /*halve_pairs=*/false);
 }
 
 NodeValues ApproxBetweennessCentrality(const UndirectedGraph& g,
@@ -289,27 +417,28 @@ NodeValues ApproxBetweennessCentrality(const UndirectedGraph& g,
     std::swap(all[i], all[rng.UniformInt(i, n - 1)]);
   }
   all.resize(samples);
-  return BetweennessImpl(DenseAdj(g), all,
-                         static_cast<double>(n) / static_cast<double>(samples),
-                         /*halve_pairs=*/true);
+  return BetweennessDispatch(
+      g, all, static_cast<double>(n) / static_cast<double>(samples),
+      /*halve_pairs=*/true);
 }
 
-Result<NodeValues> EigenvectorCentrality(const UndirectedGraph& g,
-                                         int max_iters, double tol) {
-  if (max_iters < 1) {
-    return Status::InvalidArgument("EigenvectorCentrality: max_iters >= 1");
-  }
-  const DenseAdj da(g);
+namespace {
+
+template <typename Adj>
+Result<NodeValues> EigenvectorKernel(const Adj& da, const NodeIndex& ni,
+                                     int max_iters, double tol) {
   const int64_t n = da.size();
-  if (n == 0) return NodeValues{};
   std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n))), next(n);
   for (int iter = 0; iter < max_iters; ++iter) {
     // Iterate on A + I rather than A: the shift leaves the principal
     // eigenvector unchanged but kills the period-2 oscillation plain power
-    // iteration exhibits on bipartite graphs (e.g. stars).
+    // iteration exhibits on bipartite graphs (e.g. stars). Self-loop span
+    // entries are skipped — the legacy scaffold strips them at build time.
     ParallelForDynamic(0, n, [&](int64_t i) {
       double acc = x[i];
-      for (int64_t j : da.adj[i]) acc += x[j];
+      for (int64_t j : da.nbrs(i)) {
+        if (j != i) acc += x[j];
+      }
       next[i] = acc;
     });
     double norm = 0.0;
@@ -318,7 +447,7 @@ Result<NodeValues> EigenvectorCentrality(const UndirectedGraph& g,
     if (norm == 0.0) {
       // No edges: centrality is uniform zero.
       std::fill(next.begin(), next.end(), 0.0);
-      return da.ni.Zip(next);
+      return ni.Zip(next);
     }
     double delta = 0.0;
     for (int64_t i = 0; i < n; ++i) {
@@ -328,25 +457,52 @@ Result<NodeValues> EigenvectorCentrality(const UndirectedGraph& g,
     x.swap(next);
     if (tol > 0 && delta < tol) break;
   }
-  return da.ni.Zip(x);
+  return ni.Zip(x);
 }
 
-NodeInts Eccentricities(const UndirectedGraph& g) {
-  const DenseAdj da(g);
+template <typename Adj>
+std::vector<int64_t> EccentricityKernel(const Adj& da) {
   const int64_t n = da.size();
   std::vector<int64_t> ecc(n, 0);
-#pragma omp parallel
-  {
+  const int64_t nblocks =
+      (n + kBfsSourcesPerBlock - 1) / kBfsSourcesPerBlock;
+  ParallelForDynamic(0, nblocks, [&](int64_t b) {
     std::vector<int64_t> dist;
-#pragma omp for schedule(dynamic, 16)
-    for (int64_t u = 0; u < n; ++u) {
+    const int64_t lo = b * kBfsSourcesPerBlock;
+    const int64_t hi = std::min(n, lo + kBfsSourcesPerBlock);
+    for (int64_t u = lo; u < hi; ++u) {
       const std::vector<int64_t> order = DenseBfs(da, u, &dist);
       int64_t e = 0;
       for (int64_t v : order) e = std::max(e, dist[v]);
       ecc[u] = e;
     }
+  }, /*chunk=*/1);
+  return ecc;
+}
+
+}  // namespace
+
+Result<NodeValues> EigenvectorCentrality(const UndirectedGraph& g,
+                                         int max_iters, double tol) {
+  if (max_iters < 1) {
+    return Status::InvalidArgument("EigenvectorCentrality: max_iters >= 1");
   }
-  return da.ni.Zip(ecc);
+  if (g.NumNodes() == 0) return NodeValues{};
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return EigenvectorKernel(da, da.node_index(), max_iters, tol);
+  }
+  const LegacyAdj da(g);
+  return EigenvectorKernel(da, da.ni, max_iters, tol);
+}
+
+NodeInts Eccentricities(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const CsrAdj da(AlgoView::Of(g));
+    return da.node_index().Zip(EccentricityKernel(da));
+  }
+  const LegacyAdj da(g);
+  return da.ni.Zip(EccentricityKernel(da));
 }
 
 }  // namespace ringo

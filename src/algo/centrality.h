@@ -1,6 +1,11 @@
 // Node centrality measures — the "various other node centrality measures"
 // the §4.1 demo offers alongside PageRank and HITS: degree, closeness,
 // harmonic, betweenness (Brandes), and eigenvector centrality.
+//
+// The BFS-per-node kernels traverse AlgoView CSR spans by default;
+// csr::SetEnabled(false) selects the legacy hash-adjacency scaffold kept
+// as the parity oracle. Betweenness accumulates per fixed source block
+// (not per thread), so every measure is bit-identical at any thread count.
 #ifndef RINGO_ALGO_CENTRALITY_H_
 #define RINGO_ALGO_CENTRALITY_H_
 

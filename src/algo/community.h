@@ -1,5 +1,9 @@
 // Community detection: asynchronous label propagation plus Newman
-// modularity scoring of any partition.
+// modularity scoring of any partition. Both read AlgoView CSR spans by
+// default; csr::SetEnabled(false) selects the legacy hash-adjacency
+// oracle. Modularity counts a self-loop as 2 in both its endpoint's degree
+// and the community-internal sum (A_uu = 2), matching Louvain's
+// aggregation convention.
 #ifndef RINGO_ALGO_COMMUNITY_H_
 #define RINGO_ALGO_COMMUNITY_H_
 

@@ -1,0 +1,16 @@
+#include "algo/csr_switch.h"
+
+#include <atomic>
+
+namespace ringo {
+namespace csr {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace csr
+}  // namespace ringo

@@ -1,0 +1,39 @@
+// Kill switch for the CSR-span algorithm kernels (DESIGN.md §10).
+//
+// Every parallel algorithm in src/algo/ has two code paths:
+//   * the CSR path (default): kernels read dense neighbor spans from the
+//     cached AlgoView snapshot — no hash probes on the per-edge hot path;
+//   * the legacy path: the original hash-of-vectors implementation, kept
+//     as the reference oracle for the `parity` test suite.
+// The two paths are bit-identical by construction for discrete outputs and
+// agree to float tolerance (in practice bit-identically: both iterate
+// neighbors in ascending order and use the same blocked reductions). The
+// toggle exists to prove it — the same discipline as radix::SetEnabled.
+#ifndef RINGO_ALGO_CSR_SWITCH_H_
+#define RINGO_ALGO_CSR_SWITCH_H_
+
+namespace ringo {
+namespace csr {
+
+// True (default) = algorithms run on AlgoView CSR spans; false = legacy
+// hash-adjacency oracles. Reads are relaxed atomics, safe from any thread;
+// toggle only between algorithm calls.
+bool Enabled();
+void SetEnabled(bool on);
+
+// RAII toggle for tests and ablations.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) : prev_(Enabled()) { SetEnabled(on); }
+  ~ScopedEnable() { SetEnabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace csr
+}  // namespace ringo
+
+#endif  // RINGO_ALGO_CSR_SWITCH_H_

@@ -1,31 +1,35 @@
 #include "algo/hits.h"
 
 #include <cmath>
+#include <span>
 
+#include "algo/algo_view.h"
+#include "algo/csr_switch.h"
 #include "algo/node_index.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ringo {
 
-Result<HitsScores> Hits(const DirectedGraph& g, const HitsConfig& config) {
-  if (config.max_iters < 1) {
-    return Status::InvalidArgument("HITS needs at least one iteration");
-  }
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  const int64_t n = ni.size();
-  if (n == 0) return HitsScores{};
+namespace {
 
-  std::vector<const DirectedGraph::NodeData*> node_ptr(n);
-  for (int64_t i = 0; i < n; ++i) node_ptr[i] = g.GetNode(ni.IdOf(i));
-
+// Shared iteration: auth = Aᵀ·hub, hub = A·auth, L2-normalized each round.
+// `in_of(i)` / `out_of(i)` yield ascending dense-index spans; the legacy
+// and CSR paths feed identical spans (both adjacency orders are ascending),
+// so the two paths are arithmetically identical. The norms and the L1
+// convergence delta use the blocked deterministic sum so results are
+// bit-identical at every thread count.
+template <typename InSpanFn, typename OutSpanFn>
+HitsScores IterateHits(int64_t n, const NodeIndex& ni, InSpanFn&& in_of,
+                       OutSpanFn&& out_of, const HitsConfig& config) {
   std::vector<double> hub(n, 1.0), auth(n, 1.0);
   std::vector<double> hub_next(n), auth_next(n);
   auto normalize = [n](std::vector<double>& v) {
-    double norm = 0.0;
-    for (int64_t i = 0; i < n; ++i) norm += v[i] * v[i];
+    double norm = DeterministicBlockSum(
+        0, n, [&](int64_t i) { return v[i] * v[i]; });
     norm = std::sqrt(norm);
     if (norm > 0) {
-      for (int64_t i = 0; i < n; ++i) v[i] /= norm;
+      ParallelFor(0, n, [&](int64_t i) { v[i] /= norm; });
     }
   };
   normalize(hub);
@@ -35,27 +39,64 @@ Result<HitsScores> Hits(const DirectedGraph& g, const HitsConfig& config) {
     // auth(v) = sum of hub(u) over in-neighbors u.
     ParallelForDynamic(0, n, [&](int64_t i) {
       double acc = 0.0;
-      for (NodeId u : node_ptr[i]->in) acc += hub[ni.IndexOf(u)];
+      for (const int64_t u : in_of(i)) acc += hub[u];
       auth_next[i] = acc;
     });
     // hub(u) = sum of auth(v) over out-neighbors v.
     ParallelForDynamic(0, n, [&](int64_t i) {
       double acc = 0.0;
-      for (NodeId v : node_ptr[i]->out) acc += auth_next[ni.IndexOf(v)];
+      for (const int64_t v : out_of(i)) acc += auth_next[v];
       hub_next[i] = acc;
     });
     normalize(auth_next);
     normalize(hub_next);
 
-    double delta = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      delta += std::abs(auth_next[i] - auth[i]) + std::abs(hub_next[i] - hub[i]);
-    }
+    const double delta = DeterministicBlockSum(0, n, [&](int64_t i) {
+      return std::abs(auth_next[i] - auth[i]) + std::abs(hub_next[i] - hub[i]);
+    });
     auth.swap(auth_next);
     hub.swap(hub_next);
     if (config.tol > 0 && delta < config.tol) break;
   }
   return HitsScores{ni.Zip(hub), ni.Zip(auth)};
+}
+
+}  // namespace
+
+Result<HitsScores> Hits(const DirectedGraph& g, const HitsConfig& config) {
+  if (config.max_iters < 1) {
+    return Status::InvalidArgument("HITS needs at least one iteration");
+  }
+  if (g.NumNodes() == 0) return HitsScores{};
+  trace::Span span("Algo/Hits");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    return IterateHits(
+        view->NumNodes(), view->node_index(),
+        [&](int64_t i) { return view->In(i); },
+        [&](int64_t i) { return view->Out(i); }, config);
+  }
+
+  // Legacy oracle: per-call dense in/out adjacency from the hash table (one
+  // hash probe per edge during the build).
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  const int64_t n = ni.size();
+  std::vector<std::vector<int64_t>> in(n), out(n);
+  for (int64_t i = 0; i < n; ++i) {
+    const DirectedGraph::NodeData* nd = g.GetNode(ni.IdOf(i));
+    in[i].reserve(nd->in.size());
+    for (NodeId u : nd->in) in[i].push_back(ni.IndexOf(u));
+    out[i].reserve(nd->out.size());
+    for (NodeId v : nd->out) out[i].push_back(ni.IndexOf(v));
+  }
+  return IterateHits(
+      n, ni,
+      [&](int64_t i) { return std::span<const int64_t>(in[i]); },
+      [&](int64_t i) { return std::span<const int64_t>(out[i]); }, config);
 }
 
 }  // namespace ringo

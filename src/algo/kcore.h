@@ -1,6 +1,11 @@
 // k-core decomposition (Table 6's "3-core" row). The k-core of a graph is
 // the maximal subgraph in which every node has degree >= k; the core number
 // of a node is the largest k for which it is in the k-core.
+//
+// Default path: level-synchronous parallel peeling over AlgoView CSR spans
+// (core numbers are a graph property, so the output is identical at every
+// thread count). csr::SetEnabled(false) selects the sequential
+// Batagelj–Zaveršnik oracle used by the parity suite.
 #ifndef RINGO_ALGO_KCORE_H_
 #define RINGO_ALGO_KCORE_H_
 

@@ -1,7 +1,10 @@
 #include "algo/pagerank.h"
 
 #include <cmath>
+#include <span>
 
+#include "algo/algo_view.h"
+#include "algo/csr_switch.h"
 #include "algo/node_index.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -20,35 +23,19 @@ Status ValidateConfig(const PageRankConfig& c) {
   return Status::OK();
 }
 
-// Shared power iteration. `teleport` gives each node's jump probability
-// (sums to 1); `parallel` toggles OpenMP loops.
-NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
-                        const std::vector<double>& teleport, bool parallel) {
-  trace::Span span("Algo/PageRank");
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  const int64_t n = ni.size();
-  if (n == 0) return {};
-  span.AddAttr("nodes", n);
-  span.AddAttr("edges", g.NumEdges());
-  span.AddAttr("parallel", static_cast<int64_t>(parallel ? 1 : 0));
-
-  // Dense CSR-ish view of in-neighbors and out-degrees for tight loops.
-  std::vector<int64_t> in_offsets(n + 1, 0);
-  std::vector<double> inv_out_deg(n, 0.0);
-  std::vector<const DirectedGraph::NodeData*> node_ptr(n);
-  for (int64_t i = 0; i < n; ++i) {
-    node_ptr[i] = g.GetNode(ni.IdOf(i));
-    in_offsets[i + 1] = static_cast<int64_t>(node_ptr[i]->in.size());
-    const int64_t od = static_cast<int64_t>(node_ptr[i]->out.size());
-    inv_out_deg[i] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
-  }
-  for (int64_t i = 0; i < n; ++i) in_offsets[i + 1] += in_offsets[i];
-  std::vector<int64_t> in_nbrs(in_offsets[n]);
-  ParallelFor(0, n, [&](int64_t i) {
-    int64_t o = in_offsets[i];
-    for (NodeId u : node_ptr[i]->in) in_nbrs[o++] = ni.IndexOf(u);
-  });
-
+// The shared SpMV-style pull iteration: next = (1-d)·t + d·(Aᵀ D⁻¹ pr + s·t)
+// where s is the rank mass parked on dangling nodes. `in_of(i)` yields the
+// ascending span of i's in-neighbors (dense indices); both the legacy and
+// the CSR path feed this same kernel, so their arithmetic — including the
+// blocked, thread-count-invariant reductions — is identical instruction for
+// instruction. Iteration stops early when the L1 delta drops below tol
+// (delta-based convergence).
+template <typename InSpanFn>
+std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
+                                       const std::vector<double>& inv_out_deg,
+                                       const PageRankConfig& config,
+                                       const std::vector<double>& teleport,
+                                       bool parallel, trace::Span& span) {
   const double d = config.damping;
   std::vector<double> pr(teleport), next(n);
   int iters_run = 0;
@@ -65,8 +52,7 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
 
     auto pull = [&](int64_t i) {
       double acc = 0.0;
-      for (int64_t o = in_offsets[i]; o < in_offsets[i + 1]; ++o) {
-        const int64_t u = in_nbrs[o];
+      for (const int64_t u : in_of(i)) {
         acc += pr[u] * inv_out_deg[u];
       }
       next[i] = (1.0 - d) * teleport[i] + d * (acc + dangling * teleport[i]);
@@ -83,27 +69,123 @@ NodeValues PowerIterate(const DirectedGraph& g, const PageRankConfig& config,
     if (config.tol > 0 && delta < config.tol) break;
   }
   span.AddAttr("iterations", static_cast<int64_t>(iters_run));
-  return ni.Zip(pr);
+  return pr;  // Dense scores; caller zips with ids.
+}
+
+// Legacy oracle: materializes a per-call in-CSR from the hash-of-vectors
+// adjacency (one hash probe per edge during the build), then runs the
+// shared kernel. Kept behind csr::SetEnabled(false) for the parity suite.
+std::vector<double> LegacyDenseScores(const DirectedGraph& g,
+                                      const NodeIndex& ni,
+                                      const PageRankConfig& config,
+                                      const std::vector<double>& teleport,
+                                      bool parallel, trace::Span& span) {
+  const int64_t n = ni.size();
+  std::vector<int64_t> in_offsets(n + 1, 0);
+  std::vector<double> inv_out_deg(n, 0.0);
+  std::vector<const DirectedGraph::NodeData*> node_ptr(n);
+  for (int64_t i = 0; i < n; ++i) {
+    node_ptr[i] = g.GetNode(ni.IdOf(i));
+    in_offsets[i + 1] = static_cast<int64_t>(node_ptr[i]->in.size());
+    const int64_t od = static_cast<int64_t>(node_ptr[i]->out.size());
+    inv_out_deg[i] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
+  }
+  for (int64_t i = 0; i < n; ++i) in_offsets[i + 1] += in_offsets[i];
+  std::vector<int64_t> in_nbrs(in_offsets[n]);
+  ParallelFor(0, n, [&](int64_t i) {
+    int64_t o = in_offsets[i];
+    for (NodeId u : node_ptr[i]->in) in_nbrs[o++] = ni.IndexOf(u);
+  });
+  auto in_of = [&](int64_t i) {
+    return std::span<const int64_t>(
+        in_nbrs.data() + in_offsets[i],
+        static_cast<size_t>(in_offsets[i + 1] - in_offsets[i]));
+  };
+  return PowerIterateKernel(n, in_of, inv_out_deg, config, teleport, parallel,
+                            span);
+}
+
+// CSR path: the in-spans come straight from the pinned snapshot; the only
+// per-call allocation is the inverse out-degree vector.
+std::vector<double> CsrDenseScores(const AlgoView& view,
+                                   const PageRankConfig& config,
+                                   const std::vector<double>& teleport,
+                                   bool parallel, trace::Span& span) {
+  const int64_t n = view.NumNodes();
+  std::vector<double> inv_out_deg(n);
+  ParallelFor(0, n, [&](int64_t i) {
+    const int64_t od = view.OutDegree(i);
+    inv_out_deg[i] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
+  });
+  auto in_of = [&](int64_t i) { return view.In(i); };
+  return PowerIterateKernel(n, in_of, inv_out_deg, config, teleport, parallel,
+                            span);
+}
+
+// Shared driver: builds the teleport vector (uniform, or concentrated on
+// `seeds`), dispatches on the CSR kill switch, and zips ids back on.
+Result<NodeValues> RunPageRank(const DirectedGraph& g,
+                               const PageRankConfig& config,
+                               const std::vector<NodeId>* seeds,
+                               bool parallel) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  if (g.NumNodes() == 0) return NodeValues{};
+  trace::Span span("Algo/PageRank");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
+  span.AddAttr("parallel", static_cast<int64_t>(parallel ? 1 : 0));
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+
+  auto teleport_for = [&](const NodeIndex& ni) -> Result<std::vector<double>> {
+    const int64_t n = ni.size();
+    std::vector<double> teleport(n, 0.0);
+    if (seeds == nullptr) {
+      const double u = 1.0 / static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) teleport[i] = u;
+      return teleport;
+    }
+    for (NodeId s : *seeds) {
+      const int64_t i = ni.IndexOf(s);
+      if (i < 0) {
+        return Status::NotFound("seed node " + std::to_string(s) +
+                                " is not in the graph");
+      }
+      teleport[i] += 1.0 / static_cast<double>(seeds->size());
+    }
+    return teleport;
+  };
+
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    RINGO_ASSIGN_OR_RETURN(std::vector<double> teleport,
+                           teleport_for(view->node_index()));
+    return view->node_index().Zip(
+        CsrDenseScores(*view, config, teleport, parallel, span));
+  }
+  const NodeIndex ni = NodeIndex::FromGraph(g);
+  RINGO_ASSIGN_OR_RETURN(std::vector<double> teleport, teleport_for(ni));
+  return ni.Zip(LegacyDenseScores(g, ni, config, teleport, parallel, span));
 }
 
 }  // namespace
 
 Result<NodeValues> PageRank(const DirectedGraph& g,
                             const PageRankConfig& config) {
-  RINGO_RETURN_NOT_OK(ValidateConfig(config));
-  const int64_t n = g.NumNodes();
-  if (n == 0) return NodeValues{};
-  std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
-  return PowerIterate(g, config, teleport, /*parallel=*/false);
+  return RunPageRank(g, config, /*seeds=*/nullptr, /*parallel=*/false);
 }
 
 Result<NodeValues> ParallelPageRank(const DirectedGraph& g,
                                     const PageRankConfig& config) {
-  RINGO_RETURN_NOT_OK(ValidateConfig(config));
-  const int64_t n = g.NumNodes();
-  if (n == 0) return NodeValues{};
-  std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
-  return PowerIterate(g, config, teleport, /*parallel=*/true);
+  return RunPageRank(g, config, /*seeds=*/nullptr, /*parallel=*/true);
+}
+
+Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,
+                                        const std::vector<NodeId>& seeds,
+                                        const PageRankConfig& config) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("PersonalizedPageRank needs >= 1 seed");
+  }
+  return RunPageRank(g, config, &seeds, /*parallel=*/false);
 }
 
 Result<NodeValues> WeightedPageRank(const DirectedGraph& g,
@@ -172,26 +254,6 @@ Result<NodeValues> WeightedPageRank(const DirectedGraph& g,
     if (config.tol > 0 && delta < config.tol) break;
   }
   return ni.Zip(pr);
-}
-
-Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,
-                                        const std::vector<NodeId>& seeds,
-                                        const PageRankConfig& config) {
-  RINGO_RETURN_NOT_OK(ValidateConfig(config));
-  if (seeds.empty()) {
-    return Status::InvalidArgument("PersonalizedPageRank needs >= 1 seed");
-  }
-  const NodeIndex ni = NodeIndex::FromGraph(g);
-  std::vector<double> teleport(ni.size(), 0.0);
-  for (NodeId s : seeds) {
-    const int64_t i = ni.IndexOf(s);
-    if (i < 0) {
-      return Status::NotFound("seed node " + std::to_string(s) +
-                              " is not in the graph");
-    }
-    teleport[i] += 1.0 / static_cast<double>(seeds.size());
-  }
-  return PowerIterate(g, config, teleport, /*parallel=*/false);
 }
 
 }  // namespace ringo

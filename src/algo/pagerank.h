@@ -5,6 +5,11 @@
 // — exactly the "straightforward sequential algorithm with a few OpenMP
 // statements" the paper describes. Dangling-node mass is redistributed
 // uniformly each iteration, so ranks always sum to 1.
+//
+// The kernel reads in-neighbor spans from the cached AlgoView CSR snapshot
+// by default; csr::SetEnabled(false) selects the hash-adjacency legacy
+// oracle (same arithmetic, kept for the parity suite). Results are
+// bit-identical across thread counts and between the two paths.
 #ifndef RINGO_ALGO_PAGERANK_H_
 #define RINGO_ALGO_PAGERANK_H_
 

@@ -1,7 +1,10 @@
 #include "algo/triangles.h"
 
 #include <algorithm>
+#include <span>
 
+#include "algo/algo_view.h"
+#include "algo/csr_switch.h"
 #include "algo/node_index.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -10,13 +13,17 @@ namespace ringo {
 
 namespace {
 
-// Builds degree-ordered forward adjacency: node i keeps only neighbors j
-// with (deg(j), j) > (deg(i), i), as dense indices, sorted. Every triangle
+// Degree-ordered forward adjacency: node i keeps only neighbors j with
+// (deg(j), j) > (deg(i), i), as ascending dense indices. Every triangle
 // then has exactly one vertex from which both others are "forward".
+// Self-loops are dropped (a self-loop cannot be part of a triangle); the
+// ordering key counts them, which only affects which vertex owns a
+// triangle, never the count.
 struct ForwardAdjacency {
   NodeIndex ni;
   std::vector<std::vector<int64_t>> fwd;
 
+  // Legacy oracle: hash probe per edge to translate neighbor ids.
   explicit ForwardAdjacency(const UndirectedGraph& g)
       : ni(NodeIndex::FromGraph(g)) {
     const int64_t n = ni.size();
@@ -36,6 +43,23 @@ struct ForwardAdjacency {
         if (j != i && order_less(i, j)) fwd[i].push_back(j);
       }
       std::sort(fwd[i].begin(), fwd[i].end());
+    });
+  }
+
+  // CSR path: neighbor spans are already ascending dense indices, so the
+  // filtered copy needs no translation and no sort.
+  explicit ForwardAdjacency(const AlgoView& view) : ni(view.node_index()) {
+    const int64_t n = view.NumNodes();
+    std::vector<int64_t> deg(n);
+    ParallelFor(0, n, [&](int64_t i) { deg[i] = view.OutDegree(i); });
+    auto order_less = [&](int64_t a, int64_t b) {
+      return deg[a] != deg[b] ? deg[a] < deg[b] : a < b;
+    };
+    fwd.resize(n);
+    ParallelForDynamic(0, n, [&](int64_t i) {
+      for (const int64_t j : view.Out(i)) {
+        if (j != i && order_less(i, j)) fwd[i].push_back(j);
+      }
     });
   }
 };
@@ -75,7 +99,26 @@ int64_t CountWithForward(const ForwardAdjacency& fa, bool parallel) {
       parallel);
 }
 
-// Neighbors of u excluding self-loops, as sorted NodeId vector view.
+int64_t CountTriangles(const UndirectedGraph& g, bool parallel,
+                       const char* span_name) {
+  trace::Span span(span_name);
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
+  span.AddAttr("csr", static_cast<int64_t>(csr::Enabled() ? 1 : 0));
+  int64_t t;
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    const ForwardAdjacency fa(*view);
+    t = CountWithForward(fa, parallel);
+  } else {
+    const ForwardAdjacency fa(g);
+    t = CountWithForward(fa, parallel);
+  }
+  span.AddAttr("triangles", t);
+  return t;
+}
+
+// Neighbors of u excluding self-loops, as sorted NodeId vector (legacy).
 std::vector<NodeId> CleanNeighbors(const UndirectedGraph::NodeData& nd,
                                    NodeId u) {
   std::vector<NodeId> out;
@@ -86,29 +129,72 @@ std::vector<NodeId> CleanNeighbors(const UndirectedGraph::NodeData& nd,
   return out;
 }
 
+// |(a \ {skip_a}) ∩ (b \ {skip_b})| over ascending spans — the CSR
+// merge-intersection, skipping each endpoint's own self-loop entry inline
+// instead of materializing cleaned copies.
+int64_t IntersectSkip(std::span<const int64_t> a, int64_t skip_a,
+                      std::span<const int64_t> b, int64_t skip_b) {
+  int64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == skip_a) {
+      ++i;
+    } else if (b[j] == skip_b) {
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+// Per-node triangle participation over CSR spans.
+std::vector<int64_t> CsrNodeTriangles(const AlgoView& view) {
+  const int64_t n = view.NumNodes();
+  std::vector<int64_t> tri(n, 0);
+  ParallelForDynamic(0, n, [&](int64_t i) {
+    int64_t twice = 0;
+    for (const int64_t v : view.Out(i)) {
+      if (v == i) continue;
+      // |N(i) ∩ N(v)| counts each triangle through edge (i,v) once; summing
+      // over v counts each of i's triangles twice.
+      twice += IntersectSkip(view.Out(i), i, view.Out(v), v);
+    }
+    tri[i] = twice / 2;
+  });
+  return tri;
+}
+
+// Degree of dense node i excluding a self-loop (spans are ascending, so
+// the self entry is found by binary search).
+int64_t CleanDegree(const AlgoView& view, int64_t i) {
+  const std::span<const int64_t> nbrs = view.Out(i);
+  int64_t deg = static_cast<int64_t>(nbrs.size());
+  if (std::binary_search(nbrs.begin(), nbrs.end(), i)) --deg;
+  return deg;
+}
+
 }  // namespace
 
 int64_t TriangleCount(const UndirectedGraph& g) {
-  trace::Span span("Algo/TriangleCount");
-  span.AddAttr("nodes", g.NumNodes());
-  span.AddAttr("edges", g.NumEdges());
-  const ForwardAdjacency fa(g);
-  const int64_t t = CountWithForward(fa, /*parallel=*/false);
-  span.AddAttr("triangles", t);
-  return t;
+  return CountTriangles(g, /*parallel=*/false, "Algo/TriangleCount");
 }
 
 int64_t ParallelTriangleCount(const UndirectedGraph& g) {
-  trace::Span span("Algo/ParallelTriangleCount");
-  span.AddAttr("nodes", g.NumNodes());
-  span.AddAttr("edges", g.NumEdges());
-  const ForwardAdjacency fa(g);
-  const int64_t t = CountWithForward(fa, /*parallel=*/true);
-  span.AddAttr("triangles", t);
-  return t;
+  return CountTriangles(g, /*parallel=*/true, "Algo/ParallelTriangleCount");
 }
 
 NodeInts NodeTriangles(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    return view->node_index().Zip(CsrNodeTriangles(*view));
+  }
   const NodeIndex ni = NodeIndex::FromGraph(g);
   const int64_t n = ni.size();
   std::vector<int64_t> tri(n, 0);
@@ -118,8 +204,6 @@ NodeInts NodeTriangles(const UndirectedGraph& g) {
     int64_t twice = 0;
     for (NodeId v : nu) {
       const std::vector<NodeId> nv = CleanNeighbors(*g.GetNode(v), v);
-      // |N(u) ∩ N(v)| counts each triangle through edge (u,v) once; summing
-      // over v counts each of u's triangles twice.
       size_t a = 0, b = 0;
       while (a < nu.size() && b < nv.size()) {
         if (nu[a] < nv[b]) {
@@ -139,6 +223,18 @@ NodeInts NodeTriangles(const UndirectedGraph& g) {
 }
 
 NodeValues LocalClusteringCoefficients(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    const std::vector<int64_t> tri = CsrNodeTriangles(*view);
+    const int64_t n = view->NumNodes();
+    std::vector<double> cc(n);
+    ParallelFor(0, n, [&](int64_t i) {
+      const int64_t deg = CleanDegree(*view, i);
+      const double pairs = static_cast<double>(deg) * (deg - 1) / 2.0;
+      cc[i] = pairs > 0 ? static_cast<double>(tri[i]) / pairs : 0.0;
+    });
+    return view->node_index().Zip(cc);
+  }
   const NodeInts tri = NodeTriangles(g);
   NodeValues out(tri.size());
   ParallelFor(0, static_cast<int64_t>(tri.size()), [&](int64_t i) {
@@ -164,8 +260,22 @@ double AverageClusteringCoefficient(const UndirectedGraph& g) {
 }
 
 double GlobalClusteringCoefficient(const UndirectedGraph& g) {
+  if (csr::Enabled()) {
+    const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+    const std::vector<int64_t> tri = CsrNodeTriangles(*view);
+    const int64_t n = view->NumNodes();
+    int64_t triangles3 = 0;  // 3 * #triangles = closed wedges.
+    for (int64_t i = 0; i < n; ++i) triangles3 += tri[i];
+    const int64_t wedges = DeterministicBlockSum(0, n, [&](int64_t i) {
+      const int64_t deg = CleanDegree(*view, i);
+      return deg * (deg - 1) / 2;
+    });
+    return wedges > 0 ? static_cast<double>(triangles3) /
+                            static_cast<double>(wedges)
+                      : 0.0;
+  }
   const NodeInts tri = NodeTriangles(g);
-  int64_t triangles3 = 0;  // 3 * #triangles = closed wedges.
+  int64_t triangles3 = 0;
   for (const auto& [id, t] : tri) triangles3 += t;
   int64_t wedges = 0;
   g.ForEachNode([&](NodeId u, const UndirectedGraph::NodeData& nd) {

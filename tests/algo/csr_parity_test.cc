@@ -1,0 +1,533 @@
+// Legacy-vs-CSR parity suite (DESIGN.md §10). Every ported algorithm runs
+// twice per graph — once on the AlgoView CSR spans (the default) and once
+// on the legacy hash-adjacency oracle behind csr::SetEnabled(false) — and
+// the results must agree across a matrix of graph families: random, R-MAT,
+// star, chain, disconnected, self-loops, isolated nodes, directed and
+// undirected. Discrete outputs compare exactly; floating-point outputs
+// compare to a tight tolerance (the shared kernels make them bit-identical
+// in practice, but the contract is tolerance-based). Each algorithm also
+// pins a hand-computed golden value on a small deterministic graph so both
+// paths failing the same way cannot slip through.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/anf.h"
+#include "algo/centrality.h"
+#include "algo/community.h"
+#include "algo/csr_switch.h"
+#include "algo/hits.h"
+#include "algo/kcore.h"
+#include "algo/louvain.h"
+#include "algo/pagerank.h"
+#include "algo/triangles.h"
+#include "gen/graph_gen.h"
+#include "test_support.h"
+
+namespace ringo {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// ------------------------------------------------------------ family matrix
+
+struct UndirectedFamily {
+  std::string name;
+  UndirectedGraph g;
+};
+
+std::vector<UndirectedFamily> UndirectedFamilies() {
+  std::vector<UndirectedFamily> fams;
+  fams.push_back({"random", testing::RandomUndirected(300, 900, 0xC0FFEE)});
+  fams.push_back(
+      {"rmat",
+       gen::BuildUndirected(gen::RMatEdges(7, 1500, 0xBEEF).ValueOrDie())});
+  fams.push_back({"star", gen::Star(64)});
+  {
+    UndirectedGraph chain;
+    for (NodeId i = 0; i < 50; ++i) chain.AddNode(i);
+    for (NodeId i = 0; i + 1 < 50; ++i) chain.AddEdge(i, i + 1);
+    fams.push_back({"chain", std::move(chain)});
+  }
+  {
+    // Two components with an id gap between them.
+    UndirectedGraph disc = testing::RandomUndirected(120, 300, 0xD15C);
+    for (NodeId i = 0; i < 40; ++i) disc.AddNode(1000 + i);
+    for (NodeId i = 0; i + 1 < 40; ++i) disc.AddEdge(1000 + i, 1000 + i + 1);
+    disc.AddEdge(1039, 1000);
+    fams.push_back({"disconnected", std::move(disc)});
+  }
+  {
+    UndirectedGraph loops = testing::RandomUndirected(100, 250, 0x100F);
+    for (NodeId i = 0; i < 100; i += 7) loops.AddEdge(i, i);
+    fams.push_back({"self_loops", std::move(loops)});
+  }
+  {
+    UndirectedGraph iso = testing::RandomUndirected(80, 160, 0x150);
+    for (NodeId i = 500; i < 510; ++i) iso.AddNode(i);
+    fams.push_back({"isolated", std::move(iso)});
+  }
+  return fams;
+}
+
+struct DirectedFamily {
+  std::string name;
+  DirectedGraph g;
+};
+
+std::vector<DirectedFamily> DirectedFamilies() {
+  std::vector<DirectedFamily> fams;
+  fams.push_back({"random", testing::RandomDirected(300, 1200, 0xFEED)});
+  fams.push_back(
+      {"rmat",
+       gen::BuildDirected(gen::RMatEdges(7, 1500, 0xACE).ValueOrDie())});
+  {
+    DirectedGraph star;  // Leaves point at the hub; hub points at leaf 1.
+    for (NodeId i = 0; i <= 32; ++i) star.AddNode(i);
+    for (NodeId i = 1; i <= 32; ++i) star.AddEdge(i, 0);
+    star.AddEdge(0, 1);
+    fams.push_back({"star", std::move(star)});
+  }
+  {
+    DirectedGraph chain;
+    for (NodeId i = 0; i < 50; ++i) chain.AddNode(i);
+    for (NodeId i = 0; i + 1 < 50; ++i) chain.AddEdge(i, i + 1);
+    fams.push_back({"chain", std::move(chain)});
+  }
+  {
+    DirectedGraph disc = testing::RandomDirected(120, 400, 0xD00D);
+    for (NodeId i = 0; i < 40; ++i) disc.AddNode(1000 + i);
+    for (NodeId i = 0; i + 1 < 40; ++i) disc.AddEdge(1000 + i, 1000 + i + 1);
+    fams.push_back({"disconnected", std::move(disc)});
+  }
+  fams.push_back({"self_loops", testing::RandomDirected(100, 300, 0x5E1F,
+                                                        /*self_loops=*/true)});
+  {
+    DirectedGraph iso = testing::RandomDirected(80, 200, 0x1507);
+    for (NodeId i = 500; i < 510; ++i) iso.AddNode(i);
+    fams.push_back({"isolated", std::move(iso)});
+  }
+  return fams;
+}
+
+// ----------------------------------------------------------------- helpers
+
+// Runs `fn` on the CSR path and on the legacy-oracle path.
+template <typename Fn>
+auto RunCsr(Fn&& fn) {
+  csr::ScopedEnable e(true);
+  return fn();
+}
+template <typename Fn>
+auto RunLegacy(Fn&& fn) {
+  csr::ScopedEnable e(false);
+  return fn();
+}
+
+void ExpectValuesNear(const NodeValues& got, const NodeValues& want,
+                      double tol = kTol) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].first, want[i].first) << "slot " << i;
+    EXPECT_NEAR(got[i].second, want[i].second, tol)
+        << "node " << want[i].first;
+  }
+}
+
+double ValueOf(const NodeValues& vals, NodeId id) {
+  for (const auto& [vid, v] : vals) {
+    if (vid == id) return v;
+  }
+  ADD_FAILURE() << "node " << id << " missing";
+  return 0;
+}
+
+int64_t IntOf(const NodeInts& vals, NodeId id) {
+  for (const auto& [vid, v] : vals) {
+    if (vid == id) return v;
+  }
+  ADD_FAILURE() << "node " << id << " missing";
+  return 0;
+}
+
+// -------------------------------------------------------------- PageRank
+
+TEST(CsrParity, PageRank) {
+  PageRankConfig config;
+  config.max_iters = 40;
+  config.tol = 1e-14;
+  for (const auto& fam : DirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    const auto run = [&] { return PageRank(fam.g, config).ValueOrDie(); };
+    ExpectValuesNear(RunCsr(run), RunLegacy(run));
+    const auto par = [&] {
+      return ParallelPageRank(fam.g, config).ValueOrDie();
+    };
+    ExpectValuesNear(RunCsr(par), RunLegacy(par));
+    const std::vector<NodeId> seeds = {fam.g.SortedNodeIds().front()};
+    const auto ppr = [&] {
+      return PersonalizedPageRank(fam.g, seeds, config).ValueOrDie();
+    };
+    ExpectValuesNear(RunCsr(ppr), RunLegacy(ppr));
+  }
+}
+
+TEST(CsrParity, PageRankGoldenCycle) {
+  // Directed 4-cycle: by symmetry every node has rank exactly 1/4.
+  DirectedGraph g;
+  for (NodeId i = 0; i < 4; ++i) g.AddNode(i);
+  for (NodeId i = 0; i < 4; ++i) g.AddEdge(i, (i + 1) % 4);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const NodeValues pr = PageRank(g, {}).ValueOrDie();
+    ASSERT_EQ(pr.size(), 4u);
+    for (const auto& [id, v] : pr) EXPECT_NEAR(v, 0.25, 1e-9) << id;
+  }
+}
+
+// Named regression: rank mass parked on dangling (out-degree-0) nodes is
+// redistributed, so total rank stays exactly 1 on both paths.
+TEST(CsrParity, PageRankDanglingMassConserved) {
+  DirectedGraph g = testing::RandomDirected(200, 500, 0xDA41);
+  for (NodeId i = 900; i < 910; ++i) g.AddNode(i);  // Dangling sinks.
+  for (NodeId i = 0; i < 10; ++i) g.AddEdge(i, 900 + i);
+  PageRankConfig config;
+  config.max_iters = 60;
+  config.tol = 0.0;
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const NodeValues pr = PageRank(g, config).ValueOrDie();
+    double sum = 0;
+    for (const auto& [id, v] : pr) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "csr=" << on;
+  }
+}
+
+// ------------------------------------------------------------------ HITS
+
+TEST(CsrParity, Hits) {
+  HitsConfig config;
+  config.max_iters = 40;
+  for (const auto& fam : DirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    const auto run = [&] { return Hits(fam.g, config).ValueOrDie(); };
+    const HitsScores a = RunCsr(run);
+    const HitsScores b = RunLegacy(run);
+    ExpectValuesNear(a.hubs, b.hubs);
+    ExpectValuesNear(a.authorities, b.authorities);
+  }
+}
+
+TEST(CsrParity, HitsGoldenStar) {
+  // Hub 0 points at 4 leaves: hub(0) = 1, auth(leaf) = 1/2 under L2 norm.
+  DirectedGraph g;
+  for (NodeId i = 0; i <= 4; ++i) g.AddNode(i);
+  for (NodeId i = 1; i <= 4; ++i) g.AddEdge(0, i);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const HitsScores s = Hits(g, {}).ValueOrDie();
+    EXPECT_NEAR(ValueOf(s.hubs, 0), 1.0, 1e-9);
+    for (NodeId i = 1; i <= 4; ++i) {
+      EXPECT_NEAR(ValueOf(s.authorities, i), 0.5, 1e-9) << i;
+      EXPECT_NEAR(ValueOf(s.hubs, i), 0.0, 1e-9) << i;
+    }
+    EXPECT_NEAR(ValueOf(s.authorities, 0), 0.0, 1e-9);
+  }
+}
+
+// ------------------------------------------------------------- triangles
+
+TEST(CsrParity, Triangles) {
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    EXPECT_EQ(RunCsr([&] { return TriangleCount(fam.g); }),
+              RunLegacy([&] { return TriangleCount(fam.g); }));
+    EXPECT_EQ(RunCsr([&] { return ParallelTriangleCount(fam.g); }),
+              RunLegacy([&] { return ParallelTriangleCount(fam.g); }));
+    EXPECT_EQ(RunCsr([&] { return NodeTriangles(fam.g); }),
+              RunLegacy([&] { return NodeTriangles(fam.g); }));
+    ExpectValuesNear(
+        RunCsr([&] { return LocalClusteringCoefficients(fam.g); }),
+        RunLegacy([&] { return LocalClusteringCoefficients(fam.g); }));
+    EXPECT_NEAR(RunCsr([&] { return GlobalClusteringCoefficient(fam.g); }),
+                RunLegacy([&] { return GlobalClusteringCoefficient(fam.g); }),
+                kTol);
+    EXPECT_NEAR(RunCsr([&] { return AverageClusteringCoefficient(fam.g); }),
+                RunLegacy([&] { return AverageClusteringCoefficient(fam.g); }),
+                kTol);
+  }
+}
+
+// Named regression: self-loops are not wedges and close no triangles.
+TEST(CsrParity, TrianglesGoldenSelfLoops) {
+  UndirectedGraph k5 = gen::Complete(5);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    EXPECT_EQ(TriangleCount(k5), 10) << "csr=" << on;
+  }
+  for (NodeId i = 0; i < 5; ++i) k5.AddEdge(i, i);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    EXPECT_EQ(TriangleCount(k5), 10) << "csr=" << on;
+    EXPECT_EQ(ParallelTriangleCount(k5), 10) << "csr=" << on;
+    const NodeInts nt = NodeTriangles(k5);
+    for (const auto& [id, t] : nt) EXPECT_EQ(t, 6) << id;  // C(4,2).
+    // Self-loops are excluded from the degree, so K5's coefficient is 1.
+    for (const auto& [id, c] : LocalClusteringCoefficients(k5)) {
+      EXPECT_NEAR(c, 1.0, kTol) << id;
+    }
+    EXPECT_NEAR(GlobalClusteringCoefficient(k5), 1.0, kTol);
+  }
+}
+
+// ---------------------------------------------------------------- k-core
+
+TEST(CsrParity, KCore) {
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    EXPECT_EQ(RunCsr([&] { return CoreNumbers(fam.g); }),
+              RunLegacy([&] { return CoreNumbers(fam.g); }));
+    EXPECT_EQ(RunCsr([&] { return Degeneracy(fam.g); }),
+              RunLegacy([&] { return Degeneracy(fam.g); }));
+    const UndirectedGraph a = RunCsr([&] { return KCoreSubgraph(fam.g, 2); });
+    const UndirectedGraph b =
+        RunLegacy([&] { return KCoreSubgraph(fam.g, 2); });
+    EXPECT_EQ(a.SortedNodeIds(), b.SortedNodeIds());
+    EXPECT_EQ(testing::EdgeSet(a), testing::EdgeSet(b));
+  }
+}
+
+// Named regression: isolated nodes have core number 0 and a pendant keeps
+// core 1 while the clique keeps 3.
+TEST(CsrParity, KCoreGoldenPendantAndIsolated) {
+  UndirectedGraph g = gen::Complete(4);  // Nodes 0..3.
+  g.AddNode(4);
+  g.AddEdge(3, 4);  // Pendant.
+  g.AddNode(5);     // Isolated.
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const NodeInts cores = CoreNumbers(g);
+    for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(IntOf(cores, i), 3) << i;
+    EXPECT_EQ(IntOf(cores, 4), 1);
+    EXPECT_EQ(IntOf(cores, 5), 0);
+    EXPECT_EQ(Degeneracy(g), 3);
+    const UndirectedGraph three_core = KCoreSubgraph(g, 3);
+    EXPECT_EQ(three_core.NumNodes(), 4);
+    EXPECT_EQ(three_core.NumEdges(), 6);
+  }
+}
+
+// ------------------------------------------------------------ centrality
+
+TEST(CsrParity, UndirectedCentrality) {
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    ExpectValuesNear(RunCsr([&] { return DegreeCentrality(fam.g); }),
+                     RunLegacy([&] { return DegreeCentrality(fam.g); }));
+    ExpectValuesNear(RunCsr([&] { return ClosenessCentrality(fam.g); }),
+                     RunLegacy([&] { return ClosenessCentrality(fam.g); }));
+    ExpectValuesNear(RunCsr([&] { return HarmonicCentrality(fam.g); }),
+                     RunLegacy([&] { return HarmonicCentrality(fam.g); }));
+    ExpectValuesNear(RunCsr([&] { return BetweennessCentrality(fam.g); }),
+                     RunLegacy([&] { return BetweennessCentrality(fam.g); }));
+    const auto approx_bc = [&] {
+      return ApproxBetweennessCentrality(fam.g, 16, 0x5EED);
+    };
+    ExpectValuesNear(RunCsr(approx_bc), RunLegacy(approx_bc));
+    const auto approx_cc = [&] {
+      return ApproxClosenessCentrality(fam.g, 16, 0x5EED);
+    };
+    ExpectValuesNear(RunCsr(approx_cc), RunLegacy(approx_cc));
+    const auto eig = [&] {
+      return EigenvectorCentrality(fam.g).ValueOrDie();
+    };
+    ExpectValuesNear(RunCsr(eig), RunLegacy(eig));
+    EXPECT_EQ(RunCsr([&] { return Eccentricities(fam.g); }),
+              RunLegacy([&] { return Eccentricities(fam.g); }));
+  }
+}
+
+TEST(CsrParity, DirectedCentrality) {
+  for (const auto& fam : DirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    ExpectValuesNear(RunCsr([&] { return InDegreeCentrality(fam.g); }),
+                     RunLegacy([&] { return InDegreeCentrality(fam.g); }));
+    ExpectValuesNear(RunCsr([&] { return OutDegreeCentrality(fam.g); }),
+                     RunLegacy([&] { return OutDegreeCentrality(fam.g); }));
+    ExpectValuesNear(
+        RunCsr([&] { return ClosenessCentralityDirected(fam.g); }),
+        RunLegacy([&] { return ClosenessCentralityDirected(fam.g); }));
+    ExpectValuesNear(
+        RunCsr([&] { return BetweennessCentralityDirected(fam.g); }),
+        RunLegacy([&] { return BetweennessCentralityDirected(fam.g); }));
+  }
+}
+
+TEST(CsrParity, CentralityGoldenPath) {
+  // Path 0-1-2-3-4: betweenness {0,3,4,3,0}; closeness(2) = 2/3.
+  UndirectedGraph g;
+  for (NodeId i = 0; i < 5; ++i) g.AddNode(i);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  const double want_bc[] = {0, 3, 4, 3, 0};
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const NodeValues bc = BetweennessCentrality(g);
+    for (NodeId i = 0; i < 5; ++i) {
+      EXPECT_NEAR(ValueOf(bc, i), want_bc[i], 1e-9) << i;
+    }
+    EXPECT_NEAR(ValueOf(ClosenessCentrality(g), 2), 2.0 / 3.0, 1e-9);
+    const NodeInts ecc = Eccentricities(g);
+    EXPECT_EQ(IntOf(ecc, 0), 4);
+    EXPECT_EQ(IntOf(ecc, 2), 2);
+  }
+}
+
+// ------------------------------------------------------------- community
+
+TEST(CsrParity, Community) {
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    const auto lp = [&] { return LabelPropagation(fam.g, 50, 0x1A8E1); };
+    const NodeInts a = RunCsr(lp);
+    const NodeInts b = RunLegacy(lp);
+    EXPECT_EQ(a, b);
+    EXPECT_NEAR(RunCsr([&] { return Modularity(fam.g, a); }),
+                RunLegacy([&] { return Modularity(fam.g, a); }), kTol);
+  }
+}
+
+TEST(CsrParity, CommunityGoldenTwoTriangles) {
+  UndirectedGraph g;
+  for (NodeId i = 0; i < 6; ++i) g.AddNode(i);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const NodeInts labels = LabelPropagation(g);
+    EXPECT_EQ(IntOf(labels, 0), IntOf(labels, 1));
+    EXPECT_EQ(IntOf(labels, 1), IntOf(labels, 2));
+    EXPECT_EQ(IntOf(labels, 3), IntOf(labels, 4));
+    EXPECT_EQ(IntOf(labels, 4), IntOf(labels, 5));
+    EXPECT_NE(IntOf(labels, 0), IntOf(labels, 3));
+    // Perfect split of two disjoint triangles: Q = 1/2.
+    EXPECT_NEAR(Modularity(g, labels), 0.5, 1e-9);
+  }
+}
+
+// Named regression: a self-loop counts 2 in both degree and internal sum
+// (A_uu = 2), so a single node with a self-loop scores Q = 0, not 0.25.
+TEST(CsrParity, ModularityGoldenSelfLoop) {
+  UndirectedGraph g;
+  g.AddNode(0);
+  g.AddEdge(0, 0);
+  const NodeInts labels = {{0, 0}};
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    EXPECT_NEAR(Modularity(g, labels), 0.0, kTol) << "csr=" << on;
+  }
+  // And a self-loop on a clique node must not change the perfect-split
+  // optimum's ordering: Q(two K4 split) stays the maximum.
+  UndirectedGraph two;
+  for (NodeId i = 0; i < 8; ++i) two.AddNode(i);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      two.AddEdge(i, j);
+      two.AddEdge(i + 4, j + 4);
+    }
+  }
+  NodeInts split;
+  for (NodeId i = 0; i < 8; ++i) split.push_back({i, i < 4 ? 0 : 1});
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    EXPECT_NEAR(Modularity(two, split), 0.5, 1e-9) << "csr=" << on;
+  }
+}
+
+// --------------------------------------------------------------- Louvain
+
+TEST(CsrParity, Louvain) {
+  LouvainConfig config;
+  config.seed = 0xBADA55;
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    const auto run = [&] { return Louvain(fam.g, config).ValueOrDie(); };
+    const LouvainResult a = RunCsr(run);
+    const LouvainResult b = RunLegacy(run);
+    EXPECT_EQ(a.communities, b.communities);
+    EXPECT_EQ(a.levels, b.levels);
+    EXPECT_NEAR(a.modularity, b.modularity, kTol);
+  }
+}
+
+TEST(CsrParity, LouvainGoldenTwoCliques) {
+  UndirectedGraph g;
+  for (NodeId i = 0; i < 8; ++i) g.AddNode(i);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) {
+      g.AddEdge(i, j);
+      g.AddEdge(i + 4, j + 4);
+    }
+  }
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const LouvainResult r = Louvain(g, {}).ValueOrDie();
+    EXPECT_NEAR(r.modularity, 0.5, 1e-9) << "csr=" << on;
+    EXPECT_EQ(IntOf(r.communities, 0), IntOf(r.communities, 3));
+    EXPECT_EQ(IntOf(r.communities, 4), IntOf(r.communities, 7));
+    EXPECT_NE(IntOf(r.communities, 0), IntOf(r.communities, 4));
+  }
+}
+
+// ------------------------------------------------------------------- ANF
+
+TEST(CsrParity, Anf) {
+  for (const auto& fam : UndirectedFamilies()) {
+    SCOPED_TRACE(fam.name);
+    const auto run = [&] {
+      return ApproxNeighborhoodFunction(fam.g, 4, 32, 0xA11F).ValueOrDie();
+    };
+    const AnfResult a = RunCsr(run);
+    const AnfResult b = RunLegacy(run);
+    ASSERT_EQ(a.neighborhood.size(), b.neighborhood.size());
+    for (size_t h = 0; h < a.neighborhood.size(); ++h) {
+      EXPECT_NEAR(a.neighborhood[h], b.neighborhood[h],
+                  kTol * (1.0 + std::abs(b.neighborhood[h])))
+          << "h=" << h;
+    }
+    EXPECT_NEAR(a.effective_diameter, b.effective_diameter, 1e-9);
+  }
+}
+
+// Named regression ("ANF seed stability"): a fixed seed gives a single,
+// reproducible estimate — run twice, get bit-identical results — and on a
+// complete graph the neighborhood plateaus at h = 1 (effective diameter in
+// (0, 1]) with a monotone curve.
+TEST(CsrParity, AnfGoldenCompleteGraphSeedStable) {
+  const UndirectedGraph k8 = gen::Complete(8);
+  for (const bool on : {true, false}) {
+    csr::ScopedEnable e(on);
+    const AnfResult once =
+        ApproxNeighborhoodFunction(k8, 3, 64, 0x5EED).ValueOrDie();
+    const AnfResult twice =
+        ApproxNeighborhoodFunction(k8, 3, 64, 0x5EED).ValueOrDie();
+    ASSERT_EQ(once.neighborhood, twice.neighborhood) << "csr=" << on;
+    ASSERT_EQ(once.effective_diameter, twice.effective_diameter);
+    for (size_t h = 1; h < once.neighborhood.size(); ++h) {
+      EXPECT_GE(once.neighborhood[h], once.neighborhood[h - 1]) << h;
+    }
+    // Diameter 1: every pair is reached at the first hop.
+    EXPECT_EQ(once.neighborhood[1], once.neighborhood[2]);
+    EXPECT_GT(once.effective_diameter, 0.0);
+    EXPECT_LE(once.effective_diameter, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ringo

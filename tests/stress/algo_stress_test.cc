@@ -7,7 +7,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/anf.h"
+#include "algo/centrality.h"
+#include "algo/community.h"
 #include "algo/connectivity.h"
+#include "algo/hits.h"
+#include "algo/kcore.h"
+#include "algo/louvain.h"
 #include "algo/pagerank.h"
 #include "algo/triangles.h"
 #include "stress/stress_support.h"
@@ -71,6 +77,108 @@ TEST(ConnectivityStress, MatchesBruteForceReachabilityOnSmallGraph) {
             << "nodes " << got[i].first << "," << got[j].first;
       }
     }
+  }
+}
+
+// Each ported CSR algorithm computes a single-threaded reference, then
+// must reproduce it *bit-identically* at every stress thread count —
+// blocked reductions, fixed-block merges, and unique-by-construction
+// outputs (core numbers) make that a hard guarantee, not a tolerance.
+
+TEST(HitsStress, ScoresAreThreadCountInvariant) {
+  const DirectedGraph g = testing::RandomDirected(4000, 30000, 0x4175);
+  HitsConfig config;
+  config.max_iters = 20;
+  config.tol = 0.0;
+  ScopedNumThreads seq(1);
+  const HitsScores reference = Hits(g, config).ValueOrDie();
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const HitsScores got = Hits(g, config).ValueOrDie();
+    ASSERT_EQ(got.hubs, reference.hubs) << "tc=" << tc;
+    ASSERT_EQ(got.authorities, reference.authorities) << "tc=" << tc;
+  }
+}
+
+TEST(TriangleStress, NodeCountsAndCoefficientsAreThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(3000, 20000, 0x7121);
+  ScopedNumThreads seq(1);
+  const NodeInts tri = NodeTriangles(g);
+  const NodeValues cc = LocalClusteringCoefficients(g);
+  const double global = GlobalClusteringCoefficient(g);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(NodeTriangles(g), tri) << "tc=" << tc;
+    ASSERT_EQ(LocalClusteringCoefficients(g), cc) << "tc=" << tc;
+    ASSERT_EQ(GlobalClusteringCoefficient(g), global) << "tc=" << tc;
+  }
+}
+
+TEST(KCoreStress, CoreNumbersAreThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(5000, 40000, 0xC04E);
+  ScopedNumThreads seq(1);
+  const NodeInts reference = CoreNumbers(g);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(CoreNumbers(g), reference) << "tc=" << tc;
+  }
+}
+
+TEST(CentralityStress, BetweennessAndClosenessAreThreadCountInvariant) {
+  // Small graph: exact Brandes is O(n·m) per run and this repeats per
+  // thread count (and runs under TSan in the sanitizer gate).
+  const UndirectedGraph g = testing::RandomUndirected(600, 2400, 0xBC);
+  ScopedNumThreads seq(1);
+  const NodeValues bc = BetweennessCentrality(g);
+  const NodeValues closeness = ClosenessCentrality(g);
+  const NodeValues approx = ApproxBetweennessCentrality(g, 64, 0x5EED);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(BetweennessCentrality(g), bc) << "tc=" << tc;
+    ASSERT_EQ(ClosenessCentrality(g), closeness) << "tc=" << tc;
+    ASSERT_EQ(ApproxBetweennessCentrality(g, 64, 0x5EED), approx)
+        << "tc=" << tc;
+  }
+}
+
+TEST(CommunityStress, LabelsAndModularityAreThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(3000, 12000, 0x1A8);
+  ScopedNumThreads seq(1);
+  const NodeInts labels = LabelPropagation(g, 30, 0xBEE);
+  const double q = Modularity(g, labels);
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    ASSERT_EQ(LabelPropagation(g, 30, 0xBEE), labels) << "tc=" << tc;
+    ASSERT_EQ(Modularity(g, labels), q) << "tc=" << tc;
+  }
+}
+
+TEST(LouvainStress, CommunitiesAreThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(2000, 10000, 0x10);
+  LouvainConfig config;
+  config.max_levels = 3;
+  ScopedNumThreads seq(1);
+  const LouvainResult reference = Louvain(g, config).ValueOrDie();
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const LouvainResult got = Louvain(g, config).ValueOrDie();
+    ASSERT_EQ(got.communities, reference.communities) << "tc=" << tc;
+    ASSERT_EQ(got.modularity, reference.modularity) << "tc=" << tc;
+  }
+}
+
+TEST(AnfStress, EstimatesAreThreadCountInvariant) {
+  const UndirectedGraph g = testing::RandomUndirected(3000, 15000, 0xA2F);
+  ScopedNumThreads seq(1);
+  const AnfResult reference =
+      ApproxNeighborhoodFunction(g, 5, 32, 0x5EED).ValueOrDie();
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    const AnfResult got =
+        ApproxNeighborhoodFunction(g, 5, 32, 0x5EED).ValueOrDie();
+    ASSERT_EQ(got.neighborhood, reference.neighborhood) << "tc=" << tc;
+    ASSERT_EQ(got.effective_diameter, reference.effective_diameter)
+        << "tc=" << tc;
   }
 }
 
