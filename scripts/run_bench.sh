@@ -46,9 +46,23 @@ OMP_NUM_THREADS="$THREADS" \
   --benchmark_filter='BM_Algos_' \
   --benchmark_format=json | tee BENCH_algos.json >/dev/null
 
+# Streaming rows (batched updates + delta-CSR snapshot maintenance) run at
+# their own, larger scale: below ~0.3 the whole graph is cache-resident and
+# rebuild-per-batch looks artificially cheap, which is exactly the regime
+# the delta path exists to escape. Single-threaded on purpose — batch apply
+# is a single-writer path and the artifact metric is update-to-query
+# latency, not throughput scaling (see bench/bench_streaming.cc).
+STREAMING_SCALE="${RINGO_BENCH_STREAMING_SCALE:-0.8}"
+echo "== bench_streaming (RINGO_BENCH_SCALE=$STREAMING_SCALE, OMP_NUM_THREADS=1) =="
+RINGO_BENCH_SCALE="$STREAMING_SCALE" OMP_NUM_THREADS=1 \
+  "$BUILD_DIR/bench/bench_streaming" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json | tee BENCH_streaming.json >/dev/null
+
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace.py BENCH_conversions_trace.json
   python3 scripts/check_bench_algos.py BENCH_algos.json
+  python3 scripts/check_bench_streaming.py BENCH_streaming.json
 fi
 
-echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_conversions_trace.json"
+echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_conversions_trace.json"

@@ -1,7 +1,11 @@
 #include "algo/algo_view.h"
 
+#include <algorithm>
+#include <type_traits>
 #include <utility>
 
+#include "algo/deltacsr_switch.h"
+#include "graph/edge_batch.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -35,19 +39,254 @@ void FillCsr(const Graph& g, const NodeIndex& ni, const AdjFn& adj,
   });
 }
 
+// Collapses a multi-batch op stream into at most one net op per pair.
+// Journal batches are each net against the live graph, so per pair the
+// stream alternates sign and the sum is in {-1, 0, +1}.
+std::vector<EdgeOp> NetOps(std::vector<EdgeOp> ops) {
+  edgebatch::SortOps(ops);
+  // Single-batch replays — the streaming steady state — are already net:
+  // each journaled batch is resolved against the live graph, so no pair
+  // repeats and there is nothing to collapse.
+  bool has_dup = false;
+  for (size_t i = 1; i < ops.size() && !has_dup; ++i) {
+    has_dup = ops[i].u == ops[i - 1].u && ops[i].v == ops[i - 1].v;
+  }
+  if (!has_dup) return ops;
+  std::vector<EdgeOp> net;
+  net.reserve(ops.size());
+  size_t i = 0;
+  while (i < ops.size()) {
+    size_t j = i;
+    int32_t sum = 0;
+    while (j < ops.size() && ops[j].u == ops[i].u && ops[j].v == ops[i].v) {
+      sum += ops[j].op;
+      ++j;
+    }
+    if (sum != 0) net.push_back({ops[i].u, ops[i].v, sum});
+    i = j;
+  }
+  return net;
+}
+
+// Merges a snapshot span with a node's sorted net ops into `dst`. Inserts
+// are absent from `src` and delete tombstones present (ops are net against
+// the snapshot), so this is one exact-size forward pass; a tombstone match
+// consumes the base entry.
+void MergeRunInto(std::span<const int64_t> src, const EdgeOp* b,
+                  const EdgeOp* e, int64_t* dst) {
+  size_t i = 0;
+  const EdgeOp* o = b;
+  while (i < src.size() || o != e) {
+    if (o == e) {
+      *dst++ = src[i++];
+    } else if (i == src.size()) {
+      *dst++ = o->v;
+      ++o;
+    } else if (src[i] < o->v) {
+      *dst++ = src[i++];
+    } else if (src[i] == o->v) {
+      ++i;  // Tombstone annihilates the base entry.
+      ++o;
+    } else {
+      *dst++ = o->v;
+      ++o;
+    }
+  }
+}
+
+}  // namespace
+
 template <typename Graph>
-std::shared_ptr<const AlgoView> CachedOf(const Graph& g) {
+std::shared_ptr<AlgoView> AlgoView::BuildFull(const Graph& g) {
+  trace::Span span("AlgoView/build");
+  auto view = std::shared_ptr<AlgoView>(new AlgoView());
+  auto base = std::make_shared<BaseCsr>();
+  base->ni = NodeIndex::FromGraph(g);
+  constexpr bool kDirected = std::is_same_v<Graph, DirectedGraph>;
+  view->directed_ = kDirected;
+  if constexpr (kDirected) {
+    FillCsr(
+        g, base->ni,
+        [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+          return nd->out;
+        },
+        &base->out_offsets, &base->out_nbrs);
+    FillCsr(
+        g, base->ni,
+        [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+          return nd->in;
+        },
+        &base->in_offsets, &base->in_nbrs);
+    view->num_in_arcs_ = static_cast<int64_t>(base->in_nbrs.size());
+  } else {
+    FillCsr(
+        g, base->ni,
+        [](const UndirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
+          return nd->nbrs;
+        },
+        &base->out_offsets, &base->out_nbrs);
+  }
+  view->num_out_arcs_ = static_cast<int64_t>(base->out_nbrs.size());
+  view->base_ = std::move(base);
+  span.AddAttr("nodes", view->NumNodes());
+  span.AddAttr("arcs", view->NumOutArcs());
+  return view;
+}
+
+void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
+                              const std::vector<EdgeOp>& ops,
+                              AlgoView* next) {
+  const int64_t n = prev.NumNodes();
+  const DirPatch& old = in_dir ? prev.in_patch_ : prev.out_patch_;
+  DirPatch& np = in_dir ? next->in_patch_ : next->out_patch_;
+
+  const std::vector<int64_t> groups = edgebatch::GroupByNode(ops);
+  const int64_t ngroups =
+      ops.empty() ? 0 : static_cast<int64_t>(groups.size()) - 1;
+
+  // Union of previously patched nodes and nodes touched by this delta,
+  // ascending; second = op-group index for touched nodes, -1 = plain copy.
+  std::vector<std::pair<int64_t, int64_t>> uni;
+  uni.reserve(old.nodes.size() + static_cast<size_t>(ngroups));
+  {
+    size_t a = 0;
+    int64_t k = 0;
+    while (a < old.nodes.size() || k < ngroups) {
+      const int64_t tn =
+          k < ngroups ? static_cast<int64_t>(ops[groups[k]].u) : INT64_MAX;
+      const int64_t on = a < old.nodes.size() ? old.nodes[a] : INT64_MAX;
+      if (tn < on) {
+        uni.emplace_back(tn, k++);
+      } else if (on < tn) {
+        uni.emplace_back(on, -1);
+        ++a;
+      } else {
+        uni.emplace_back(tn, k++);
+        ++a;
+      }
+    }
+  }
+
+  const int64_t p = static_cast<int64_t>(uni.size());
+  np.offsets.assign(p + 1, 0);
+  ParallelFor(0, p, [&](int64_t idx) {
+    const auto [node, grp] = uni[idx];
+    int64_t sz = static_cast<int64_t>(
+        (in_dir ? prev.In(node) : prev.Out(node)).size());
+    if (grp >= 0) {
+      for (int64_t o = groups[grp]; o < groups[grp + 1]; ++o) {
+        sz += ops[o].op;
+      }
+    }
+    np.offsets[idx] = sz;
+  });
+  const int64_t total = ExclusivePrefixSum(np.offsets.data(),
+                                           np.offsets.data(), p + 1);
+  np.arena.resize(total);
+  np.nodes.resize(p);
+  np.slot.assign(n, -1);
+  ParallelForDynamic(0, p, [&](int64_t idx) {
+    const auto [node, grp] = uni[idx];
+    np.nodes[idx] = node;
+    np.slot[node] = static_cast<int32_t>(idx);
+    const std::span<const int64_t> src =
+        in_dir ? prev.In(node) : prev.Out(node);
+    int64_t* dst = np.arena.data() + np.offsets[idx];
+    if (grp < 0) {
+      std::copy(src.begin(), src.end(), dst);
+    } else {
+      MergeRunInto(src, ops.data() + groups[grp], ops.data() + groups[grp + 1],
+                   dst);
+    }
+  });
+}
+
+std::shared_ptr<const AlgoView> AlgoView::ApplyDelta(
+    const std::shared_ptr<const AlgoView>& prev, std::vector<EdgeOp> raw_ops,
+    double compact_fraction) {
+  const std::vector<EdgeOp> net = NetOps(std::move(raw_ops));
+  if (net.empty()) return prev;  // Batches canceled out; structure matches.
+  trace::Span span("AlgoView/delta_apply");
+
+  // Translate to dense indices and expand per direction. Journaled batches
+  // never create or destroy nodes, so every endpoint resolves; a miss means
+  // the journal contract was broken and the caller must rebuild.
+  const NodeIndex& ni = prev->node_index();
+  std::vector<EdgeOp> fwd;
+  std::vector<EdgeOp> rev;
+  fwd.reserve(2 * net.size());
+  if (prev->directed_) rev.reserve(net.size());
+  int64_t fwd_delta = 0;
+  int64_t rev_delta = 0;
+  for (const EdgeOp& o : net) {
+    const int64_t ui = ni.IndexOf(o.u);
+    const int64_t vi = ni.IndexOf(o.v);
+    if (ui < 0 || vi < 0) return nullptr;
+    fwd.push_back({ui, vi, o.op});
+    fwd_delta += o.op;
+    if (prev->directed_) {
+      rev.push_back({vi, ui, o.op});
+      rev_delta += o.op;
+    } else if (ui != vi) {
+      // Undirected: the edge lands in both endpoints' spans (self-loops
+      // once), mirroring the adjacency vectors.
+      fwd.push_back({vi, ui, o.op});
+      fwd_delta += o.op;
+    }
+  }
+  // The id->index map is monotone, so the directed fwd list is already
+  // sorted (SortOps' pre-check skips it); rev is its transpose, so the
+  // counting sort applies. Undirected fwd interleaves mirrored ops and
+  // takes the real sort.
+  edgebatch::SortOps(fwd);
+  if (prev->directed_) edgebatch::SortTransposedOps(rev);
+
+  auto next = std::shared_ptr<AlgoView>(new AlgoView());
+  next->directed_ = prev->directed_;
+  next->base_ = prev->base_;
+  next->num_out_arcs_ = prev->num_out_arcs_ + fwd_delta;
+  next->num_in_arcs_ = prev->directed_ ? prev->num_in_arcs_ + rev_delta : 0;
+  PatchDirection(*prev, /*in_dir=*/false, fwd, next.get());
+  if (prev->directed_) PatchDirection(*prev, /*in_dir=*/true, rev, next.get());
+
+  span.AddAttr("net_ops", static_cast<int64_t>(net.size()));
+  span.AddAttr("patched_nodes", next->PatchedNodes());
+  if (next->DeltaFraction() > compact_fraction) return nullptr;  // Compact.
+  return next;
+}
+
+template <typename Graph>
+std::shared_ptr<const AlgoView> AlgoView::CachedOf(const Graph& g) {
   if (auto cached = g.FreshCachedView()) {
     RINGO_COUNTER_ADD("algo_view/hit", 1);
     return std::static_pointer_cast<const AlgoView>(std::move(cached));
   }
   if (g.HasCachedView()) RINGO_COUNTER_ADD("algo_view/invalidate", 1);
-  std::shared_ptr<const AlgoView> view = AlgoView::Build(g);
+
+  std::shared_ptr<const AlgoView> view;
+  if (deltacsr::Enabled() && g.HasCachedView() &&
+      g.delta_journal().Covers(g.CachedViewStamp(), g.MutationStamp())) {
+    const auto prev =
+        std::static_pointer_cast<const AlgoView>(g.StaleCachedView());
+    view = ApplyDelta(prev, g.delta_journal().OpsSince(g.CachedViewStamp()),
+                      deltacsr::CompactionFraction());
+    if (view != nullptr) {
+      RINGO_COUNTER_ADD("algo_view/delta_apply", 1);
+    } else {
+      view = BuildFull(g);
+      RINGO_COUNTER_ADD("algo_view/compact", 1);
+    }
+  } else {
+    view = BuildFull(g);
+    RINGO_COUNTER_ADD("algo_view/build", 1);
+  }
   g.SetCachedView(view);
+  g.TrimDeltaJournal(g.MutationStamp());
+  metrics::GaugeSet("algo_view/delta_nodes",
+                    static_cast<double>(view->PatchedNodes()));
+  metrics::GaugeSet("algo_view/delta_fraction", view->DeltaFraction());
   return view;
 }
-
-}  // namespace
 
 std::shared_ptr<const AlgoView> AlgoView::Of(const DirectedGraph& g) {
   return CachedOf(g);
@@ -58,43 +297,13 @@ std::shared_ptr<const AlgoView> AlgoView::Of(const UndirectedGraph& g) {
 }
 
 std::shared_ptr<const AlgoView> AlgoView::Build(const DirectedGraph& g) {
-  trace::Span span("AlgoView/build");
   RINGO_COUNTER_ADD("algo_view/build", 1);
-  auto view = std::shared_ptr<AlgoView>(new AlgoView());
-  view->directed_ = true;
-  view->ni_ = NodeIndex::FromGraph(g);
-  FillCsr(
-      g, view->ni_,
-      [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
-        return nd->out;
-      },
-      &view->out_offsets_, &view->out_nbrs_);
-  FillCsr(
-      g, view->ni_,
-      [](const DirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
-        return nd->in;
-      },
-      &view->in_offsets_, &view->in_nbrs_);
-  span.AddAttr("nodes", view->NumNodes());
-  span.AddAttr("arcs", view->NumOutArcs());
-  return view;
+  return BuildFull(g);
 }
 
 std::shared_ptr<const AlgoView> AlgoView::Build(const UndirectedGraph& g) {
-  trace::Span span("AlgoView/build");
   RINGO_COUNTER_ADD("algo_view/build", 1);
-  auto view = std::shared_ptr<AlgoView>(new AlgoView());
-  view->directed_ = false;
-  view->ni_ = NodeIndex::FromGraph(g);
-  FillCsr(
-      g, view->ni_,
-      [](const UndirectedGraph::NodeData* nd) -> const std::vector<NodeId>& {
-        return nd->nbrs;
-      },
-      &view->out_offsets_, &view->out_nbrs_);
-  span.AddAttr("nodes", view->NumNodes());
-  span.AddAttr("arcs", view->NumOutArcs());
-  return view;
+  return BuildFull(g);
 }
 
 }  // namespace ringo

@@ -1,5 +1,5 @@
 // AlgoView: a read-optimized CSR snapshot of a dynamic graph, cached on the
-// graph behind its mutation stamp (DESIGN.md §9).
+// graph behind its mutation stamp (DESIGN.md §9, §11).
 //
 // The dynamic representations (hash table of nodes, sorted adjacency
 // vectors) pay a hash probe per edge access; traversal cost is dominated by
@@ -7,15 +7,31 @@
 // into a NodeIndex (ascending-id dense numbering) plus offset+neighbor
 // arrays, so every traversal-style algorithm runs over flat int64 arrays.
 // Repeated analytics calls on an unmodified graph reuse the cached snapshot
-// (counter "algo_view/hit"); any structural mutation bumps the graph's
-// stamp and the next Of() call rebuilds ("algo_view/build", plus
-// "algo_view/invalidate" when a stale snapshot was evicted).
+// (counter "algo_view/hit").
 //
-// Layout invariants:
+// Since §11 the snapshot is two-part: an immutable shared *base* CSR plus a
+// per-direction *patch* overlay holding freshly merged neighbor runs for
+// the nodes touched by recent ApplyEdgeBatch calls. When a mutation was
+// batched and the graph's delta journal covers the stamp gap, Of() patches
+// the stale snapshot forward in O(batch + touched nodes) instead of paying
+// the O(V + E) rebuild ("algo_view/delta_apply"); delete tombstones from
+// the journal annihilate base entries during the per-node merge, so reads
+// stay contiguous ascending spans. Once the patched-arc fraction crosses
+// deltacsr::CompactionFraction, the refresh folds everything into a fresh
+// dense base ("algo_view/compact"). Non-journalable mutations (single-edge
+// calls, node create/delete, table splicing) still force a full rebuild
+// ("algo_view/build", plus "algo_view/invalidate" when a stale snapshot was
+// evicted). deltacsr::SetEnabled(false) disables patching entirely — the
+// parity oracle.
+//
+// Layout invariants (identical for base spans and patch runs):
 //   * dense index i corresponds to the i-th smallest node id;
 //   * Out(i)/In(i) are ascending spans of dense indices (the adjacency
 //     vectors are id-sorted and the id->index map is monotone);
 //   * undirected graphs store one neighbor array; In(i) == Out(i).
+// Delta-patched views share the base arrays and NodeIndex of the snapshot
+// they were patched from (&node_index() is stable across patches — only a
+// rebuild or compaction changes it).
 //
 // Thread-safety: Of() participates in the graph's single-writer contract —
 // do not call it concurrently with graph mutation or with another Of() on
@@ -30,6 +46,7 @@
 #include <vector>
 
 #include "algo/node_index.h"
+#include "graph/delta_journal.h"
 #include "graph/directed_graph.h"
 #include "graph/undirected_graph.h"
 
@@ -37,55 +54,130 @@ namespace ringo {
 
 class AlgoView {
  public:
-  // Cached accessors: return the snapshot built at the graph's current
-  // mutation stamp, building and caching it if needed.
+  // Cached accessors: return a snapshot matching the graph's current
+  // mutation stamp — reusing, delta-patching, compacting, or rebuilding the
+  // cached one as the journal allows.
   static std::shared_ptr<const AlgoView> Of(const DirectedGraph& g);
   static std::shared_ptr<const AlgoView> Of(const UndirectedGraph& g);
 
-  // Uncached builds (benchmarks, tests).
+  // Uncached full builds (benchmarks, tests).
   static std::shared_ptr<const AlgoView> Build(const DirectedGraph& g);
   static std::shared_ptr<const AlgoView> Build(const UndirectedGraph& g);
 
+  // Replays net edge ops (dense-translatable node ids, insert/delete) onto
+  // `prev`, producing a patched view sharing prev's base. Returns nullptr
+  // when the projected patched-arc fraction crosses `compact_fraction` —
+  // the caller should compact (full rebuild) instead. Exposed for tests;
+  // Of() is the normal entry point.
+  static std::shared_ptr<const AlgoView> ApplyDelta(
+      const std::shared_ptr<const AlgoView>& prev, std::vector<EdgeOp> ops,
+      double compact_fraction);
+
   bool directed() const { return directed_; }
-  int64_t NumNodes() const { return ni_.size(); }
+  int64_t NumNodes() const { return base_->ni.size(); }
   // Stored arcs: directed edges once per direction array; undirected edges
   // twice (self-loops once), matching the adjacency vectors.
-  int64_t NumOutArcs() const { return static_cast<int64_t>(out_nbrs_.size()); }
-  int64_t NumInArcs() const {
-    return directed_ ? static_cast<int64_t>(in_nbrs_.size()) : NumOutArcs();
-  }
+  int64_t NumOutArcs() const { return num_out_arcs_; }
+  int64_t NumInArcs() const { return directed_ ? num_in_arcs_ : num_out_arcs_; }
 
-  const NodeIndex& node_index() const { return ni_; }
-  int64_t IndexOf(NodeId id) const { return ni_.IndexOf(id); }
-  NodeId IdOf(int64_t index) const { return ni_.IdOf(index); }
+  const NodeIndex& node_index() const { return base_->ni; }
+  int64_t IndexOf(NodeId id) const { return base_->ni.IndexOf(id); }
+  NodeId IdOf(int64_t index) const { return base_->ni.IdOf(index); }
 
-  // Ascending spans of dense neighbor indices.
+  // Ascending spans of dense neighbor indices (patch run if the node was
+  // touched by a replayed batch, base span otherwise).
   std::span<const int64_t> Out(int64_t i) const {
-    return {out_nbrs_.data() + out_offsets_[i],
-            static_cast<size_t>(out_offsets_[i + 1] - out_offsets_[i])};
+    if (!out_patch_.slot.empty()) {
+      const int32_t s = out_patch_.slot[i];
+      if (s >= 0) return out_patch_.Run(s);
+    }
+    return {base_->out_nbrs.data() + base_->out_offsets[i],
+            static_cast<size_t>(base_->out_offsets[i + 1] -
+                                base_->out_offsets[i])};
   }
   std::span<const int64_t> In(int64_t i) const {
     if (!directed_) return Out(i);
-    return {in_nbrs_.data() + in_offsets_[i],
-            static_cast<size_t>(in_offsets_[i + 1] - in_offsets_[i])};
+    if (!in_patch_.slot.empty()) {
+      const int32_t s = in_patch_.slot[i];
+      if (s >= 0) return in_patch_.Run(s);
+    }
+    return {base_->in_nbrs.data() + base_->in_offsets[i],
+            static_cast<size_t>(base_->in_offsets[i + 1] -
+                                base_->in_offsets[i])};
   }
   int64_t OutDegree(int64_t i) const {
-    return out_offsets_[i + 1] - out_offsets_[i];
+    return static_cast<int64_t>(Out(i).size());
   }
   int64_t InDegree(int64_t i) const {
-    if (!directed_) return OutDegree(i);
-    return in_offsets_[i + 1] - in_offsets_[i];
+    return static_cast<int64_t>(In(i).size());
+  }
+
+  // ---- Delta introspection (gauges, tests, bench tables). ----
+  // Number of nodes whose reads are served from patch runs.
+  int64_t PatchedNodes() const {
+    return static_cast<int64_t>(out_patch_.nodes.size() +
+                                (directed_ ? in_patch_.nodes.size() : 0));
+  }
+  // Arcs served from patch runs.
+  int64_t PatchedArcs() const {
+    return static_cast<int64_t>(out_patch_.arena.size() +
+                                (directed_ ? in_patch_.arena.size() : 0));
+  }
+  // Fraction of all stored arcs served from patch runs (0 for a fresh
+  // base). Node-count-based when the view has no arcs at all.
+  double DeltaFraction() const {
+    const int64_t total = NumOutArcs() + (directed_ ? NumInArcs() : 0);
+    return total == 0 ? 0.0
+                      : static_cast<double>(PatchedArcs()) /
+                            static_cast<double>(total);
   }
 
  private:
+  // The immutable dense part, shared between a snapshot and every view
+  // patched forward from it.
+  struct BaseCsr {
+    NodeIndex ni;
+    std::vector<int64_t> out_offsets;  // n+1 entries.
+    std::vector<int64_t> out_nbrs;
+    std::vector<int64_t> in_offsets;   // Empty for undirected views.
+    std::vector<int64_t> in_nbrs;
+  };
+
+  // Patch overlay for one direction: `nodes` lists the patched dense
+  // indices ascending, `slot[i]` maps a dense index to its run (or -1 =
+  // base), and runs live back-to-back in `arena` delimited by `offsets`.
+  struct DirPatch {
+    std::vector<int32_t> slot;     // Empty when nothing is patched.
+    std::vector<int64_t> nodes;    // Ascending patched dense indices.
+    std::vector<int64_t> offsets;  // nodes.size() + 1 entries.
+    std::vector<int64_t> arena;    // Merged ascending runs.
+
+    std::span<const int64_t> Run(int32_t s) const {
+      return {arena.data() + offsets[s],
+              static_cast<size_t>(offsets[s + 1] - offsets[s])};
+    }
+  };
+
   AlgoView() = default;
 
+  // Full CSR materialization without counters (Build and the compaction
+  // path wrap it with the right one).
+  template <typename Graph>
+  static std::shared_ptr<AlgoView> BuildFull(const Graph& g);
+  // Rewrites one direction's patch overlay: union of previously patched
+  // nodes and the nodes touched by `ops` (dense, sorted by owner), each
+  // merged/copied into a fresh arena in parallel.
+  static void PatchDirection(const AlgoView& prev, bool in_dir,
+                             const std::vector<EdgeOp>& ops, AlgoView* next);
+  template <typename Graph>
+  static std::shared_ptr<const AlgoView> CachedOf(const Graph& g);
+
   bool directed_ = true;
-  NodeIndex ni_;
-  std::vector<int64_t> out_offsets_;  // n+1 entries.
-  std::vector<int64_t> out_nbrs_;
-  std::vector<int64_t> in_offsets_;   // Empty for undirected views.
-  std::vector<int64_t> in_nbrs_;
+  std::shared_ptr<const BaseCsr> base_;
+  DirPatch out_patch_;
+  DirPatch in_patch_;
+  int64_t num_out_arcs_ = 0;
+  int64_t num_in_arcs_ = 0;
 };
 
 }  // namespace ringo

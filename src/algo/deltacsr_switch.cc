@@ -1,0 +1,24 @@
+#include "algo/deltacsr_switch.h"
+
+#include <atomic>
+
+namespace ringo {
+namespace deltacsr {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<double> g_compaction_fraction{0.15};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+double CompactionFraction() {
+  return g_compaction_fraction.load(std::memory_order_relaxed);
+}
+void SetCompactionFraction(double fraction) {
+  g_compaction_fraction.store(fraction, std::memory_order_relaxed);
+}
+
+}  // namespace deltacsr
+}  // namespace ringo

@@ -35,9 +35,14 @@ std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
                                        const std::vector<double>& inv_out_deg,
                                        const PageRankConfig& config,
                                        const std::vector<double>& teleport,
-                                       bool parallel, trace::Span& span) {
+                                       bool parallel, trace::Span& span,
+                                       const std::vector<double>* init =
+                                           nullptr,
+                                       int* iters_out = nullptr) {
   const double d = config.damping;
-  std::vector<double> pr(teleport), next(n);
+  // A warm start seeds from a previous sum-to-1 score vector; each pull
+  // iteration preserves total mass, so the invariant holds either way.
+  std::vector<double> pr(init != nullptr ? *init : teleport), next(n);
   int iters_run = 0;
   for (int iter = 0; iter < config.max_iters; ++iter) {
     ++iters_run;
@@ -69,6 +74,7 @@ std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
     if (config.tol > 0 && delta < config.tol) break;
   }
   span.AddAttr("iterations", static_cast<int64_t>(iters_run));
+  if (iters_out != nullptr) *iters_out = iters_run;
   return pr;  // Dense scores; caller zips with ids.
 }
 
@@ -110,7 +116,9 @@ std::vector<double> LegacyDenseScores(const DirectedGraph& g,
 std::vector<double> CsrDenseScores(const AlgoView& view,
                                    const PageRankConfig& config,
                                    const std::vector<double>& teleport,
-                                   bool parallel, trace::Span& span) {
+                                   bool parallel, trace::Span& span,
+                                   const std::vector<double>* init = nullptr,
+                                   int* iters_out = nullptr) {
   const int64_t n = view.NumNodes();
   std::vector<double> inv_out_deg(n);
   ParallelFor(0, n, [&](int64_t i) {
@@ -119,7 +127,7 @@ std::vector<double> CsrDenseScores(const AlgoView& view,
   });
   auto in_of = [&](int64_t i) { return view.In(i); };
   return PowerIterateKernel(n, in_of, inv_out_deg, config, teleport, parallel,
-                            span);
+                            span, init, iters_out);
 }
 
 // Shared driver: builds the teleport vector (uniform, or concentrated on
@@ -177,6 +185,51 @@ Result<NodeValues> PageRank(const DirectedGraph& g,
 Result<NodeValues> ParallelPageRank(const DirectedGraph& g,
                                     const PageRankConfig& config) {
   return RunPageRank(g, config, /*seeds=*/nullptr, /*parallel=*/true);
+}
+
+Result<NodeValues> ParallelPageRankWarm(const DirectedGraph& g,
+                                        PageRankWarmState* state,
+                                        const PageRankConfig& config) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  if (state == nullptr) {
+    return Status::InvalidArgument("ParallelPageRankWarm needs a state");
+  }
+  if (g.NumNodes() == 0) {
+    *state = PageRankWarmState{};
+    return NodeValues{};
+  }
+  trace::Span span("Algo/PageRankWarm");
+  span.AddAttr("nodes", g.NumNodes());
+  span.AddAttr("edges", g.NumEdges());
+
+  const std::shared_ptr<const AlgoView> view = AlgoView::Of(g);
+  const int64_t n = view->NumNodes();
+  // Warm only when the previous scores use the same dense numbering. A
+  // delta-patched view shares its predecessor's NodeIndex, so pointer
+  // equality covers the streaming fast path; after a compaction or rebuild
+  // the index object changes and the id-vector comparison decides.
+  bool warm = false;
+  if (state->view != nullptr &&
+      static_cast<int64_t>(state->scores.size()) == n) {
+    warm = &state->view->node_index() == &view->node_index() ||
+           state->view->node_index().ids() == view->node_index().ids();
+  }
+
+  std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
+  int iters = 0;
+  std::vector<double> scores =
+      CsrDenseScores(*view, config, teleport, /*parallel=*/true, span,
+                     warm ? &state->scores : nullptr, &iters);
+  RINGO_COUNTER_ADD("pagerank/warm_starts", warm ? 1 : 0);
+  RINGO_COUNTER_ADD("pagerank/cold_starts", warm ? 0 : 1);
+  span.AddAttr("warm", static_cast<int64_t>(warm ? 1 : 0));
+
+  NodeValues out = view->node_index().Zip(scores);
+  state->view = view;
+  state->scores = std::move(scores);
+  state->iterations = iters;
+  state->warm = warm;
+  return out;
 }
 
 Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,

@@ -13,12 +13,17 @@
 #ifndef RINGO_ALGO_PAGERANK_H_
 #define RINGO_ALGO_PAGERANK_H_
 
+#include <memory>
+#include <vector>
+
 #include "algo/algo_defs.h"
 #include "graph/directed_graph.h"
 #include "graph/edge_weights.h"
 #include "util/result.h"
 
 namespace ringo {
+
+class AlgoView;
 
 struct PageRankConfig {
   double damping = 0.85;
@@ -36,6 +41,28 @@ Result<NodeValues> PageRank(const DirectedGraph& g,
 // apart from floating-point reduction order).
 Result<NodeValues> ParallelPageRank(const DirectedGraph& g,
                                     const PageRankConfig& config = {});
+
+// Carry-over state for warm-started PageRank on a stream of delta batches
+// (DESIGN.md §11). Holds the snapshot the scores were computed against plus
+// the dense score vector in that snapshot's numbering.
+struct PageRankWarmState {
+  std::shared_ptr<const AlgoView> view;
+  std::vector<double> scores;  // Dense, in view's numbering; sums to 1.
+  int iterations = 0;          // Iterations the last call actually ran.
+  bool warm = false;           // Last call was seeded from previous scores.
+};
+
+// Parallel PageRank that seeds power iteration from `state->scores` when
+// the node set is unchanged since the previous call (delta batches only
+// touch edges, so this is the common streaming case). Power iteration with
+// damping < 1 has a unique fixed point, so warm and cold starts converge to
+// the same scores within `config.tol` — the warm start just gets there in
+// fewer iterations after a small batch. Falls back to a cold start
+// (uniform init) on the first call or after the node set changed. Always
+// runs on the AlgoView CSR snapshot. Updates *state in place.
+Result<NodeValues> ParallelPageRankWarm(const DirectedGraph& g,
+                                        PageRankWarmState* state,
+                                        const PageRankConfig& config = {});
 
 // Personalized PageRank: teleport jumps back to `seeds` (uniformly) instead
 // of to all nodes. Fails if seeds is empty or contains unknown nodes.

@@ -1,0 +1,120 @@
+// DeltaJournal: the graph-side record of batched edge mutations that the
+// incremental snapshot maintenance in algo/algo_view.* replays (DESIGN.md
+// §11).
+//
+// Every ApplyEdgeBatch call appends one batch of *effective* edge ops (the
+// net inserts/deletes that actually changed the adjacency) tagged with the
+// mutation stamp the graph reached after the batch. A cached AlgoView built
+// at stamp S can then be patched forward to stamp S' by replaying exactly
+// the batches in (S, S'] — provided the journal covers that range with no
+// gaps. Any mutation that is not journalable (single-edge AddEdge/DelEdge,
+// node deletion, direct node-table splicing, or a batch that created new
+// nodes) invalidates the journal, so a gap in the stamp sequence is
+// represented by an empty journal and the snapshot layer falls back to a
+// full rebuild.
+//
+// The journal is bounded: once the buffered op count crosses the cap passed
+// to AppendBatch, everything is dropped (one rebuild is cheaper than
+// replaying a delta comparable to the graph itself). TrimThrough discards
+// batches already folded into the cached snapshot.
+//
+// Thread-safety: none — the journal participates in the graph's
+// single-writer contract, like the mutation stamp it shadows.
+#ifndef RINGO_GRAPH_DELTA_JOURNAL_H_
+#define RINGO_GRAPH_DELTA_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/graph_defs.h"
+
+namespace ringo {
+
+// One effective edge mutation. For undirected graphs the endpoints are
+// normalized (u <= v); `op` is +1 for an insert, -1 for a delete.
+struct EdgeOp {
+  NodeId u;
+  NodeId v;
+  int32_t op;
+};
+
+class DeltaJournal {
+ public:
+  // Appends the batch that moved the graph to `stamp_after`. Batches must
+  // arrive in stamp order with no gaps; a non-contiguous append clears the
+  // backlog first (the older batches could never be replayed past the gap).
+  // `max_ops` bounds the total buffered ops: crossing it drops everything,
+  // including this batch, forcing one full rebuild instead of an
+  // arbitrarily long replay.
+  void AppendBatch(uint64_t stamp_after, std::vector<EdgeOp> ops,
+                   int64_t max_ops) {
+    if (!batches_.empty() && batches_.back().stamp_after + 1 != stamp_after) {
+      Invalidate();
+    }
+    total_ops_ += static_cast<int64_t>(ops.size());
+    batches_.push_back(Batch{stamp_after, std::move(ops)});
+    if (total_ops_ > max_ops) Invalidate();
+  }
+
+  // Drops everything. Called for every non-journalable mutation so the
+  // stamp-contiguity invariant of `batches_` holds by construction.
+  void Invalidate() {
+    batches_.clear();
+    total_ops_ = 0;
+  }
+
+  // True when the journal holds an unbroken batch chain covering every
+  // stamp in (from_stamp, to_stamp]. With the contiguity invariant this
+  // reduces to boundary checks.
+  bool Covers(uint64_t from_stamp, uint64_t to_stamp) const {
+    if (from_stamp >= to_stamp) return false;
+    return !batches_.empty() &&
+           batches_.front().stamp_after <= from_stamp + 1 &&
+           batches_.back().stamp_after == to_stamp;
+  }
+
+  // Concatenates the ops of every batch with stamp_after > from_stamp, in
+  // batch (i.e. mutation) order.
+  std::vector<EdgeOp> OpsSince(uint64_t from_stamp) const {
+    int64_t total = 0;
+    for (const Batch& b : batches_) {
+      if (b.stamp_after > from_stamp) {
+        total += static_cast<int64_t>(b.ops.size());
+      }
+    }
+    std::vector<EdgeOp> out;
+    out.reserve(static_cast<size_t>(total));
+    for (const Batch& b : batches_) {
+      if (b.stamp_after > from_stamp) {
+        out.insert(out.end(), b.ops.begin(), b.ops.end());
+      }
+    }
+    return out;
+  }
+
+  // Discards batches already reflected in a snapshot built at `stamp`.
+  void TrimThrough(uint64_t stamp) {
+    while (!batches_.empty() && batches_.front().stamp_after <= stamp) {
+      total_ops_ -= static_cast<int64_t>(batches_.front().ops.size());
+      batches_.pop_front();
+    }
+  }
+
+  bool empty() const { return batches_.empty(); }
+  int64_t TotalOps() const { return total_ops_; }
+  int64_t NumBatches() const { return static_cast<int64_t>(batches_.size()); }
+
+ private:
+  struct Batch {
+    uint64_t stamp_after;
+    std::vector<EdgeOp> ops;
+  };
+
+  std::deque<Batch> batches_;  // Contiguous stamp_after values.
+  int64_t total_ops_ = 0;
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_GRAPH_DELTA_JOURNAL_H_

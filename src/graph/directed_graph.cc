@@ -1,6 +1,20 @@
 #include "graph/directed_graph.h"
 
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
 namespace ringo {
+
+namespace {
+
+// Journal cap: replaying a delta comparable to the graph itself is slower
+// than one rebuild, so the journal gives up well before that.
+int64_t JournalCap(int64_t num_edges) {
+  return std::max<int64_t>(4096, num_edges / 2);
+}
+
+}  // namespace
 
 bool DirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
   auto it = std::lower_bound(vec.begin(), vec.end(), v);
@@ -20,35 +34,42 @@ bool DirectedGraph::SortedContains(const std::vector<NodeId>& vec, NodeId v) {
   return std::binary_search(vec.begin(), vec.end(), v);
 }
 
-bool DirectedGraph::AddNode(NodeId id) {
+bool DirectedGraph::EnsureNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) {
-    NoteMaxNodeId(id);
-    ++stamp_;
-  }
+  if (inserted) NoteMaxNodeId(id);
+  return inserted;
+}
+
+bool DirectedGraph::AddNode(NodeId id) {
+  const bool inserted = EnsureNode(id);
+  if (inserted) BumpStamp();
   return inserted;
 }
 
 NodeId DirectedGraph::AddNode() {
+  // The watermark is advanced by every insert path (EnsureNode →
+  // NoteMaxNodeId), so this probe is O(1) amortized; it only walks when
+  // ids were spliced in via mutable_node_table() without NoteMaxNodeId.
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
-  const NodeId id = next_node_id_++;
-  nodes_.Insert(id, NodeData{});
-  ++stamp_;
+  const NodeId id = next_node_id_;
+  AddNode(id);
   return id;
 }
 
 bool DirectedGraph::AddEdge(NodeId src, NodeId dst) {
-  AddNode(src);
-  AddNode(dst);
+  // No stamp bumps here: if the edge already exists its endpoints do too,
+  // so a failed insert below means nothing changed at all, and a
+  // successful one bumps exactly once for nodes + edge together.
+  EnsureNode(src);
+  EnsureNode(dst);
   NodeData* s = nodes_.Find(src);
   if (!SortedInsert(s->out, dst)) return false;
-  // Pointer `s` may be invalidated by nothing here (no insertions between),
-  // but re-find dst because AddNode above may have rehashed before we took
-  // `s` — order matters: both AddNode calls precede both Finds.
+  // Re-find dst because the EnsureNode calls above may have rehashed before
+  // we took `s` — order matters: both EnsureNode calls precede both Finds.
   NodeData* d = nodes_.Find(dst);
   SortedInsert(d->in, src);
   ++num_edges_;
-  ++stamp_;
+  BumpStamp();
   return true;
 }
 
@@ -58,7 +79,7 @@ bool DirectedGraph::DelEdge(NodeId src, NodeId dst) {
   NodeData* d = nodes_.Find(dst);
   SortedErase(d->in, src);
   --num_edges_;
-  ++stamp_;
+  BumpStamp();
   return true;
 }
 
@@ -80,8 +101,143 @@ bool DirectedGraph::DelNode(NodeId id) {
   }
   num_edges_ -= removed;
   nodes_.Erase(id);
-  ++stamp_;
+  BumpStamp();
   return true;
+}
+
+EdgeBatchStats DirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
+                                             std::vector<Edge> deletes) {
+  trace::Span span("Graph/ApplyEdgeBatch");
+  span.AddAttr("inserts_raw", static_cast<int64_t>(inserts.size()));
+  span.AddAttr("deletes_raw", static_cast<int64_t>(deletes.size()));
+  EdgeBatchStats stats;
+  {
+    trace::Span s("Graph/ApplyEdgeBatch/sort_dedup");
+    edgebatch::SortDedup(inserts);
+    edgebatch::SortDedup(deletes);
+  }
+
+  std::vector<EdgeOp> ops;
+  {
+    trace::Span s("Graph/ApplyEdgeBatch/resolve");
+    // Endpoints of every insert pair exist afterwards, like repeated AddEdge
+    // (even for pairs that cancel against a delete in the same batch — the
+    // delete removes the edge, not the nodes). One EnsureNode per distinct
+    // endpoint: firsts repeat consecutively in the sorted list, seconds are
+    // deduped through one radix pass.
+    {
+      bool have_last = false;
+      NodeId last = 0;
+      std::vector<NodeId> seconds;
+      seconds.reserve(inserts.size());
+      for (const Edge& e : inserts) {
+        if (!have_last || e.first != last) {
+          if (EnsureNode(e.first)) ++stats.new_nodes;
+          last = e.first;
+          have_last = true;
+        }
+        seconds.push_back(e.second);
+      }
+      RadixSortI64(seconds);
+      seconds.erase(std::unique(seconds.begin(), seconds.end()),
+                    seconds.end());
+      for (const NodeId v : seconds) {
+        if (EnsureNode(v)) ++stats.new_nodes;
+      }
+    }
+
+    // Resolve against the pre-batch adjacency into net ops ("inserts first,
+    // then deletes"): a pair in deletes nets to a delete iff the edge
+    // pre-existed; a pair only in inserts nets to an insert iff it did not.
+    // One merged walk over the two sorted lists emits the ops already in
+    // (u, v) order — the out-direction grouping below then skips its sort —
+    // and runs of pairs sharing a source reuse one adjacency lookup (no
+    // node mutations happen past EnsureNode, so the pointer is stable).
+    ops.reserve(inserts.size() + deletes.size());
+    NodeId cached_u = -1;
+    const NodeData* cached_nd = nullptr;
+    const auto has = [&](const Edge& e) {
+      if (e.first != cached_u) {
+        cached_u = e.first;
+        cached_nd = nodes_.Find(e.first);
+      }
+      return cached_nd != nullptr && SortedContains(cached_nd->out, e.second);
+    };
+    size_t ii = 0, di = 0;
+    while (ii < inserts.size() || di < deletes.size()) {
+      const bool ins_next =
+          di == deletes.size() ||
+          (ii < inserts.size() && inserts[ii] < deletes[di]);
+      if (ins_next) {
+        if (!has(inserts[ii])) ops.push_back(
+            {inserts[ii].first, inserts[ii].second, +1});
+        ++ii;
+      } else {
+        if (ii < inserts.size() && inserts[ii] == deletes[di]) {
+          ++ii;  // Delete wins over the same pair's insert.
+        }
+        if (has(deletes[di])) ops.push_back(
+            {deletes[di].first, deletes[di].second, -1});
+        ++di;
+      }
+    }
+    for (const EdgeOp& o : ops) (o.op > 0 ? stats.inserted : stats.deleted)++;
+  }
+
+  if (!stats.Changed()) return stats;  // True no-op: the stamp stays put.
+
+  if (!ops.empty()) {
+    trace::Span apply_span("Graph/ApplyEdgeBatch/apply");
+    // Out-direction: ops are keyed (src, dst) already; sort and group by
+    // source, then rewrite each source's vector with one merge. Groups are
+    // disjoint nodes, so the merges run in parallel (no rehash can happen:
+    // all node inserts are done).
+    edgebatch::SortOps(ops);
+    {
+      const std::vector<int64_t> groups = edgebatch::GroupByNode(ops);
+      const int64_t ngroups = static_cast<int64_t>(groups.size()) - 1;
+      ParallelForDynamic(0, ngroups, [&](int64_t k) {
+        NodeData* nd = nodes_.Find(ops[groups[k]].u);
+        edgebatch::MergeApplyRun(nd->out, ops.data() + groups[k],
+                                 ops.data() + groups[k + 1]);
+      });
+    }
+    // In-direction: the same net ops keyed (dst, src) — a transpose of the
+    // (src, dst)-sorted list, so the counting sort applies.
+    {
+      std::vector<EdgeOp> in_ops(ops.size());
+      for (size_t i = 0; i < ops.size(); ++i) {
+        in_ops[i] = {ops[i].v, ops[i].u, ops[i].op};
+      }
+      edgebatch::SortTransposedOps(in_ops);
+      const std::vector<int64_t> groups = edgebatch::GroupByNode(in_ops);
+      const int64_t ngroups = static_cast<int64_t>(groups.size()) - 1;
+      ParallelForDynamic(0, ngroups, [&](int64_t k) {
+        NodeData* nd = nodes_.Find(in_ops[groups[k]].u);
+        edgebatch::MergeApplyRun(nd->in, in_ops.data() + groups[k],
+                                 in_ops.data() + groups[k + 1]);
+      });
+    }
+    num_edges_ += stats.inserted - stats.deleted;
+  }
+
+  // One stamp bump for the whole batch. Batches that created nodes are not
+  // replayable (the dense node renumbering shifts), so they invalidate the
+  // journal like any other structural mutation.
+  ++stamp_;
+  if (stats.new_nodes > 0) {
+    journal_.Invalidate();
+  } else {
+    journal_.AppendBatch(stamp_, std::move(ops), JournalCap(num_edges_));
+  }
+
+  RINGO_COUNTER_ADD("graph/edge_batches", 1);
+  RINGO_COUNTER_ADD("graph/batch_inserts", stats.inserted);
+  RINGO_COUNTER_ADD("graph/batch_deletes", stats.deleted);
+  span.AddAttr("inserted", stats.inserted);
+  span.AddAttr("deleted", stats.deleted);
+  span.AddAttr("new_nodes", stats.new_nodes);
+  return stats;
 }
 
 bool DirectedGraph::HasEdge(NodeId src, NodeId dst) const {

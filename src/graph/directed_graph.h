@@ -21,6 +21,8 @@
 #include <memory>
 #include <vector>
 
+#include "graph/delta_journal.h"
+#include "graph/edge_batch.h"
 #include "graph/graph_defs.h"
 #include "storage/flat_hash_map.h"
 
@@ -46,11 +48,23 @@ class DirectedGraph {
   NodeId AddNode();
 
   // Adds the edge src→dst, creating missing endpoints. Returns true if the
-  // edge was new, false if it already existed.
+  // edge was new, false if it already existed. Bumps the mutation stamp
+  // exactly once per effective mutation (a no-op never bumps).
   bool AddEdge(NodeId src, NodeId dst);
 
   // Removes a single edge; O(deg). Returns false if absent.
   bool DelEdge(NodeId src, NodeId dst);
+
+  // Applies a whole batch of edge mutations at once: inserts first, then
+  // deletes (a pair in both lists therefore ends up absent; if it also
+  // pre-existed the batch nets to a delete, otherwise to nothing). Both
+  // lists are radix-sorted and deduped, missing insert endpoints are
+  // created (as AddEdge would), and each touched node's adjacency vector is
+  // rewritten with one linear merge — touched nodes update in parallel.
+  // Bumps the mutation stamp at most once, and journals the net ops so the
+  // cached AlgoView can be patched instead of rebuilt (DESIGN.md §11).
+  EdgeBatchStats ApplyEdgeBatch(std::vector<Edge> inserts,
+                                std::vector<Edge> deletes);
 
   // Removes a node and all incident edges. Returns false if absent.
   bool DelNode(NodeId id);
@@ -92,7 +106,7 @@ class DirectedGraph {
   // splice structure in directly (conversion, IO loaders).
   const NodeTable& node_table() const { return nodes_; }
   NodeTable& mutable_node_table() {
-    ++stamp_;
+    BumpStamp();
     return nodes_;
   }
 
@@ -100,7 +114,7 @@ class DirectedGraph {
   // sort-first conversion fills adjacency vectors directly, §2.4).
   void BumpEdgeCount(int64_t count) {
     num_edges_ += count;
-    ++stamp_;
+    BumpStamp();
   }
   void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
 
@@ -125,10 +139,21 @@ class DirectedGraph {
     return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
   }
   bool HasCachedView() const { return cached_view_ != nullptr; }
+  // The cached view regardless of freshness, and the stamp it was built
+  // at — the starting point for an incremental delta replay.
+  std::shared_ptr<const void> StaleCachedView() const { return cached_view_; }
+  uint64_t CachedViewStamp() const { return cached_view_stamp_; }
   void SetCachedView(std::shared_ptr<const void> view) const {
     cached_view_ = std::move(view);
     cached_view_stamp_ = stamp_;
   }
+
+  // Effective edge ops of recent ApplyEdgeBatch calls, replayable onto a
+  // cached snapshot (DESIGN.md §11). Trimming is const because it only
+  // discards batches already folded into the cached view (same
+  // single-writer contract as SetCachedView).
+  const DeltaJournal& delta_journal() const { return journal_; }
+  void TrimDeltaJournal(uint64_t stamp) const { journal_.TrimThrough(stamp); }
 
  private:
   // Inserts v into sorted vec if absent; returns false if present.
@@ -136,11 +161,24 @@ class DirectedGraph {
   static bool SortedErase(std::vector<NodeId>& vec, NodeId v);
   static bool SortedContains(const std::vector<NodeId>& vec, NodeId v);
 
+  // Inserts the node without bumping the stamp (mutation entry points bump
+  // exactly once after they know the mutation was effective).
+  bool EnsureNode(NodeId id);
+
+  // Every non-batch structural mutation goes through here: one stamp bump
+  // and a journal invalidation (the mutation is not replayable, so a
+  // cached snapshot can only be refreshed by a full rebuild).
+  void BumpStamp() {
+    ++stamp_;
+    journal_.Invalidate();
+  }
+
   NodeTable nodes_;
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
   // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
   uint64_t stamp_ = 1;
+  mutable DeltaJournal journal_;
   mutable std::shared_ptr<const void> cached_view_;
   mutable uint64_t cached_view_stamp_ = 0;
 };

@@ -1,6 +1,26 @@
 #include "graph/undirected_graph.h"
 
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
 namespace ringo {
+
+namespace {
+
+int64_t JournalCap(int64_t num_edges) {
+  return std::max<int64_t>(4096, num_edges / 2);
+}
+
+// Unordered edge pairs: (u, v) and (v, u) name the same edge, so batches
+// are normalized to u <= v before sorting/deduping (and journaled that way).
+void Normalize(std::vector<Edge>& edges) {
+  for (Edge& e : edges) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+  }
+}
+
+}  // namespace
 
 bool UndirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
   auto it = std::lower_bound(vec.begin(), vec.end(), v);
@@ -16,30 +36,34 @@ bool UndirectedGraph::SortedErase(std::vector<NodeId>& vec, NodeId v) {
   return true;
 }
 
-bool UndirectedGraph::AddNode(NodeId id) {
+bool UndirectedGraph::EnsureNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) {
-    NoteMaxNodeId(id);
-    ++stamp_;
-  }
+  if (inserted) NoteMaxNodeId(id);
+  return inserted;
+}
+
+bool UndirectedGraph::AddNode(NodeId id) {
+  const bool inserted = EnsureNode(id);
+  if (inserted) BumpStamp();
   return inserted;
 }
 
 NodeId UndirectedGraph::AddNode() {
+  // O(1) amortized: NoteMaxNodeId keeps the watermark past every insert.
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
-  const NodeId id = next_node_id_++;
-  nodes_.Insert(id, NodeData{});
-  ++stamp_;
+  const NodeId id = next_node_id_;
+  AddNode(id);
   return id;
 }
 
 bool UndirectedGraph::AddEdge(NodeId src, NodeId dst) {
-  AddNode(src);
-  AddNode(dst);
+  // One bump per effective mutation; a no-op insert never bumps.
+  EnsureNode(src);
+  EnsureNode(dst);
   if (!SortedInsert(nodes_.Find(src)->nbrs, dst)) return false;
   if (src != dst) SortedInsert(nodes_.Find(dst)->nbrs, src);
   ++num_edges_;
-  ++stamp_;
+  BumpStamp();
   return true;
 }
 
@@ -48,7 +72,7 @@ bool UndirectedGraph::DelEdge(NodeId src, NodeId dst) {
   if (s == nullptr || !SortedErase(s->nbrs, dst)) return false;
   if (src != dst) SortedErase(nodes_.Find(dst)->nbrs, src);
   --num_edges_;
-  ++stamp_;
+  BumpStamp();
   return true;
 }
 
@@ -61,8 +85,123 @@ bool UndirectedGraph::DelNode(NodeId id) {
     SortedErase(nodes_.Find(v)->nbrs, id);
   }
   nodes_.Erase(id);
-  ++stamp_;
+  BumpStamp();
   return true;
+}
+
+EdgeBatchStats UndirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
+                                               std::vector<Edge> deletes) {
+  trace::Span span("Graph/ApplyEdgeBatch");
+  span.AddAttr("inserts_raw", static_cast<int64_t>(inserts.size()));
+  span.AddAttr("deletes_raw", static_cast<int64_t>(deletes.size()));
+  EdgeBatchStats stats;
+  {
+    trace::Span s("Graph/ApplyEdgeBatch/sort_dedup");
+    Normalize(inserts);
+    Normalize(deletes);
+    edgebatch::SortDedup(inserts);
+    edgebatch::SortDedup(deletes);
+  }
+
+  // Net ops over normalized pairs; same inserts-then-deletes semantics and
+  // merged sorted walk as the directed batch (ops come out (u, v)-sorted,
+  // and runs sharing a first endpoint reuse one adjacency lookup).
+  std::vector<EdgeOp> ops;
+  {
+    trace::Span s("Graph/ApplyEdgeBatch/resolve");
+    // One EnsureNode per distinct endpoint, as in the directed batch.
+    {
+      bool have_last = false;
+      NodeId last = 0;
+      std::vector<NodeId> seconds;
+      seconds.reserve(inserts.size());
+      for (const Edge& e : inserts) {
+        if (!have_last || e.first != last) {
+          if (EnsureNode(e.first)) ++stats.new_nodes;
+          last = e.first;
+          have_last = true;
+        }
+        seconds.push_back(e.second);
+      }
+      RadixSortI64(seconds);
+      seconds.erase(std::unique(seconds.begin(), seconds.end()),
+                    seconds.end());
+      for (const NodeId v : seconds) {
+        if (EnsureNode(v)) ++stats.new_nodes;
+      }
+    }
+
+    ops.reserve(inserts.size() + deletes.size());
+    NodeId cached_u = -1;
+    const NodeData* cached_nd = nullptr;
+    const auto has = [&](const Edge& e) {
+      if (e.first != cached_u) {
+        cached_u = e.first;
+        cached_nd = nodes_.Find(e.first);
+      }
+      return cached_nd != nullptr &&
+             std::binary_search(cached_nd->nbrs.begin(),
+                                cached_nd->nbrs.end(), e.second);
+    };
+    size_t ii = 0, di = 0;
+    while (ii < inserts.size() || di < deletes.size()) {
+      const bool ins_next =
+          di == deletes.size() ||
+          (ii < inserts.size() && inserts[ii] < deletes[di]);
+      if (ins_next) {
+        if (!has(inserts[ii])) ops.push_back(
+            {inserts[ii].first, inserts[ii].second, +1});
+        ++ii;
+      } else {
+        if (ii < inserts.size() && inserts[ii] == deletes[di]) {
+          ++ii;  // Delete wins over the same pair's insert.
+        }
+        if (has(deletes[di])) ops.push_back(
+            {deletes[di].first, deletes[di].second, -1});
+        ++di;
+      }
+    }
+    for (const EdgeOp& o : ops) (o.op > 0 ? stats.inserted : stats.deleted)++;
+  }
+
+  if (!stats.Changed()) return stats;
+
+  if (!ops.empty()) {
+    trace::Span apply_span("Graph/ApplyEdgeBatch/apply");
+    // Each undirected op lands in both endpoints' vectors (self-loops in
+    // one), so expand to owner-keyed adjacency ops before grouping.
+    std::vector<EdgeOp> adj_ops;
+    adj_ops.reserve(2 * ops.size());
+    for (const EdgeOp& o : ops) {
+      adj_ops.push_back(o);
+      if (o.u != o.v) adj_ops.push_back({o.v, o.u, o.op});
+    }
+    edgebatch::SortOps(adj_ops);
+    const std::vector<int64_t> groups = edgebatch::GroupByNode(adj_ops);
+    const int64_t ngroups = static_cast<int64_t>(groups.size()) - 1;
+    ParallelForDynamic(0, ngroups, [&](int64_t k) {
+      NodeData* nd = nodes_.Find(adj_ops[groups[k]].u);
+      edgebatch::MergeApplyRun(nd->nbrs, adj_ops.data() + groups[k],
+                               adj_ops.data() + groups[k + 1]);
+    });
+    num_edges_ += stats.inserted - stats.deleted;
+  }
+
+  ++stamp_;
+  if (stats.new_nodes > 0) {
+    journal_.Invalidate();
+  } else {
+    edgebatch::SortOps(ops);
+    journal_.AppendBatch(stamp_, std::move(ops), JournalCap(num_edges_));
+  }
+
+  RINGO_COUNTER_ADD("graph/edge_batches", 1);
+  RINGO_COUNTER_ADD("graph/batch_inserts", stats.inserted);
+  RINGO_COUNTER_ADD("graph/batch_deletes", stats.deleted);
+  span.AddAttr("inserted", stats.inserted);
+  span.AddAttr("deleted", stats.deleted);
+  span.AddAttr("new_nodes", stats.new_nodes);
+  return stats;
 }
 
 bool UndirectedGraph::HasEdge(NodeId src, NodeId dst) const {

@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "graph/delta_journal.h"
+#include "graph/edge_batch.h"
 #include "graph/graph_defs.h"
 #include "storage/flat_hash_map.h"
 
@@ -35,6 +37,15 @@ class UndirectedGraph {
   // Returns true if new.
   bool AddEdge(NodeId src, NodeId dst);
   bool DelEdge(NodeId src, NodeId dst);
+
+  // Batched counterpart of AddEdge/DelEdge: inserts first, then deletes.
+  // Edge pairs are unordered here — (u, v) and (v, u) name the same edge
+  // and are normalized before dedup. See DirectedGraph::ApplyEdgeBatch and
+  // DESIGN.md §11 for the full contract (single stamp bump, journaled net
+  // ops, parallel per-node merges).
+  EdgeBatchStats ApplyEdgeBatch(std::vector<Edge> inserts,
+                                std::vector<Edge> deletes);
+
   bool DelNode(NodeId id);
 
   bool HasNode(NodeId id) const { return nodes_.Contains(id); }
@@ -67,12 +78,12 @@ class UndirectedGraph {
 
   const NodeTable& node_table() const { return nodes_; }
   NodeTable& mutable_node_table() {
-    ++stamp_;
+    BumpStamp();
     return nodes_;
   }
   void BumpEdgeCount(int64_t count) {
     num_edges_ += count;
-    ++stamp_;
+    BumpStamp();
   }
   void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
 
@@ -86,20 +97,35 @@ class UndirectedGraph {
     return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
   }
   bool HasCachedView() const { return cached_view_ != nullptr; }
+  std::shared_ptr<const void> StaleCachedView() const { return cached_view_; }
+  uint64_t CachedViewStamp() const { return cached_view_stamp_; }
   void SetCachedView(std::shared_ptr<const void> view) const {
     cached_view_ = std::move(view);
     cached_view_stamp_ = stamp_;
   }
 
+  // Replayable batch ops (normalized u <= v); see DirectedGraph.
+  const DeltaJournal& delta_journal() const { return journal_; }
+  void TrimDeltaJournal(uint64_t stamp) const { journal_.TrimThrough(stamp); }
+
  private:
   static bool SortedInsert(std::vector<NodeId>& vec, NodeId v);
   static bool SortedErase(std::vector<NodeId>& vec, NodeId v);
+
+  // Inserts the node without bumping the stamp; see DirectedGraph.
+  bool EnsureNode(NodeId id);
+
+  void BumpStamp() {
+    ++stamp_;
+    journal_.Invalidate();
+  }
 
   NodeTable nodes_;
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
   // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
   uint64_t stamp_ = 1;
+  mutable DeltaJournal journal_;
   mutable std::shared_ptr<const void> cached_view_;
   mutable uint64_t cached_view_stamp_ = 0;
 };

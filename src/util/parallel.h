@@ -129,6 +129,12 @@ inline T HandoffRead(const T& src) {
 // threads. fn must be safe to run concurrently for distinct i.
 template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, Fn&& fn) {
+  if (NumThreads() <= 1 || end - begin <= 1) {
+    // No concurrency possible: skip the fork/join region and its fences.
+    // Same iteration order as a one-thread region, so bit-identical output.
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   internal::RegionFence fence;
   internal::RegionFence* const fence_ptr = &fence;
   auto* const fn_ptr = &fn;
@@ -156,6 +162,10 @@ void ParallelFor(int64_t begin, int64_t end, Fn&& fn) {
 template <typename Fn>
 void ParallelForDynamic(int64_t begin, int64_t end, Fn&& fn,
                         int64_t chunk = 256) {
+  if (NumThreads() <= 1 || end - begin <= 1) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   internal::RegionFence fence;
   internal::RegionFence* const fence_ptr = &fence;
   auto* const fn_ptr = &fn;

@@ -74,6 +74,9 @@ namespace internal {
 constexpr int64_t kRadixSeqCutoff = 1 << 14;
 // Below this size a std::stable_sort on the key words replaces the LSD
 // machinery entirely (identical output, no histograms or scratch scans).
+// The crossover is lower than it looks: with pass skipping, thousand-row
+// inputs with narrow keys run 3-4 branchless scatter passes and beat the
+// comparison sort well before the histograms amortize in theory.
 constexpr int64_t kRadixTinyCutoff = 256;
 
 // Core kernel: stable LSD sort of `data[0, n)` by W 64-bit key words.
