@@ -1,0 +1,220 @@
+// Interactive query-serving benchmark (DESIGN.md §12) — the artifact
+// behind BENCH_serving.json.
+//
+// Ringo's pitch is an analyst firing ad-hoc queries at an in-memory graph,
+// so the serving rows measure the engine end to end: a seeded
+// BFS/PageRank/table-top-k mix over the LiveJournalSim stand-in, driven
+// closed-loop (clients wait for each answer; offered load adapts to
+// capacity) and open-loop (fixed submission schedule; overload sheds).
+// Each timed iteration is one whole load run; the reported counters are
+// the latency percentiles, QPS, and outcome counts of the last run —
+// scripts/check_bench_serving.py gates their structure (closed loop
+// completes everything, the tiny-queue row sheds, deadline rows miss,
+// p50 <= p99) at any scale; absolute numbers are informational.
+//
+//   * ClosedLoop:            8 clients against 4 workers, ample queue —
+//                            shed == 0 and completed == issued are gated.
+//   * OpenLoop:              unpaced burst against 4 workers; every query
+//                            is accounted for (ok + shed == issued).
+//   * Overload_TinyQueue:    1 worker, queue of 4, unpaced burst — the
+//                            bounded queue must shed (shed > 0 gated)
+//                            and the run must still finish quickly: over-
+//                            load degrades to fast typed rejections, not
+//                            queueing collapse.
+//   * DeadlineMiss:          50ms sleep queries under a 5ms deadline —
+//                            every query returns kDeadlineExceeded
+//                            (misses == issued gated) in far less time
+//                            than the requested sleep.
+//   * ClosedLoop_WithWriter: the closed-loop mix while a writer streams
+//                            1%-edge batches — serving stays complete
+//                            (gated) and p99 absorbs snapshot refreshes.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/engine.h"
+#include "serve/query_mix.h"
+#include "serve/session.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace bench {
+namespace {
+
+// Every ~16th node id: real ids only (LiveJournalSim's id space is
+// sparse), spread over the graph.
+std::vector<NodeId> SampleSources(const DirectedGraph& g) {
+  const std::vector<NodeId> ids = g.SortedNodeIds();
+  std::vector<NodeId> sources;
+  for (size_t i = 0; i < ids.size(); i += 16) sources.push_back(ids[i]);
+  return sources;
+}
+
+serve::MixConfig ServingMix(const DirectedGraph& g) {
+  serve::MixConfig mix;
+  mix.bfs_sources = SampleSources(g);
+  mix.pagerank_iters = 5;
+  mix.topk_k = 100;
+  return mix;
+}
+
+void ReportLoad(benchmark::State& state, const serve::LoadStats& stats) {
+  state.counters["bench_scale"] = benchmark::Counter(BenchScale());
+  state.counters["issued"] = benchmark::Counter(double(stats.issued));
+  state.counters["completed"] = benchmark::Counter(double(stats.ok));
+  state.counters["shed"] = benchmark::Counter(double(stats.shed));
+  state.counters["deadline_miss"] =
+      benchmark::Counter(double(stats.deadline_miss));
+  state.counters["failed"] = benchmark::Counter(double(stats.failed));
+  state.counters["p50_ms"] = benchmark::Counter(stats.PercentileMs(50));
+  state.counters["p99_ms"] = benchmark::Counter(stats.PercentileMs(99));
+  state.counters["qps"] = benchmark::Counter(stats.Qps());
+}
+
+void BM_Serving_ClosedLoop(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  serve::Session session("bench", d.graph.get(), d.edge_table);
+  const serve::MixConfig mix = ServingMix(*d.graph);
+  serve::LoadStats stats;
+  for (auto _ : state) {
+    serve::Engine engine({.workers = 4, .queue_capacity = 256});
+    stats = serve::RunClosedLoop(engine, session, mix, /*seed=*/0xC10,
+                                 /*clients=*/8, /*queries_per_client=*/25);
+  }
+  ReportLoad(state, stats);
+}
+BENCHMARK(BM_Serving_ClosedLoop)->Unit(benchmark::kMillisecond);
+
+void BM_Serving_OpenLoop(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  serve::Session session("bench", d.graph.get(), d.edge_table);
+  const serve::MixConfig mix = ServingMix(*d.graph);
+  serve::LoadStats stats;
+  for (auto _ : state) {
+    serve::Engine engine({.workers = 4, .queue_capacity = 64});
+    stats = serve::RunOpenLoop(engine, session, mix, /*seed=*/0x0BE,
+                               /*rate_qps=*/0.0, /*total=*/200);
+  }
+  ReportLoad(state, stats);
+}
+BENCHMARK(BM_Serving_OpenLoop)->Unit(benchmark::kMillisecond);
+
+void BM_Serving_Overload_TinyQueue(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  serve::Session session("bench", d.graph.get(), d.edge_table);
+  // PageRank-only mix: the slowest query class, so one worker behind a
+  // queue of four must shed most of an unpaced 200-query burst.
+  serve::MixConfig mix = ServingMix(*d.graph);
+  mix.bfs_weight = 0.0;
+  mix.table_weight = 0.0;
+  mix.pagerank_weight = 1.0;
+  serve::LoadStats stats;
+  for (auto _ : state) {
+    serve::Engine engine({.workers = 1, .queue_capacity = 4});
+    stats = serve::RunOpenLoop(engine, session, mix, /*seed=*/0x10AD,
+                               /*rate_qps=*/0.0, /*total=*/200);
+  }
+  ReportLoad(state, stats);
+}
+BENCHMARK(BM_Serving_Overload_TinyQueue)->Unit(benchmark::kMillisecond);
+
+void BM_Serving_DeadlineMiss(benchmark::State& state) {
+  const Dataset& d = LiveJournalSim();
+  serve::Session session("bench", d.graph.get(), d.edge_table);
+  serve::LoadStats stats;
+  for (auto _ : state) {
+    serve::Engine engine({.workers = 2, .queue_capacity = 32});
+    stats = serve::LoadStats{};
+    std::vector<std::future<serve::QueryResult>> futs;
+    for (int i = 0; i < 20; ++i) {
+      ++stats.issued;
+      futs.push_back(engine.Submit(session,
+                                   {.kind = serve::QueryKind::kSleep,
+                                    .sleep_ms = 50,
+                                    .deadline_ms = 5}));
+    }
+    for (auto& f : futs) {
+      const serve::QueryResult r = f.get();
+      if (r.status.IsDeadlineExceeded()) {
+        ++stats.deadline_miss;
+      } else if (r.status.ok()) {
+        ++stats.ok;
+      } else {
+        ++stats.failed;
+      }
+    }
+  }
+  ReportLoad(state, stats);
+}
+BENCHMARK(BM_Serving_DeadlineMiss)->Unit(benchmark::kMillisecond);
+
+void BM_Serving_ClosedLoop_WithWriter(benchmark::State& state) {
+  // Private mutable copy: the shared Dataset graph must stay pristine.
+  DirectedGraph g = *LiveJournalSim().graph;
+  serve::Session session("bench", &g, LiveJournalSim().edge_table);
+  const serve::MixConfig mix = ServingMix(g);
+  // Currently-absent edges over sampled endpoints: insert batch i, delete
+  // it on round i+1, so every batch mutates and stamps advance.
+  const std::vector<NodeId> pool = SampleSources(g);
+  const int64_t batch_edges = std::max<int64_t>(1, g.NumEdges() / 100);
+  Rng rng(0x3417);
+  std::vector<Edge> batch;
+  while (static_cast<int64_t>(batch.size()) < batch_edges) {
+    const NodeId u = pool[rng.UniformInt(0, int64_t(pool.size()) - 1)];
+    const NodeId v = pool[rng.UniformInt(0, int64_t(pool.size()) - 1)];
+    if (u != v && !g.HasEdge(u, v)) batch.push_back({u, v});
+  }
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+
+  serve::LoadStats stats;
+  for (auto _ : state) {
+    serve::Engine engine({.workers = 4, .queue_capacity = 256});
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+      bool inserting = true;
+      while (!done.load(std::memory_order_acquire)) {
+        if (inserting) {
+          g.ApplyEdgeBatch(batch, {});
+        } else {
+          g.ApplyEdgeBatch({}, batch);
+        }
+        inserting = !inserting;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    stats = serve::RunClosedLoop(engine, session, mix, /*seed=*/0x317,
+                                 /*clients=*/8, /*queries_per_client=*/25);
+    done.store(true, std::memory_order_release);
+    writer.join();
+  }
+  ReportLoad(state, stats);
+  state.counters["batch_edges"] =
+      benchmark::Counter(double(batch.size()));
+}
+BENCHMARK(BM_Serving_ClosedLoop_WithWriter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ringo
+
+// Explicit main: metrics on so the engine's serve/* counters and the
+// snapshot-cache counters are live while the rows run (the trace export
+// then carries per-query spans for RINGO_TRACE_OUT).
+int main(int argc, char** argv) {
+  ringo::metrics::SetEnabled(true);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  ringo::bench::MaybeExportTrace();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates BENCH_serving.json (the query-serving benchmark artifact).
+
+Usage: scripts/check_bench_serving.py BENCH_serving.json
+
+Gate for the BM_Serving_ rows, run by run_bench.sh and the CI bench-smoke
+job. Every check is structural — it holds at any RINGO_BENCH_SCALE — so
+this gates the serving engine's behavior, not the machine's speed:
+
+  * every expected row is present with a positive real_time and carries
+    the load counters (issued/completed/shed/deadline_miss/failed,
+    p50_ms/p99_ms/qps);
+  * closed-loop rows (with and without a concurrent writer) complete
+    every query: offered load adapts to capacity, so the bounded queue
+    must never shed and nothing may error;
+  * the open-loop burst accounts for every query (completed + shed +
+    misses == issued) — nothing is silently dropped;
+  * the tiny-queue overload row sheds (shed > 0) while still completing
+    work (completed > 0): overload degrades to fast typed rejections,
+    never to unbounded queueing or total starvation;
+  * the deadline row misses on every query (deadline_miss == issued):
+    50ms sleeps cannot fit a 5ms deadline, and each miss came back as a
+    typed kDeadlineExceeded result, not a hang;
+  * latency percentiles are sane where queries completed (0 < p50 <=
+    p99) and closed-loop QPS is positive.
+
+Absolute latencies and QPS are recorded for EXPERIMENTS.md before/after
+comparisons but never gated.
+"""
+import json
+import sys
+
+CLOSED_ROWS = [
+    "BM_Serving_ClosedLoop",
+    "BM_Serving_ClosedLoop_WithWriter",
+]
+OPEN_ROW = "BM_Serving_OpenLoop"
+OVERLOAD_ROW = "BM_Serving_Overload_TinyQueue"
+DEADLINE_ROW = "BM_Serving_DeadlineMiss"
+EXPECTED = CLOSED_ROWS + [OPEN_ROW, OVERLOAD_ROW, DEADLINE_ROW]
+
+COUNTERS = [
+    "bench_scale", "issued", "completed", "shed", "deadline_miss",
+    "failed", "p50_ms", "p99_ms", "qps",
+]
+
+
+def fail(msg):
+    print(f"check_bench_serving: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_serving.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    rows = {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type") == "iteration"}
+    for name in EXPECTED:
+        if name not in rows:
+            fail(f"missing row {name}")
+        row = rows[name]
+        if row.get("real_time", 0) <= 0:
+            fail(f"{name}: non-positive real_time")
+        for counter in COUNTERS:
+            if counter not in row:
+                fail(f"{name}: missing counter {counter} "
+                     "(metrics off in the bench binary?)")
+        if row["failed"] != 0:
+            fail(f"{name}: {row['failed']} queries failed outright")
+
+    for name in CLOSED_ROWS:
+        row = rows[name]
+        if row["issued"] <= 0:
+            fail(f"{name}: issued nothing")
+        if row["shed"] != 0:
+            fail(f"{name}: closed loop shed {row['shed']} queries — the "
+                 "queue must absorb self-pacing clients")
+        if row["completed"] != row["issued"]:
+            fail(f"{name}: completed {row['completed']} of "
+                 f"{row['issued']} issued")
+        if row["qps"] <= 0:
+            fail(f"{name}: non-positive qps")
+        if not (0 < row["p50_ms"] <= row["p99_ms"]):
+            fail(f"{name}: bad percentiles p50={row['p50_ms']} "
+                 f"p99={row['p99_ms']}")
+
+    row = rows[OPEN_ROW]
+    accounted = row["completed"] + row["shed"] + row["deadline_miss"]
+    if accounted != row["issued"]:
+        fail(f"{OPEN_ROW}: {accounted} accounted for of "
+             f"{row['issued']} issued")
+
+    row = rows[OVERLOAD_ROW]
+    if row["shed"] <= 0:
+        fail(f"{OVERLOAD_ROW}: tiny queue never shed — admission "
+             "control is not bounding the queue")
+    if row["completed"] <= 0:
+        fail(f"{OVERLOAD_ROW}: nothing completed under overload")
+
+    row = rows[DEADLINE_ROW]
+    if row["issued"] <= 0:
+        fail(f"{DEADLINE_ROW}: issued nothing")
+    if row["deadline_miss"] != row["issued"]:
+        fail(f"{DEADLINE_ROW}: only {row['deadline_miss']} of "
+             f"{row['issued']} deadline-doomed queries came back "
+             "kDeadlineExceeded")
+    if row["completed"] != 0:
+        fail(f"{DEADLINE_ROW}: {row['completed']} impossible completions")
+
+    closed = rows[CLOSED_ROWS[0]]
+    writer = rows[CLOSED_ROWS[1]]
+    print("check_bench_serving: OK "
+          f"(closed-loop qps={closed['qps']:.0f} "
+          f"p50={closed['p50_ms']:.2f}ms p99={closed['p99_ms']:.2f}ms; "
+          f"with-writer qps={writer['qps']:.0f} "
+          f"p99={writer['p99_ms']:.2f}ms; "
+          f"overload shed={rows[OVERLOAD_ROW]['shed']:.0f}/"
+          f"{rows[OVERLOAD_ROW]['issued']:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,10 +59,20 @@ RINGO_BENCH_SCALE="$STREAMING_SCALE" OMP_NUM_THREADS=1 \
   --benchmark_min_time=0.5 \
   --benchmark_format=json | tee BENCH_streaming.json >/dev/null
 
+# Serving rows (session/worker-pool engine, DESIGN.md §12): closed/open
+# loop latency percentiles + QPS over the query mix, plus the overload and
+# deadline behavior rows. OMP stays at 1 thread — the engine parallelizes
+# across queries, and its gates are structural, not throughput.
+echo "== bench_serving (RINGO_BENCH_SCALE=$SCALE, OMP_NUM_THREADS=1) =="
+OMP_NUM_THREADS=1 \
+  "$BUILD_DIR/bench/bench_serving" \
+  --benchmark_format=json | tee BENCH_serving.json >/dev/null
+
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace.py BENCH_conversions_trace.json
   python3 scripts/check_bench_algos.py BENCH_algos.json
   python3 scripts/check_bench_streaming.py BENCH_streaming.json
+  python3 scripts/check_bench_serving.py BENCH_serving.json
 fi
 
-echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_conversions_trace.json"
+echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_serving.json BENCH_conversions_trace.json"

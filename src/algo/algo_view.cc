@@ -6,6 +6,7 @@
 
 #include "algo/deltacsr_switch.h"
 #include "graph/edge_batch.h"
+#include "graph/snapshot_cache.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -127,6 +128,7 @@ std::shared_ptr<AlgoView> AlgoView::BuildFull(const Graph& g) {
         &base->out_offsets, &base->out_nbrs);
   }
   view->num_out_arcs_ = static_cast<int64_t>(base->out_nbrs.size());
+  view->base_nodes_ = base->ni.size();
   view->base_ = std::move(base);
   span.AddAttr("nodes", view->NumNodes());
   span.AddAttr("arcs", view->NumOutArcs());
@@ -136,7 +138,9 @@ std::shared_ptr<AlgoView> AlgoView::BuildFull(const Graph& g) {
 void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
                               const std::vector<EdgeOp>& ops,
                               AlgoView* next) {
-  const int64_t n = prev.NumNodes();
+  // Size the overlay for the *next* view — it may hold delta-created nodes
+  // past prev's count; their prev spans read as empty (Out/In guard them).
+  const int64_t n = next->NumNodes();
   const DirPatch& old = in_dir ? prev.in_patch_ : prev.out_patch_;
   DirPatch& np = in_dir ? next->in_patch_ : next->out_patch_;
 
@@ -203,15 +207,34 @@ void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
 
 std::shared_ptr<const AlgoView> AlgoView::ApplyDelta(
     const std::shared_ptr<const AlgoView>& prev, std::vector<EdgeOp> raw_ops,
-    double compact_fraction) {
+    double compact_fraction, std::vector<NodeId> new_node_ids) {
   const std::vector<EdgeOp> net = NetOps(std::move(raw_ops));
-  if (net.empty()) return prev;  // Batches canceled out; structure matches.
+  if (net.empty() && new_node_ids.empty()) {
+    return prev;  // Batches canceled out; structure matches.
+  }
   trace::Span span("AlgoView/delta_apply");
 
-  // Translate to dense indices and expand per direction. Journaled batches
-  // never create or destroy nodes, so every endpoint resolves; a miss means
-  // the journal contract was broken and the caller must rebuild.
-  const NodeIndex& ni = prev->node_index();
+  // Created nodes extend the dense index: the journal's watermark rule
+  // guarantees every new id sorts after every id prev knows, so the new
+  // rows append after the existing ones and no old index shifts. A batch
+  // that violates that (journal contract broken) falls back to a rebuild.
+  std::shared_ptr<const NodeIndex> ext = prev->ext_ni_;
+  if (!new_node_ids.empty()) {
+    const std::vector<NodeId>& old_ids = prev->node_index().ids();
+    if (!old_ids.empty() && new_node_ids.front() <= old_ids.back()) {
+      return nullptr;
+    }
+    std::vector<NodeId> all_ids;
+    all_ids.reserve(old_ids.size() + new_node_ids.size());
+    all_ids.insert(all_ids.end(), old_ids.begin(), old_ids.end());
+    all_ids.insert(all_ids.end(), new_node_ids.begin(), new_node_ids.end());
+    ext = std::make_shared<NodeIndex>(NodeIndex::FromIds(std::move(all_ids)));
+  }
+  const NodeIndex& ni = ext != nullptr ? *ext : prev->base_->ni;
+
+  // Translate to dense indices and expand per direction. Every endpoint
+  // resolves in the (possibly extended) index; a miss means the journal
+  // contract was broken and the caller must rebuild.
   std::vector<EdgeOp> fwd;
   std::vector<EdgeOp> rev;
   fwd.reserve(2 * net.size());
@@ -244,12 +267,24 @@ std::shared_ptr<const AlgoView> AlgoView::ApplyDelta(
   auto next = std::shared_ptr<AlgoView>(new AlgoView());
   next->directed_ = prev->directed_;
   next->base_ = prev->base_;
+  next->ext_ni_ = ext;
+  next->base_nodes_ = prev->base_nodes_;
   next->num_out_arcs_ = prev->num_out_arcs_ + fwd_delta;
   next->num_in_arcs_ = prev->directed_ ? prev->num_in_arcs_ + rev_delta : 0;
-  PatchDirection(*prev, /*in_dir=*/false, fwd, next.get());
-  if (prev->directed_) PatchDirection(*prev, /*in_dir=*/true, rev, next.get());
+  if (net.empty()) {
+    // Node-only batch: adjacency is untouched, so the overlays carry over
+    // verbatim (their slot arrays stay sized to prev — reads guard that).
+    next->out_patch_ = prev->out_patch_;
+    next->in_patch_ = prev->in_patch_;
+  } else {
+    PatchDirection(*prev, /*in_dir=*/false, fwd, next.get());
+    if (prev->directed_) {
+      PatchDirection(*prev, /*in_dir=*/true, rev, next.get());
+    }
+  }
 
   span.AddAttr("net_ops", static_cast<int64_t>(net.size()));
+  span.AddAttr("new_nodes", static_cast<int64_t>(new_node_ids.size()));
   span.AddAttr("patched_nodes", next->PatchedNodes());
   if (next->DeltaFraction() > compact_fraction) return nullptr;  // Compact.
   return next;
@@ -257,34 +292,55 @@ std::shared_ptr<const AlgoView> AlgoView::ApplyDelta(
 
 template <typename Graph>
 std::shared_ptr<const AlgoView> AlgoView::CachedOf(const Graph& g) {
-  if (auto cached = g.FreshCachedView()) {
+  // Single-flight protocol (DESIGN.md §12): Acquire either returns a fresh
+  // snapshot (possibly after waiting out another thread's build) or elects
+  // this thread the sole builder for the current stamp.
+  SnapshotCache& cache = g.view_cache();
+  SnapshotCache::Claim claim =
+      cache.Acquire([&g] { return g.MutationStamp(); });
+  if (!claim.builder) {
     RINGO_COUNTER_ADD("algo_view/hit", 1);
-    return std::static_pointer_cast<const AlgoView>(std::move(cached));
+    return std::static_pointer_cast<const AlgoView>(std::move(claim.view));
   }
-  if (g.HasCachedView()) RINGO_COUNTER_ADD("algo_view/invalidate", 1);
+
+  // Builder: abort the flight if anything below throws, so waiters are not
+  // stranded. The shared structure lock freezes the stamp, journal, and
+  // adjacency for the duration of the refresh.
+  SnapshotCache::BuildScope scope(&cache);
+  auto structure_lock = g.ReadLockStructure();
+  const uint64_t built_stamp = g.MutationStamp();
+  const auto prev = std::static_pointer_cast<const AlgoView>(claim.view);
 
   std::shared_ptr<const AlgoView> view;
-  if (deltacsr::Enabled() && g.HasCachedView() &&
-      g.delta_journal().Covers(g.CachedViewStamp(), g.MutationStamp())) {
-    const auto prev =
-        std::static_pointer_cast<const AlgoView>(g.StaleCachedView());
-    view = ApplyDelta(prev, g.delta_journal().OpsSince(g.CachedViewStamp()),
-                      deltacsr::CompactionFraction());
+  if (deltacsr::Enabled() && prev != nullptr &&
+      g.delta_journal().Covers(claim.stamp, built_stamp)) {
+    view = ApplyDelta(prev, g.delta_journal().OpsSince(claim.stamp),
+                      deltacsr::CompactionFraction(),
+                      g.delta_journal().NodesSince(claim.stamp));
     if (view != nullptr) {
+      // The stale snapshot was patched forward, not discarded — counted
+      // separately from invalidations so dashboards see rebuild pressure
+      // only when it is real.
+      RINGO_COUNTER_ADD("algo_view/stale_patch", 1);
       RINGO_COUNTER_ADD("algo_view/delta_apply", 1);
     } else {
       view = BuildFull(g);
+      RINGO_COUNTER_ADD("algo_view/invalidate", 1);
       RINGO_COUNTER_ADD("algo_view/compact", 1);
     }
   } else {
     view = BuildFull(g);
+    if (prev != nullptr) RINGO_COUNTER_ADD("algo_view/invalidate", 1);
     RINGO_COUNTER_ADD("algo_view/build", 1);
   }
-  g.SetCachedView(view);
-  g.TrimDeltaJournal(g.MutationStamp());
+  g.TrimDeltaJournal(built_stamp);
+  structure_lock.unlock();
+
+  view->set_snapshot_stamp(built_stamp);
   metrics::GaugeSet("algo_view/delta_nodes",
                     static_cast<double>(view->PatchedNodes()));
   metrics::GaugeSet("algo_view/delta_fraction", view->DeltaFraction());
+  scope.Publish(view, built_stamp);
   return view;
 }
 
@@ -298,12 +354,16 @@ std::shared_ptr<const AlgoView> AlgoView::Of(const UndirectedGraph& g) {
 
 std::shared_ptr<const AlgoView> AlgoView::Build(const DirectedGraph& g) {
   RINGO_COUNTER_ADD("algo_view/build", 1);
-  return BuildFull(g);
+  auto view = BuildFull(g);
+  view->set_snapshot_stamp(g.MutationStamp());
+  return view;
 }
 
 std::shared_ptr<const AlgoView> AlgoView::Build(const UndirectedGraph& g) {
   RINGO_COUNTER_ADD("algo_view/build", 1);
-  return BuildFull(g);
+  auto view = BuildFull(g);
+  view->set_snapshot_stamp(g.MutationStamp());
+  return view;
 }
 
 }  // namespace ringo

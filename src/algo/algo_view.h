@@ -1,5 +1,5 @@
 // AlgoView: a read-optimized CSR snapshot of a dynamic graph, cached on the
-// graph behind its mutation stamp (DESIGN.md §9, §11).
+// graph behind its mutation stamp (DESIGN.md §9, §11, §12).
 //
 // The dynamic representations (hash table of nodes, sorted adjacency
 // vectors) pay a hash probe per edge access; traversal cost is dominated by
@@ -14,32 +14,44 @@
 // the nodes touched by recent ApplyEdgeBatch calls. When a mutation was
 // batched and the graph's delta journal covers the stamp gap, Of() patches
 // the stale snapshot forward in O(batch + touched nodes) instead of paying
-// the O(V + E) rebuild ("algo_view/delta_apply"); delete tombstones from
-// the journal annihilate base entries during the per-node merge, so reads
-// stay contiguous ascending spans. Once the patched-arc fraction crosses
+// the O(V + E) rebuild ("algo_view/delta_apply", with "algo_view/
+// stale_patch" counting the stale snapshots refreshed that way); delete
+// tombstones from the journal annihilate base entries during the per-node
+// merge, so reads stay contiguous ascending spans. Batches that *create*
+// nodes stay on the delta path too: created ids always sort above every
+// pre-existing id (the graph checks its watermark before journaling), so
+// the patched view carries an extended NodeIndex whose new rows simply
+// append after the base rows. Once the patched-arc fraction crosses
 // deltacsr::CompactionFraction, the refresh folds everything into a fresh
 // dense base ("algo_view/compact"). Non-journalable mutations (single-edge
-// calls, node create/delete, table splicing) still force a full rebuild
-// ("algo_view/build", plus "algo_view/invalidate" when a stale snapshot was
-// evicted). deltacsr::SetEnabled(false) disables patching entirely — the
-// parity oracle.
+// calls, node deletes, table splicing) force a full rebuild
+// ("algo_view/build"); "algo_view/invalidate" counts only the stale
+// snapshots *discarded* by such a rebuild or a compaction — a delta-patched
+// refresh is not an invalidation. deltacsr::SetEnabled(false) disables
+// patching entirely — the parity oracle.
 //
 // Layout invariants (identical for base spans and patch runs):
 //   * dense index i corresponds to the i-th smallest node id;
 //   * Out(i)/In(i) are ascending spans of dense indices (the adjacency
 //     vectors are id-sorted and the id->index map is monotone);
 //   * undirected graphs store one neighbor array; In(i) == Out(i).
-// Delta-patched views share the base arrays and NodeIndex of the snapshot
-// they were patched from (&node_index() is stable across patches — only a
-// rebuild or compaction changes it).
+// Delta-patched views share the base arrays of the snapshot they were
+// patched from, and — unless the batch created nodes — its NodeIndex too
+// (&node_index() is stable across edge-only patches; a node-creating patch
+// installs an extended index that is then shared by further patches).
 //
-// Thread-safety: Of() participates in the graph's single-writer contract —
-// do not call it concurrently with graph mutation or with another Of() on
-// the same graph. The build itself parallelizes internally, and a built
-// view is immutable (safe to share across threads).
+// Thread-safety (DESIGN.md §12): Of() is safe to call from any number of
+// threads concurrently with each other AND with one writer mutating the
+// graph. The cached (view, stamp) pair lives in the graph's SnapshotCache;
+// refreshes are single-flight (a thundering herd of cold readers triggers
+// exactly one build — the counters above stay exact) and the flight holds
+// the graph's structure lock in shared mode, excluding writers for the
+// duration of the build. A returned view is immutable and remains valid as
+// long as the caller holds the shared_ptr, no matter how the graph mutates.
 #ifndef RINGO_ALGO_ALGO_VIEW_H_
 #define RINGO_ALGO_ALGO_VIEW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -56,51 +68,72 @@ class AlgoView {
  public:
   // Cached accessors: return a snapshot matching the graph's current
   // mutation stamp — reusing, delta-patching, compacting, or rebuilding the
-  // cached one as the journal allows.
+  // cached one as the journal allows. Safe under concurrent readers + one
+  // writer (see the header comment).
   static std::shared_ptr<const AlgoView> Of(const DirectedGraph& g);
   static std::shared_ptr<const AlgoView> Of(const UndirectedGraph& g);
 
-  // Uncached full builds (benchmarks, tests).
+  // Uncached full builds (benchmarks, tests). Not synchronized against
+  // writers — quiescent graphs only.
   static std::shared_ptr<const AlgoView> Build(const DirectedGraph& g);
   static std::shared_ptr<const AlgoView> Build(const UndirectedGraph& g);
 
-  // Replays net edge ops (dense-translatable node ids, insert/delete) onto
-  // `prev`, producing a patched view sharing prev's base. Returns nullptr
-  // when the projected patched-arc fraction crosses `compact_fraction` —
-  // the caller should compact (full rebuild) instead. Exposed for tests;
-  // Of() is the normal entry point.
+  // Replays net edge ops (insert/delete) plus created node ids onto `prev`,
+  // producing a patched view sharing prev's base. Every id in
+  // `new_node_ids` must exceed every id prev knows (ascending — the
+  // journal's watermark rule); edge ops may reference both old and new ids.
+  // Returns nullptr when the projected patched-arc fraction crosses
+  // `compact_fraction` or the watermark precondition fails — the caller
+  // should compact (full rebuild) instead. Exposed for tests; Of() is the
+  // normal entry point.
   static std::shared_ptr<const AlgoView> ApplyDelta(
       const std::shared_ptr<const AlgoView>& prev, std::vector<EdgeOp> ops,
-      double compact_fraction);
+      double compact_fraction, std::vector<NodeId> new_node_ids = {});
 
   bool directed() const { return directed_; }
-  int64_t NumNodes() const { return base_->ni.size(); }
+  int64_t NumNodes() const { return node_index().size(); }
   // Stored arcs: directed edges once per direction array; undirected edges
   // twice (self-loops once), matching the adjacency vectors.
   int64_t NumOutArcs() const { return num_out_arcs_; }
   int64_t NumInArcs() const { return directed_ ? num_in_arcs_ : num_out_arcs_; }
 
-  const NodeIndex& node_index() const { return base_->ni; }
-  int64_t IndexOf(NodeId id) const { return base_->ni.IndexOf(id); }
-  NodeId IdOf(int64_t index) const { return base_->ni.IdOf(index); }
+  // The extended index when the view carries delta-created nodes, else the
+  // base index. New rows append after base rows, so dense indices are
+  // stable across patches.
+  const NodeIndex& node_index() const {
+    return ext_ni_ != nullptr ? *ext_ni_ : base_->ni;
+  }
+  int64_t IndexOf(NodeId id) const { return node_index().IndexOf(id); }
+  NodeId IdOf(int64_t index) const { return node_index().IdOf(index); }
+
+  // The graph mutation stamp this snapshot reflects; 0 when the view was
+  // built outside the cache (Build/ApplyDelta called directly). Atomic
+  // because a canceled-out refresh republishes the same view object at a
+  // newer stamp while readers hold it.
+  uint64_t snapshot_stamp() const {
+    return snapshot_stamp_.load(std::memory_order_relaxed);
+  }
 
   // Ascending spans of dense neighbor indices (patch run if the node was
-  // touched by a replayed batch, base span otherwise).
+  // touched by a replayed batch, base span otherwise; delta-created nodes
+  // with no patched adjacency read as empty).
   std::span<const int64_t> Out(int64_t i) const {
-    if (!out_patch_.slot.empty()) {
+    if (static_cast<size_t>(i) < out_patch_.slot.size()) {
       const int32_t s = out_patch_.slot[i];
       if (s >= 0) return out_patch_.Run(s);
     }
+    if (i >= base_nodes_) return {};
     return {base_->out_nbrs.data() + base_->out_offsets[i],
             static_cast<size_t>(base_->out_offsets[i + 1] -
                                 base_->out_offsets[i])};
   }
   std::span<const int64_t> In(int64_t i) const {
     if (!directed_) return Out(i);
-    if (!in_patch_.slot.empty()) {
+    if (static_cast<size_t>(i) < in_patch_.slot.size()) {
       const int32_t s = in_patch_.slot[i];
       if (s >= 0) return in_patch_.Run(s);
     }
+    if (i >= base_nodes_) return {};
     return {base_->in_nbrs.data() + base_->in_offsets[i],
             static_cast<size_t>(base_->in_offsets[i + 1] -
                                 base_->in_offsets[i])};
@@ -146,6 +179,8 @@ class AlgoView {
   // Patch overlay for one direction: `nodes` lists the patched dense
   // indices ascending, `slot[i]` maps a dense index to its run (or -1 =
   // base), and runs live back-to-back in `arena` delimited by `offsets`.
+  // slot may be shorter than NumNodes() when later node-only batches grew
+  // the index without touching this direction; Out/In guard the lookup.
   struct DirPatch {
     std::vector<int32_t> slot;     // Empty when nothing is patched.
     std::vector<int64_t> nodes;    // Ascending patched dense indices.
@@ -159,6 +194,10 @@ class AlgoView {
   };
 
   AlgoView() = default;
+
+  void set_snapshot_stamp(uint64_t s) const {
+    snapshot_stamp_.store(s, std::memory_order_relaxed);
+  }
 
   // Full CSR materialization without counters (Build and the compaction
   // path wrap it with the right one).
@@ -174,10 +213,17 @@ class AlgoView {
 
   bool directed_ = true;
   std::shared_ptr<const BaseCsr> base_;
+  // Set when delta batches created nodes since the base was built: the base
+  // index extended with the new ids (which all sort after the old ones).
+  std::shared_ptr<const NodeIndex> ext_ni_;
+  // Rows the base arrays cover; dense indices >= base_nodes_ are
+  // delta-created and have no base span.
+  int64_t base_nodes_ = 0;
   DirPatch out_patch_;
   DirPatch in_patch_;
   int64_t num_out_arcs_ = 0;
   int64_t num_in_arcs_ = 0;
+  mutable std::atomic<uint64_t> snapshot_stamp_{0};
 };
 
 }  // namespace ringo

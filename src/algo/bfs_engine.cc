@@ -5,6 +5,7 @@
 #include <limits>
 #include <span>
 
+#include "util/cancel.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/radix_sort.h"
@@ -313,6 +314,10 @@ DenseBfs Run(const AlgoView& view, int64_t src, BfsDir dir,
     int64_t level = 0;
 
     while (awake > 0) {
+      // Deadline-bounded serving: a cancelled query abandons the traversal
+      // mid-level; the executor discards the partial result. One TLS load
+      // when no token is installed.
+      if (cancel::Checkpoint()) break;
       if (opts.stop_at >= 0 && r.dist[opts.stop_at] != kNoDist) break;
       ++level;
       if (opts.strategy == Strategy::kAuto) {
@@ -381,6 +386,7 @@ int64_t SequentialDistances(const AlgoView& view, int64_t src, BfsDir dir,
   int64_t reached = 1;
   int64_t level = 0;
   while (!frontier.empty()) {
+    if (cancel::Checkpoint()) break;  // Deadline-bounded serving.
     ++level;
     next.clear();
     for (int64_t u : frontier) {

@@ -6,6 +6,7 @@
 #include "algo/algo_view.h"
 #include "algo/csr_switch.h"
 #include "algo/node_index.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 #include "util/trace.h"
 
@@ -36,6 +37,7 @@ HitsScores IterateHits(int64_t n, const NodeIndex& ni, InSpanFn&& in_of,
   normalize(auth);
 
   for (int iter = 0; iter < config.max_iters; ++iter) {
+    if (cancel::Checkpoint()) break;  // Deadline-bounded serving.
     // auth(v) = sum of hub(u) over in-neighbors u.
     ParallelForDynamic(0, n, [&](int64_t i) {
       double acc = 0.0;

@@ -6,6 +6,7 @@
 #include "algo/algo_view.h"
 #include "algo/csr_switch.h"
 #include "algo/node_index.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 #include "util/trace.h"
 
@@ -45,6 +46,10 @@ std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
   std::vector<double> pr(init != nullptr ? *init : teleport), next(n);
   int iters_run = 0;
   for (int iter = 0; iter < config.max_iters; ++iter) {
+    // Cooperative cancellation for deadline-bounded serving: the partial
+    // vector returned after a break is discarded by the executor. With no
+    // token installed this is one TLS load and never fires.
+    if (cancel::Checkpoint()) break;
     ++iters_run;
     // Mass parked on dangling nodes teleports like everything else. The
     // blocked sum keeps the result bit-identical across thread counts and
@@ -180,6 +185,19 @@ Result<NodeValues> RunPageRank(const DirectedGraph& g,
 Result<NodeValues> PageRank(const DirectedGraph& g,
                             const PageRankConfig& config) {
   return RunPageRank(g, config, /*seeds=*/nullptr, /*parallel=*/false);
+}
+
+Result<std::vector<double>> PageRankScoresOnView(const AlgoView& view,
+                                                 const PageRankConfig& config,
+                                                 bool parallel) {
+  RINGO_RETURN_NOT_OK(ValidateConfig(config));
+  const int64_t n = view.NumNodes();
+  if (n == 0) return std::vector<double>{};
+  trace::Span span("Algo/PageRankOnView");
+  span.AddAttr("nodes", n);
+  span.AddAttr("parallel", static_cast<int64_t>(parallel ? 1 : 0));
+  const std::vector<double> teleport(n, 1.0 / static_cast<double>(n));
+  return CsrDenseScores(view, config, teleport, parallel, span);
 }
 
 Result<NodeValues> ParallelPageRank(const DirectedGraph& g,

@@ -64,6 +64,16 @@ Result<NodeValues> ParallelPageRankWarm(const DirectedGraph& g,
                                         PageRankWarmState* state,
                                         const PageRankConfig& config = {});
 
+// PageRank over an already-pinned snapshot, returning the dense score
+// vector in the view's numbering (uniform teleport; zip with
+// view.node_index() for ids). This is the serving-engine entry point: a
+// query pins one view and never touches the live graph, so it is safe
+// under concurrent writers (DESIGN.md §12) and honors the calling thread's
+// cancellation token.
+Result<std::vector<double>> PageRankScoresOnView(
+    const AlgoView& view, const PageRankConfig& config = {},
+    bool parallel = true);
+
 // Personalized PageRank: teleport jumps back to `seeds` (uniformly) instead
 // of to all nodes. Fails if seeds is empty or contains unknown nodes.
 Result<NodeValues> PersonalizedPageRank(const DirectedGraph& g,

@@ -4,22 +4,29 @@
 //
 // Every ApplyEdgeBatch call appends one batch of *effective* edge ops (the
 // net inserts/deletes that actually changed the adjacency) tagged with the
-// mutation stamp the graph reached after the batch. A cached AlgoView built
-// at stamp S can then be patched forward to stamp S' by replaying exactly
-// the batches in (S, S'] — provided the journal covers that range with no
-// gaps. Any mutation that is not journalable (single-edge AddEdge/DelEdge,
-// node deletion, direct node-table splicing, or a batch that created new
-// nodes) invalidates the journal, so a gap in the stamp sequence is
+// mutation stamp the graph reached after the batch, plus the ids of any
+// nodes the batch created. A cached AlgoView built at stamp S can then be
+// patched forward to stamp S' by replaying exactly the batches in (S, S']
+// — provided the journal covers that range with no gaps. Node-creating
+// batches stay replayable as long as every created id lands above the
+// graph's id watermark (the snapshot's dense numbering is ascending by id,
+// so strictly-larger ids append without renumbering anything); batches
+// that recycle a lower id, and any mutation that is not journalable at all
+// (single-edge AddEdge/DelEdge, node deletion, direct node-table
+// splicing), invalidate the journal, so a gap in the stamp sequence is
 // represented by an empty journal and the snapshot layer falls back to a
 // full rebuild.
 //
-// The journal is bounded: once the buffered op count crosses the cap passed
-// to AppendBatch, everything is dropped (one rebuild is cheaper than
-// replaying a delta comparable to the graph itself). TrimThrough discards
-// batches already folded into the cached snapshot.
+// The journal is bounded: an append that would push the buffered op count
+// (edge ops + node adds) past the cap drops everything *without buffering
+// the oversized batch first* (one rebuild is cheaper than replaying a
+// delta comparable to the graph itself). TrimThrough discards batches
+// already folded into the cached snapshot.
 //
-// Thread-safety: none — the journal participates in the graph's
-// single-writer contract, like the mutation stamp it shadows.
+// Thread-safety: none by itself — the owning graph serializes writers
+// behind its structure lock (exclusive) and the snapshot single-flight
+// reads/trims under the same lock in shared mode (see
+// graph/snapshot_cache.h and DESIGN.md §12).
 #ifndef RINGO_GRAPH_DELTA_JOURNAL_H_
 #define RINGO_GRAPH_DELTA_JOURNAL_H_
 
@@ -44,17 +51,26 @@ class DeltaJournal {
   // Appends the batch that moved the graph to `stamp_after`. Batches must
   // arrive in stamp order with no gaps; a non-contiguous append clears the
   // backlog first (the older batches could never be replayed past the gap).
-  // `max_ops` bounds the total buffered ops: crossing it drops everything,
-  // including this batch, forcing one full rebuild instead of an
-  // arbitrarily long replay.
+  // `new_nodes` lists the ids the batch created, ascending, every one
+  // greater than any id the graph held before the batch (the caller checks
+  // the watermark). `max_ops` bounds the total buffered ops; an append that
+  // would cross it is rejected up front — the backlog and the incoming
+  // batch are dropped without ever buffering the oversized batch, so the
+  // journal never transiently holds more than the cap.
   void AppendBatch(uint64_t stamp_after, std::vector<EdgeOp> ops,
-                   int64_t max_ops) {
+                   int64_t max_ops, std::vector<NodeId> new_nodes = {}) {
     if (!batches_.empty() && batches_.back().stamp_after + 1 != stamp_after) {
       Invalidate();
     }
-    total_ops_ += static_cast<int64_t>(ops.size());
-    batches_.push_back(Batch{stamp_after, std::move(ops)});
-    if (total_ops_ > max_ops) Invalidate();
+    const int64_t incoming =
+        static_cast<int64_t>(ops.size()) + static_cast<int64_t>(new_nodes.size());
+    if (total_ops_ + incoming > max_ops) {
+      Invalidate();
+      return;
+    }
+    total_ops_ += incoming;
+    batches_.push_back(
+        Batch{stamp_after, std::move(ops), std::move(new_nodes)});
   }
 
   // Drops everything. Called for every non-journalable mutation so the
@@ -93,10 +109,24 @@ class DeltaJournal {
     return out;
   }
 
+  // Concatenates the created-node ids of every batch with stamp_after >
+  // from_stamp. Ascending across the whole result: each batch's list is
+  // ascending and starts above the watermark the previous batch advanced.
+  std::vector<NodeId> NodesSince(uint64_t from_stamp) const {
+    std::vector<NodeId> out;
+    for (const Batch& b : batches_) {
+      if (b.stamp_after > from_stamp) {
+        out.insert(out.end(), b.new_nodes.begin(), b.new_nodes.end());
+      }
+    }
+    return out;
+  }
+
   // Discards batches already reflected in a snapshot built at `stamp`.
   void TrimThrough(uint64_t stamp) {
     while (!batches_.empty() && batches_.front().stamp_after <= stamp) {
-      total_ops_ -= static_cast<int64_t>(batches_.front().ops.size());
+      total_ops_ -= static_cast<int64_t>(batches_.front().ops.size()) +
+                    static_cast<int64_t>(batches_.front().new_nodes.size());
       batches_.pop_front();
     }
   }
@@ -109,6 +139,8 @@ class DeltaJournal {
   struct Batch {
     uint64_t stamp_after;
     std::vector<EdgeOp> ops;
+    std::vector<NodeId> new_nodes;  // Ascending; all above the pre-batch
+                                    // id watermark.
   };
 
   std::deque<Batch> batches_;  // Contiguous stamp_after values.

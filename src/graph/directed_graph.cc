@@ -16,6 +16,62 @@ int64_t JournalCap(int64_t num_edges) {
 
 }  // namespace
 
+DirectedGraph::DirectedGraph(const DirectedGraph& other) {
+  std::shared_lock<std::shared_mutex> lk(other.structure_mu_);
+  nodes_ = other.nodes_;
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = other.journal_;
+}
+
+DirectedGraph& DirectedGraph::operator=(const DirectedGraph& other) {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lk_this(structure_mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> lk_other(other.structure_mu_,
+                                               std::defer_lock);
+  std::lock(lk_this, lk_other);
+  nodes_ = other.nodes_;
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = other.journal_;
+  return *this;
+}
+
+DirectedGraph::DirectedGraph(DirectedGraph&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lk(other.structure_mu_);
+  nodes_ = std::move(other.nodes_);
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = std::move(other.journal_);
+  other.num_edges_ = 0;
+  other.next_node_id_ = 0;
+  other.journal_.Invalidate();
+}
+
+DirectedGraph& DirectedGraph::operator=(DirectedGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lk_this(structure_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> lk_other(other.structure_mu_,
+                                               std::defer_lock);
+  std::lock(lk_this, lk_other);
+  nodes_ = std::move(other.nodes_);
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = std::move(other.journal_);
+  other.num_edges_ = 0;
+  other.next_node_id_ = 0;
+  other.journal_.Invalidate();
+  return *this;
+}
+
 bool DirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
   auto it = std::lower_bound(vec.begin(), vec.end(), v);
   if (it != vec.end() && *it == v) return false;
@@ -36,27 +92,34 @@ bool DirectedGraph::SortedContains(const std::vector<NodeId>& vec, NodeId v) {
 
 bool DirectedGraph::EnsureNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) NoteMaxNodeId(id);
+  if (inserted) next_node_id_ = std::max(next_node_id_, id + 1);
   return inserted;
 }
 
-bool DirectedGraph::AddNode(NodeId id) {
+bool DirectedGraph::AddNodeLocked(NodeId id) {
   const bool inserted = EnsureNode(id);
   if (inserted) BumpStamp();
   return inserted;
 }
 
+bool DirectedGraph::AddNode(NodeId id) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  return AddNodeLocked(id);
+}
+
 NodeId DirectedGraph::AddNode() {
-  // The watermark is advanced by every insert path (EnsureNode →
-  // NoteMaxNodeId), so this probe is O(1) amortized; it only walks when
-  // ids were spliced in via mutable_node_table() without NoteMaxNodeId.
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  // The watermark is advanced by every insert path (EnsureNode), so this
+  // probe is O(1) amortized; it only walks when ids were spliced in via
+  // mutable_node_table() without NoteMaxNodeId.
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
   const NodeId id = next_node_id_;
-  AddNode(id);
+  AddNodeLocked(id);
   return id;
 }
 
 bool DirectedGraph::AddEdge(NodeId src, NodeId dst) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   // No stamp bumps here: if the edge already exists its endpoints do too,
   // so a failed insert below means nothing changed at all, and a
   // successful one bumps exactly once for nodes + edge together.
@@ -74,6 +137,7 @@ bool DirectedGraph::AddEdge(NodeId src, NodeId dst) {
 }
 
 bool DirectedGraph::DelEdge(NodeId src, NodeId dst) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   NodeData* s = nodes_.Find(src);
   if (s == nullptr || !SortedErase(s->out, dst)) return false;
   NodeData* d = nodes_.Find(dst);
@@ -84,6 +148,7 @@ bool DirectedGraph::DelEdge(NodeId src, NodeId dst) {
 }
 
 bool DirectedGraph::DelNode(NodeId id) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   NodeData* nd = nodes_.Find(id);
   if (nd == nullptr) return false;
   // Detach from neighbors. Self-loop appears in both vectors; guard so the
@@ -117,6 +182,13 @@ EdgeBatchStats DirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
     edgebatch::SortDedup(deletes);
   }
 
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  // Ids at or above this watermark did not exist before the batch, so
+  // creating them never renumbers existing snapshot rows — the batch stays
+  // journal-replayable (DESIGN.md §11).
+  const NodeId pre_watermark = next_node_id_;
+  std::vector<NodeId> created;
+
   std::vector<EdgeOp> ops;
   {
     trace::Span s("Graph/ApplyEdgeBatch/resolve");
@@ -132,7 +204,7 @@ EdgeBatchStats DirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
       seconds.reserve(inserts.size());
       for (const Edge& e : inserts) {
         if (!have_last || e.first != last) {
-          if (EnsureNode(e.first)) ++stats.new_nodes;
+          if (EnsureNode(e.first)) created.push_back(e.first);
           last = e.first;
           have_last = true;
         }
@@ -142,8 +214,9 @@ EdgeBatchStats DirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
       seconds.erase(std::unique(seconds.begin(), seconds.end()),
                     seconds.end());
       for (const NodeId v : seconds) {
-        if (EnsureNode(v)) ++stats.new_nodes;
+        if (EnsureNode(v)) created.push_back(v);
       }
+      stats.new_nodes = static_cast<int64_t>(created.size());
     }
 
     // Resolve against the pre-batch adjacency into net ops ("inserts first,
@@ -221,14 +294,19 @@ EdgeBatchStats DirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
     num_edges_ += stats.inserted - stats.deleted;
   }
 
-  // One stamp bump for the whole batch. Batches that created nodes are not
-  // replayable (the dense node renumbering shifts), so they invalidate the
-  // journal like any other structural mutation.
-  ++stamp_;
-  if (stats.new_nodes > 0) {
-    journal_.Invalidate();
+  // One stamp bump for the whole batch. Created nodes journal alongside the
+  // edge ops as long as every new id lands above the pre-batch watermark
+  // (the snapshot's dense numbering only ever appends then); a batch that
+  // resurrects a lower id — possible after DelNode — is not replayable and
+  // invalidates instead.
+  stamp_.fetch_add(1, std::memory_order_release);
+  RadixSortI64(created);
+  if (created.empty() || created.front() >= pre_watermark) {
+    journal_.AppendBatch(stamp_.load(std::memory_order_relaxed),
+                         std::move(ops), JournalCap(num_edges_),
+                         std::move(created));
   } else {
-    journal_.AppendBatch(stamp_, std::move(ops), JournalCap(num_edges_));
+    journal_.Invalidate();
   }
 
   RINGO_COUNTER_ADD("graph/edge_batches", 1);

@@ -13,17 +13,31 @@
 //
 // Semantics: simple directed graph. Self-loops are allowed; parallel
 // (duplicate) edges are not.
+//
+// Concurrency (DESIGN.md §12): mutating entry points serialize behind an
+// internal structure lock (exclusive), and the cached-snapshot single
+// flight in algo/algo_view.* builds while holding the same lock in shared
+// mode — so any number of query threads can pin consistent snapshots via
+// AlgoView::Of() while one writer streams mutations. Direct structural
+// *reads* (GetNode, HasEdge, ForEachNode, ...) take no lock: they are safe
+// against each other but NOT against a concurrent writer; concurrent
+// analytics must go through a pinned snapshot, which is immutable.
+// mutable_node_table() splicing likewise requires external quiescence.
 #ifndef RINGO_GRAPH_DIRECTED_GRAPH_H_
 #define RINGO_GRAPH_DIRECTED_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "graph/delta_journal.h"
 #include "graph/edge_batch.h"
 #include "graph/graph_defs.h"
+#include "graph/snapshot_cache.h"
 #include "storage/flat_hash_map.h"
 
 namespace ringo {
@@ -38,8 +52,21 @@ class DirectedGraph {
 
   DirectedGraph() = default;
 
+  // Copy/move transfer the structural state (nodes, edge count, stamp,
+  // journal) but not the synchronization objects or the cached snapshot —
+  // the copy starts with a cold cache and fresh locks. The source is
+  // locked for the duration, but copying a graph that is concurrently
+  // *written* is still a logical race; copy quiescent graphs.
+  DirectedGraph(const DirectedGraph& other);
+  DirectedGraph& operator=(const DirectedGraph& other);
+  DirectedGraph(DirectedGraph&& other) noexcept;
+  DirectedGraph& operator=(DirectedGraph&& other) noexcept;
+
   // Pre-sizes the node hash table for `n` nodes.
-  void ReserveNodes(int64_t n) { nodes_.Reserve(n); }
+  void ReserveNodes(int64_t n) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
+    nodes_.Reserve(n);
+  }
 
   // Adds a node with the given id; returns false if it already exists.
   bool AddNode(NodeId id);
@@ -61,7 +88,8 @@ class DirectedGraph {
   // lists are radix-sorted and deduped, missing insert endpoints are
   // created (as AddEdge would), and each touched node's adjacency vector is
   // rewritten with one linear merge — touched nodes update in parallel.
-  // Bumps the mutation stamp at most once, and journals the net ops so the
+  // Bumps the mutation stamp at most once, and journals the net ops (plus
+  // any created node ids, which always land above the id watermark) so the
   // cached AlgoView can be patched instead of rebuilt (DESIGN.md §11).
   EdgeBatchStats ApplyEdgeBatch(std::vector<Edge> inserts,
                                 std::vector<Edge> deletes);
@@ -103,20 +131,28 @@ class DirectedGraph {
 
   // Direct slot access to the node table for OpenMP partitioned loops.
   // The mutable accessor bumps the mutation stamp because callers use it to
-  // splice structure in directly (conversion, IO loaders).
+  // splice structure in directly (conversion, IO loaders); the splicing
+  // itself happens outside any lock, so it requires quiescence.
   const NodeTable& node_table() const { return nodes_; }
   NodeTable& mutable_node_table() {
-    BumpStamp();
+    {
+      std::unique_lock<std::shared_mutex> lk(structure_mu_);
+      BumpStamp();
+    }
     return nodes_;
   }
 
   // Registers `count` edges added externally via mutable_node_table() (the
   // sort-first conversion fills adjacency vectors directly, §2.4).
   void BumpEdgeCount(int64_t count) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
     num_edges_ += count;
     BumpStamp();
   }
-  void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
+  void NoteMaxNodeId(NodeId id) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
+    next_node_id_ = std::max(next_node_id_, id + 1);
+  }
 
   // Structure-only heap usage in bytes (node table + adjacency vectors).
   int64_t MemoryUsageBytes() const;
@@ -125,33 +161,32 @@ class DirectedGraph {
   bool SameStructure(const DirectedGraph& other) const;
 
   // --------------------------------------------------------------------
-  // Mutation stamp + cached analytics view (DESIGN.md §9).
+  // Mutation stamp + cached analytics view (DESIGN.md §9, §12).
   //
-  // Every structural mutation bumps the stamp; read-optimized snapshots
-  // (algo/algo_view.h) are cached here keyed by the stamp value at build
-  // time, so back-to-back analytics calls on an unmodified graph reuse one
-  // snapshot and a mutation lazily invalidates it. The slot is type-erased
-  // so the graph layer stays independent of the algo layer.
-  uint64_t MutationStamp() const { return stamp_; }
-
-  // The cached view if it was built at the current stamp, else nullptr.
-  std::shared_ptr<const void> FreshCachedView() const {
-    return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
+  // Every structural mutation bumps the stamp under the exclusive
+  // structure lock; read-optimized snapshots (algo/algo_view.h) are cached
+  // in `view_cache()` keyed by the stamp value at build time. The snapshot
+  // single flight holds ReadLockStructure() (shared) while it reads the
+  // structure, journal, and stamp, so writers and snapshot builds exclude
+  // each other and a build observes one consistent stamp.
+  uint64_t MutationStamp() const {
+    return stamp_.load(std::memory_order_acquire);
   }
-  bool HasCachedView() const { return cached_view_ != nullptr; }
-  // The cached view regardless of freshness, and the stamp it was built
-  // at — the starting point for an incremental delta replay.
-  std::shared_ptr<const void> StaleCachedView() const { return cached_view_; }
-  uint64_t CachedViewStamp() const { return cached_view_stamp_; }
-  void SetCachedView(std::shared_ptr<const void> view) const {
-    cached_view_ = std::move(view);
-    cached_view_stamp_ = stamp_;
+
+  // The single-flight snapshot cache slot (type-erased; the algo layer
+  // stores the AlgoView here).
+  SnapshotCache& view_cache() const { return cache_; }
+
+  // Shared (reader) hold on the structure lock for the duration of a
+  // snapshot build: blocks writers, admits other builders' reads.
+  std::shared_lock<std::shared_mutex> ReadLockStructure() const {
+    return std::shared_lock<std::shared_mutex>(structure_mu_);
   }
 
   // Effective edge ops of recent ApplyEdgeBatch calls, replayable onto a
-  // cached snapshot (DESIGN.md §11). Trimming is const because it only
-  // discards batches already folded into the cached view (same
-  // single-writer contract as SetCachedView).
+  // cached snapshot (DESIGN.md §11). Callers must hold ReadLockStructure()
+  // (the snapshot single flight does). Trimming is const because it only
+  // discards batches already folded into the published snapshot.
   const DeltaJournal& delta_journal() const { return journal_; }
   void TrimDeltaJournal(uint64_t stamp) const { journal_.TrimThrough(stamp); }
 
@@ -162,14 +197,16 @@ class DirectedGraph {
   static bool SortedContains(const std::vector<NodeId>& vec, NodeId v);
 
   // Inserts the node without bumping the stamp (mutation entry points bump
-  // exactly once after they know the mutation was effective).
+  // exactly once after they know the mutation was effective). Caller holds
+  // the exclusive structure lock.
   bool EnsureNode(NodeId id);
+  bool AddNodeLocked(NodeId id);
 
-  // Every non-batch structural mutation goes through here: one stamp bump
-  // and a journal invalidation (the mutation is not replayable, so a
-  // cached snapshot can only be refreshed by a full rebuild).
+  // Every non-batch structural mutation goes through here (exclusive lock
+  // held): one stamp bump and a journal invalidation (the mutation is not
+  // replayable, so a cached snapshot can only be refreshed by a rebuild).
   void BumpStamp() {
-    ++stamp_;
+    stamp_.fetch_add(1, std::memory_order_release);
     journal_.Invalidate();
   }
 
@@ -177,10 +214,11 @@ class DirectedGraph {
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
   // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
-  uint64_t stamp_ = 1;
+  std::atomic<uint64_t> stamp_{1};
   mutable DeltaJournal journal_;
-  mutable std::shared_ptr<const void> cached_view_;
-  mutable uint64_t cached_view_stamp_ = 0;
+  // Writers exclusive, snapshot builds shared (DESIGN.md §12).
+  mutable std::shared_mutex structure_mu_;
+  mutable SnapshotCache cache_;
 };
 
 }  // namespace ringo

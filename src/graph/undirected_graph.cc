@@ -22,6 +22,62 @@ void Normalize(std::vector<Edge>& edges) {
 
 }  // namespace
 
+UndirectedGraph::UndirectedGraph(const UndirectedGraph& other) {
+  std::shared_lock<std::shared_mutex> lk(other.structure_mu_);
+  nodes_ = other.nodes_;
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = other.journal_;
+}
+
+UndirectedGraph& UndirectedGraph::operator=(const UndirectedGraph& other) {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lk_this(structure_mu_, std::defer_lock);
+  std::shared_lock<std::shared_mutex> lk_other(other.structure_mu_,
+                                               std::defer_lock);
+  std::lock(lk_this, lk_other);
+  nodes_ = other.nodes_;
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = other.journal_;
+  return *this;
+}
+
+UndirectedGraph::UndirectedGraph(UndirectedGraph&& other) noexcept {
+  std::unique_lock<std::shared_mutex> lk(other.structure_mu_);
+  nodes_ = std::move(other.nodes_);
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = std::move(other.journal_);
+  other.num_edges_ = 0;
+  other.next_node_id_ = 0;
+  other.journal_.Invalidate();
+}
+
+UndirectedGraph& UndirectedGraph::operator=(UndirectedGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::unique_lock<std::shared_mutex> lk_this(structure_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> lk_other(other.structure_mu_,
+                                               std::defer_lock);
+  std::lock(lk_this, lk_other);
+  nodes_ = std::move(other.nodes_);
+  num_edges_ = other.num_edges_;
+  next_node_id_ = other.next_node_id_;
+  stamp_.store(other.stamp_.load(std::memory_order_acquire),
+               std::memory_order_release);
+  journal_ = std::move(other.journal_);
+  other.num_edges_ = 0;
+  other.next_node_id_ = 0;
+  other.journal_.Invalidate();
+  return *this;
+}
+
 bool UndirectedGraph::SortedInsert(std::vector<NodeId>& vec, NodeId v) {
   auto it = std::lower_bound(vec.begin(), vec.end(), v);
   if (it != vec.end() && *it == v) return false;
@@ -38,25 +94,32 @@ bool UndirectedGraph::SortedErase(std::vector<NodeId>& vec, NodeId v) {
 
 bool UndirectedGraph::EnsureNode(NodeId id) {
   const bool inserted = nodes_.Insert(id, NodeData{}).second;
-  if (inserted) NoteMaxNodeId(id);
+  if (inserted) next_node_id_ = std::max(next_node_id_, id + 1);
   return inserted;
 }
 
-bool UndirectedGraph::AddNode(NodeId id) {
+bool UndirectedGraph::AddNodeLocked(NodeId id) {
   const bool inserted = EnsureNode(id);
   if (inserted) BumpStamp();
   return inserted;
 }
 
+bool UndirectedGraph::AddNode(NodeId id) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  return AddNodeLocked(id);
+}
+
 NodeId UndirectedGraph::AddNode() {
-  // O(1) amortized: NoteMaxNodeId keeps the watermark past every insert.
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  // O(1) amortized: EnsureNode keeps the watermark past every insert.
   while (nodes_.Contains(next_node_id_)) ++next_node_id_;
   const NodeId id = next_node_id_;
-  AddNode(id);
+  AddNodeLocked(id);
   return id;
 }
 
 bool UndirectedGraph::AddEdge(NodeId src, NodeId dst) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   // One bump per effective mutation; a no-op insert never bumps.
   EnsureNode(src);
   EnsureNode(dst);
@@ -68,6 +131,7 @@ bool UndirectedGraph::AddEdge(NodeId src, NodeId dst) {
 }
 
 bool UndirectedGraph::DelEdge(NodeId src, NodeId dst) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   NodeData* s = nodes_.Find(src);
   if (s == nullptr || !SortedErase(s->nbrs, dst)) return false;
   if (src != dst) SortedErase(nodes_.Find(dst)->nbrs, src);
@@ -77,6 +141,7 @@ bool UndirectedGraph::DelEdge(NodeId src, NodeId dst) {
 }
 
 bool UndirectedGraph::DelNode(NodeId id) {
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
   NodeData* nd = nodes_.Find(id);
   if (nd == nullptr) return false;
   num_edges_ -= static_cast<int64_t>(nd->nbrs.size());
@@ -103,6 +168,13 @@ EdgeBatchStats UndirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
     edgebatch::SortDedup(deletes);
   }
 
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  // Ids at or above this watermark did not exist before the batch, so the
+  // batch stays journal-replayable even when it creates them (DESIGN.md
+  // §11).
+  const NodeId pre_watermark = next_node_id_;
+  std::vector<NodeId> created;
+
   // Net ops over normalized pairs; same inserts-then-deletes semantics and
   // merged sorted walk as the directed batch (ops come out (u, v)-sorted,
   // and runs sharing a first endpoint reuse one adjacency lookup).
@@ -117,7 +189,7 @@ EdgeBatchStats UndirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
       seconds.reserve(inserts.size());
       for (const Edge& e : inserts) {
         if (!have_last || e.first != last) {
-          if (EnsureNode(e.first)) ++stats.new_nodes;
+          if (EnsureNode(e.first)) created.push_back(e.first);
           last = e.first;
           have_last = true;
         }
@@ -127,8 +199,9 @@ EdgeBatchStats UndirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
       seconds.erase(std::unique(seconds.begin(), seconds.end()),
                     seconds.end());
       for (const NodeId v : seconds) {
-        if (EnsureNode(v)) ++stats.new_nodes;
+        if (EnsureNode(v)) created.push_back(v);
       }
+      stats.new_nodes = static_cast<int64_t>(created.size());
     }
 
     ops.reserve(inserts.size() + deletes.size());
@@ -187,12 +260,18 @@ EdgeBatchStats UndirectedGraph::ApplyEdgeBatch(std::vector<Edge> inserts,
     num_edges_ += stats.inserted - stats.deleted;
   }
 
-  ++stamp_;
-  if (stats.new_nodes > 0) {
-    journal_.Invalidate();
-  } else {
+  // Created nodes journal alongside the edge ops as long as every new id
+  // lands above the pre-batch watermark; a batch that resurrects a lower id
+  // (possible after DelNode) is not replayable and invalidates instead.
+  stamp_.fetch_add(1, std::memory_order_release);
+  RadixSortI64(created);
+  if (created.empty() || created.front() >= pre_watermark) {
     edgebatch::SortOps(ops);
-    journal_.AppendBatch(stamp_, std::move(ops), JournalCap(num_edges_));
+    journal_.AppendBatch(stamp_.load(std::memory_order_relaxed),
+                         std::move(ops), JournalCap(num_edges_),
+                         std::move(created));
+  } else {
+    journal_.Invalidate();
   }
 
   RINGO_COUNTER_ADD("graph/edge_batches", 1);

@@ -2,17 +2,27 @@
 // adjacency vector per node. Each edge {u, v} appears in both endpoints'
 // vectors (a self-loop appears once). Used for triangle counting,
 // clustering coefficients, k-core and community algorithms.
+//
+// Concurrency follows DirectedGraph (DESIGN.md §12): mutators serialize
+// behind an exclusive structure lock, the snapshot single flight builds
+// under the same lock in shared mode, and unlocked structural reads are
+// only safe against other readers — concurrent analytics must pin a
+// snapshot via AlgoView::Of().
 #ifndef RINGO_GRAPH_UNDIRECTED_GRAPH_H_
 #define RINGO_GRAPH_UNDIRECTED_GRAPH_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "graph/delta_journal.h"
 #include "graph/edge_batch.h"
 #include "graph/graph_defs.h"
+#include "graph/snapshot_cache.h"
 #include "storage/flat_hash_map.h"
 
 namespace ringo {
@@ -28,7 +38,17 @@ class UndirectedGraph {
 
   UndirectedGraph() = default;
 
-  void ReserveNodes(int64_t n) { nodes_.Reserve(n); }
+  // Same contract as DirectedGraph: structural state transfers, sync
+  // objects and the snapshot cache start fresh; copy quiescent graphs.
+  UndirectedGraph(const UndirectedGraph& other);
+  UndirectedGraph& operator=(const UndirectedGraph& other);
+  UndirectedGraph(UndirectedGraph&& other) noexcept;
+  UndirectedGraph& operator=(UndirectedGraph&& other) noexcept;
+
+  void ReserveNodes(int64_t n) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
+    nodes_.Reserve(n);
+  }
 
   bool AddNode(NodeId id);
   NodeId AddNode();
@@ -42,7 +62,7 @@ class UndirectedGraph {
   // Edge pairs are unordered here — (u, v) and (v, u) name the same edge
   // and are normalized before dedup. See DirectedGraph::ApplyEdgeBatch and
   // DESIGN.md §11 for the full contract (single stamp bump, journaled net
-  // ops, parallel per-node merges).
+  // ops + created node ids, parallel per-node merges).
   EdgeBatchStats ApplyEdgeBatch(std::vector<Edge> inserts,
                                 std::vector<Edge> deletes);
 
@@ -78,30 +98,33 @@ class UndirectedGraph {
 
   const NodeTable& node_table() const { return nodes_; }
   NodeTable& mutable_node_table() {
-    BumpStamp();
+    {
+      std::unique_lock<std::shared_mutex> lk(structure_mu_);
+      BumpStamp();
+    }
     return nodes_;
   }
   void BumpEdgeCount(int64_t count) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
     num_edges_ += count;
     BumpStamp();
   }
-  void NoteMaxNodeId(NodeId id) { next_node_id_ = std::max(next_node_id_, id + 1); }
+  void NoteMaxNodeId(NodeId id) {
+    std::unique_lock<std::shared_mutex> lk(structure_mu_);
+    next_node_id_ = std::max(next_node_id_, id + 1);
+  }
 
   int64_t MemoryUsageBytes() const;
   bool SameStructure(const UndirectedGraph& other) const;
 
   // Mutation stamp + cached analytics view; see DirectedGraph and
-  // DESIGN.md §9 for the contract.
-  uint64_t MutationStamp() const { return stamp_; }
-  std::shared_ptr<const void> FreshCachedView() const {
-    return cached_view_stamp_ == stamp_ ? cached_view_ : nullptr;
+  // DESIGN.md §9, §12 for the contract.
+  uint64_t MutationStamp() const {
+    return stamp_.load(std::memory_order_acquire);
   }
-  bool HasCachedView() const { return cached_view_ != nullptr; }
-  std::shared_ptr<const void> StaleCachedView() const { return cached_view_; }
-  uint64_t CachedViewStamp() const { return cached_view_stamp_; }
-  void SetCachedView(std::shared_ptr<const void> view) const {
-    cached_view_ = std::move(view);
-    cached_view_stamp_ = stamp_;
+  SnapshotCache& view_cache() const { return cache_; }
+  std::shared_lock<std::shared_mutex> ReadLockStructure() const {
+    return std::shared_lock<std::shared_mutex>(structure_mu_);
   }
 
   // Replayable batch ops (normalized u <= v); see DirectedGraph.
@@ -112,11 +135,13 @@ class UndirectedGraph {
   static bool SortedInsert(std::vector<NodeId>& vec, NodeId v);
   static bool SortedErase(std::vector<NodeId>& vec, NodeId v);
 
-  // Inserts the node without bumping the stamp; see DirectedGraph.
+  // Inserts the node without bumping the stamp; see DirectedGraph. Caller
+  // holds the exclusive structure lock.
   bool EnsureNode(NodeId id);
+  bool AddNodeLocked(NodeId id);
 
   void BumpStamp() {
-    ++stamp_;
+    stamp_.fetch_add(1, std::memory_order_release);
     journal_.Invalidate();
   }
 
@@ -124,10 +149,11 @@ class UndirectedGraph {
   int64_t num_edges_ = 0;
   NodeId next_node_id_ = 0;
   // Starts at 1 so a default-constructed cache (stamp 0) is never fresh.
-  uint64_t stamp_ = 1;
+  std::atomic<uint64_t> stamp_{1};
   mutable DeltaJournal journal_;
-  mutable std::shared_ptr<const void> cached_view_;
-  mutable uint64_t cached_view_stamp_ = 0;
+  // Writers exclusive, snapshot builds shared (DESIGN.md §12).
+  mutable std::shared_mutex structure_mu_;
+  mutable SnapshotCache cache_;
 };
 
 }  // namespace ringo

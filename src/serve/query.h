@@ -1,0 +1,68 @@
+// Query and result types for the concurrent serving engine (DESIGN.md §12).
+//
+// A Query names one read-only unit of work against a Session's pinned
+// snapshot: a BFS from a source node, a PageRank sweep, a table top-k, or
+// the synthetic kSleep query (a deterministic time-filler the overload and
+// deadline tests use so they never depend on kernel timing). Queries carry
+// an optional per-query deadline; the engine converts it to an absolute
+// cancel::CancelToken deadline at submission.
+#ifndef RINGO_SERVE_QUERY_H_
+#define RINGO_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph_defs.h"
+#include "util/status.h"
+
+namespace ringo {
+namespace serve {
+
+enum class QueryKind {
+  kBfs,       // Forward BFS from `source`; rows = reached nodes.
+  kPageRank,  // Power iteration (`iters` rounds); rows = node count.
+  kTableTopK, // TopK(`column`, `k`) on the session table; rows = k.
+  kSleep,     // Sleeps `sleep_ms` in 1ms slices, honoring cancellation.
+};
+
+const char* QueryKindName(QueryKind kind);
+
+struct Query {
+  QueryKind kind = QueryKind::kBfs;
+
+  // kBfs: external node id to start from.
+  NodeId source = 0;
+  // kPageRank: power-iteration rounds (tol=0, so exactly this many).
+  int iters = 10;
+  // kTableTopK: column name and k.
+  std::string column = "src";
+  int64_t k = 10;
+  // kSleep: wall-time to burn, sliced so cancellation lands within ~1ms.
+  int64_t sleep_ms = 10;
+
+  // Relative deadline from submission; <= 0 uses the engine default.
+  int64_t deadline_ms = 0;
+};
+
+struct QueryResult {
+  Status status = Status::OK();
+  QueryKind kind = QueryKind::kBfs;
+
+  // Stamp of the snapshot the query ran against (0 when it never pinned
+  // one, e.g. shed at admission or expired while queued).
+  uint64_t snapshot_stamp = 0;
+
+  // Result cardinality (reached nodes / score count / top-k rows).
+  int64_t rows = 0;
+  // Deterministic content fingerprint, for cross-run comparisons.
+  double checksum = 0.0;
+
+  double queue_ms = 0.0;    // Submission -> worker pickup.
+  double run_ms = 0.0;      // Kernel time on the worker.
+  double latency_ms = 0.0;  // Submission -> completion (queue + run).
+};
+
+}  // namespace serve
+}  // namespace ringo
+
+#endif  // RINGO_SERVE_QUERY_H_

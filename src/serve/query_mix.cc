@@ -1,0 +1,137 @@
+#include "serve/query_mix.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/cancel.h"
+
+namespace ringo {
+namespace serve {
+
+namespace {
+
+// Folds one resolved query into stats (latencies under the caller's lock).
+void Record(const QueryResult& r, LoadStats* stats) {
+  if (r.status.ok()) {
+    ++stats->ok;
+    stats->latencies_ms.push_back(r.latency_ms);
+  } else if (r.status.IsOverloaded()) {
+    ++stats->shed;
+  } else if (r.status.IsDeadlineExceeded()) {
+    ++stats->deadline_miss;
+  } else {
+    ++stats->failed;
+  }
+}
+
+}  // namespace
+
+QueryMixGenerator::QueryMixGenerator(uint64_t seed, MixConfig config)
+    : rng_(seed), config_(config) {}
+
+Query QueryMixGenerator::Next() {
+  const double total = config_.bfs_weight + config_.pagerank_weight +
+                       config_.table_weight;
+  const double roll = rng_.UniformReal() * (total > 0 ? total : 1.0);
+  Query q;
+  if (roll < config_.bfs_weight) {
+    q.kind = QueryKind::kBfs;
+    if (!config_.bfs_sources.empty()) {
+      q.source = config_.bfs_sources[rng_.UniformInt(
+          0, static_cast<int64_t>(config_.bfs_sources.size()) - 1)];
+    } else if (config_.max_node_id > 0) {
+      q.source = rng_.UniformInt(0, config_.max_node_id);
+    }
+  } else if (roll < config_.bfs_weight + config_.pagerank_weight) {
+    q.kind = QueryKind::kPageRank;
+    q.iters = config_.pagerank_iters;
+  } else {
+    q.kind = QueryKind::kTableTopK;
+    q.k = config_.topk_k;
+  }
+  q.deadline_ms = config_.deadline_ms;
+  return q;
+}
+
+double LoadStats::PercentileMs(double p) const {
+  if (latencies_ms.empty()) return 0.0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+LoadStats RunClosedLoop(Engine& engine, const Session& session,
+                        const MixConfig& config, uint64_t seed, int clients,
+                        int64_t queries_per_client) {
+  LoadStats stats;
+  std::mutex mu;
+  const int64_t t0 = cancel::NowNanos();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      QueryMixGenerator gen(seed + static_cast<uint64_t>(c) * 0x9e3779b9ull,
+                            config);
+      LoadStats local;
+      for (int64_t i = 0; i < queries_per_client; ++i) {
+        ++local.issued;
+        QueryResult r = engine.Submit(session, gen.Next()).get();
+        Record(r, &local);
+      }
+      std::lock_guard<std::mutex> lk(mu);
+      stats.issued += local.issued;
+      stats.ok += local.ok;
+      stats.shed += local.shed;
+      stats.deadline_miss += local.deadline_miss;
+      stats.failed += local.failed;
+      stats.latencies_ms.insert(stats.latencies_ms.end(),
+                                local.latencies_ms.begin(),
+                                local.latencies_ms.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stats.elapsed_s = static_cast<double>(cancel::NowNanos() - t0) / 1e9;
+  return stats;
+}
+
+LoadStats RunOpenLoop(Engine& engine, const Session& session,
+                      const MixConfig& config, uint64_t seed, double rate_qps,
+                      int64_t total) {
+  LoadStats stats;
+  QueryMixGenerator gen(seed, config);
+  const int64_t t0 = cancel::NowNanos();
+  const double interval_ns = rate_qps > 0 ? 1e9 / rate_qps : 0.0;
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(total);
+  for (int64_t i = 0; i < total; ++i) {
+    ++stats.issued;
+    futures.push_back(engine.Submit(session, gen.Next()));
+    if (interval_ns > 0) {
+      // Pace against the schedule, not the previous send, so slow sends
+      // don't silently lower the offered rate.
+      const int64_t next_ns =
+          t0 + static_cast<int64_t>(interval_ns * static_cast<double>(i + 1));
+      const int64_t now = cancel::NowNanos();
+      if (now < next_ns) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(next_ns - now));
+      }
+    }
+  }
+  for (std::future<QueryResult>& f : futures) {
+    Record(f.get(), &stats);
+  }
+  stats.elapsed_s = static_cast<double>(cancel::NowNanos() - t0) / 1e9;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace ringo

@@ -1,0 +1,89 @@
+// Query-mix generation and load harnesses for the serving engine
+// (DESIGN.md §12). Used by bench/bench_serving.cc, the serving tests, and
+// anyone wanting a quick interactive-load experiment.
+//
+// The generator draws a seeded stream of BFS / PageRank / table-top-k
+// queries (weights configurable), with BFS sources spread over the node-id
+// range. Two harnesses drive an Engine with it:
+//
+//  - RunClosedLoop: `clients` threads, each submitting and then waiting
+//    for its result before submitting the next — classic closed-loop load
+//    where offered load adapts to service capacity (no shedding expected
+//    when clients <= workers + queue capacity).
+//  - RunOpenLoop: one thread submitting at a fixed rate regardless of
+//    completions — open-loop load that overruns capacity and exercises
+//    shedding and queue growth.
+//
+// Both return a LoadStats with latency percentiles over completed
+// queries and counts by outcome.
+#ifndef RINGO_SERVE_QUERY_MIX_H_
+#define RINGO_SERVE_QUERY_MIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/query.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace serve {
+
+struct MixConfig {
+  // Relative weights; they need not sum to 1.
+  double bfs_weight = 0.5;
+  double pagerank_weight = 0.1;
+  double table_weight = 0.4;
+
+  // BFS sources: drawn from `bfs_sources` when non-empty (use real node
+  // ids for graphs with sparse id spaces), else uniform in
+  // [0, max_node_id].
+  std::vector<NodeId> bfs_sources;
+  NodeId max_node_id = 0;
+  int pagerank_iters = 5;
+  int64_t topk_k = 100;
+  int64_t deadline_ms = 0;  // Per-query deadline; <= 0 = engine default.
+};
+
+class QueryMixGenerator {
+ public:
+  QueryMixGenerator(uint64_t seed, MixConfig config);
+  Query Next();
+
+ private:
+  Rng rng_;
+  MixConfig config_;
+};
+
+struct LoadStats {
+  int64_t issued = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t deadline_miss = 0;
+  int64_t failed = 0;          // Non-deadline, non-shed errors.
+  double elapsed_s = 0.0;
+  std::vector<double> latencies_ms;  // Completed-ok queries only.
+
+  // Latency percentile over completed queries (p in [0, 100]); 0 when
+  // nothing completed.
+  double PercentileMs(double p) const;
+  double Qps() const { return elapsed_s > 0 ? ok / elapsed_s : 0.0; }
+};
+
+// `clients` threads each issue `queries_per_client` queries back to back.
+// Each client derives its own generator from `seed` so runs are
+// reproducible regardless of scheduling.
+LoadStats RunClosedLoop(Engine& engine, const Session& session,
+                        const MixConfig& config, uint64_t seed, int clients,
+                        int64_t queries_per_client);
+
+// Issues `total` queries at `rate_qps` from one thread (sleeping between
+// submissions), then harvests all futures.
+LoadStats RunOpenLoop(Engine& engine, const Session& session,
+                      const MixConfig& config, uint64_t seed, double rate_qps,
+                      int64_t total);
+
+}  // namespace serve
+}  // namespace ringo
+
+#endif  // RINGO_SERVE_QUERY_MIX_H_

@@ -1,0 +1,24 @@
+#include "serve/session.h"
+
+#include "algo/algo_view.h"
+#include "graph/directed_graph.h"
+#include "util/logging.h"
+
+namespace ringo {
+namespace serve {
+
+Session::Session(std::string id, const DirectedGraph* graph, TablePtr table)
+    : id_(std::move(id)), graph_(graph), table_(std::move(table)) {
+  RINGO_CHECK(graph_ != nullptr);  // A session needs a graph.
+}
+
+QueryContext Session::Pin() const {
+  QueryContext ctx;
+  ctx.view = AlgoView::Of(*graph_);
+  ctx.snapshot_stamp = ctx.view->snapshot_stamp();
+  ctx.table = table_;
+  return ctx;
+}
+
+}  // namespace serve
+}  // namespace ringo

@@ -1,0 +1,64 @@
+// Sessions pin one immutable snapshot per query (DESIGN.md §12).
+//
+// A Session is the serving-side handle onto a live graph (and optionally
+// a companion table). It owns no data and takes no locks of its own: a
+// query calls Pin(), which grabs the current cached AlgoView through the
+// single-flight snapshot cache — concurrent pins either share the cached
+// view (a pointer copy) or elect exactly one builder. The returned
+// QueryContext keeps the view alive for the query's lifetime, so writers
+// that publish newer snapshots never invalidate data a running query is
+// reading; the old view simply dies with its last QueryContext.
+//
+// Queries must read ONLY through the QueryContext (view spans, pinned
+// table) — never back through the live graph — so every answer is
+// consistent as of one stamp, which the context records.
+#ifndef RINGO_SERVE_SESSION_H_
+#define RINGO_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "table/table.h"
+
+namespace ringo {
+
+class AlgoView;
+class DirectedGraph;
+
+namespace serve {
+
+// One query's pinned world: a consistent snapshot plus the stamp it was
+// built from. Copyable (shared_ptr semantics); destroying the last copy
+// releases the snapshot.
+struct QueryContext {
+  std::shared_ptr<const AlgoView> view;
+  TablePtr table;              // May be null for graph-only sessions.
+  uint64_t snapshot_stamp = 0; // Graph mutation stamp the view reflects.
+};
+
+class Session {
+ public:
+  // `graph` must outlive the session; `table` (optional) is shared.
+  Session(std::string id, const DirectedGraph* graph, TablePtr table = {});
+
+  // Pins the freshest cached snapshot for one query. Thread-safe; any
+  // number of concurrent Pin() calls race only inside the single-flight
+  // snapshot cache.
+  QueryContext Pin() const;
+
+  const std::string& id() const { return id_; }
+  const DirectedGraph& graph() const { return *graph_; }
+  const TablePtr& table() const { return table_; }
+
+ private:
+  std::string id_;
+  const DirectedGraph* graph_;
+  TablePtr table_;
+};
+
+}  // namespace serve
+}  // namespace ringo
+
+#endif  // RINGO_SERVE_SESSION_H_

@@ -1,0 +1,67 @@
+#include "serve/worker_pool.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ringo {
+namespace serve {
+
+WorkerPool::WorkerPool(int num_workers, int64_t queue_capacity)
+    : capacity_(queue_capacity) {
+  RINGO_CHECK(num_workers >= 1);
+  RINGO_CHECK(queue_capacity >= 1);
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+bool WorkerPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ || static_cast<int64_t>(queue_.size()) >= capacity_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+int64_t WorkerPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace serve
+}  // namespace ringo

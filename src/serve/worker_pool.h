@@ -1,0 +1,65 @@
+// Fixed-size worker pool with a bounded admission queue (DESIGN.md §12).
+//
+// TrySubmit either enqueues the task (queue depth < capacity) or refuses
+// immediately — it never blocks the caller and never queues unboundedly.
+// The serving engine turns a refusal into a typed kOverloaded Status, so
+// overload degrades into fast rejections instead of unbounded latency
+// (the classic shed-on-overload policy).
+//
+// Shutdown() stops admission, drains every task already admitted, and
+// joins the workers; the destructor calls it. Tasks admitted before
+// Shutdown always run, so promises held by queued closures are always
+// fulfilled.
+#ifndef RINGO_SERVE_WORKER_POOL_H_
+#define RINGO_SERVE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ringo {
+namespace serve {
+
+class WorkerPool {
+ public:
+  // Spawns `num_workers` threads (>=1) serving a queue bounded at
+  // `queue_capacity` pending tasks (>=0; 0 admits only when a worker is
+  // guaranteed to pick the task up from the queue, i.e. never — use >=1).
+  WorkerPool(int num_workers, int64_t queue_capacity);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues `task` unless the queue is full or the pool is shutting
+  // down; returns whether the task was admitted.
+  bool TrySubmit(std::function<void()> task);
+
+  // Stops admission, runs every queued task, joins workers. Idempotent.
+  void Shutdown();
+
+  // Tasks admitted but not yet picked up by a worker.
+  int64_t QueueDepth() const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  int64_t queue_capacity() const { return capacity_; }
+
+ private:
+  void WorkerLoop();
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace ringo
+
+#endif  // RINGO_SERVE_WORKER_POOL_H_

@@ -1,0 +1,24 @@
+#include "util/cancel.h"
+
+namespace ringo {
+namespace cancel {
+
+namespace {
+thread_local CancelToken* g_current_token = nullptr;
+}  // namespace
+
+CancelToken* CurrentToken() { return g_current_token; }
+
+ScopedToken::ScopedToken(CancelToken* token) : prev_(g_current_token) {
+  g_current_token = token;
+}
+
+ScopedToken::~ScopedToken() { g_current_token = prev_; }
+
+bool Checkpoint() {
+  const CancelToken* t = g_current_token;
+  return t != nullptr && t->ShouldStop();
+}
+
+}  // namespace cancel
+}  // namespace ringo

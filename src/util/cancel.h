@@ -1,0 +1,95 @@
+// Cooperative cancellation for long-running kernels (DESIGN.md §12).
+//
+// The serving engine gives each query a deadline; kernels that iterate for
+// many rounds (PageRank power iteration, BFS frontier expansion, HITS)
+// call cancel::Checkpoint() at the top of each round and bail out early
+// when the active token expired or was cancelled. The partial result they
+// return is discarded by the executor — cancellation is purely a latency
+// mechanism, never a source of approximate answers.
+//
+// The token is installed per-thread (a thread_local pointer) by
+// ScopedToken, so kernel signatures stay unchanged and code outside the
+// serving engine pays one predictable-branch TLS load per checkpoint — no
+// token installed means Checkpoint() is always false and behavior is
+// bit-identical to the pre-cancellation library.
+//
+// CancelToken itself is thread-safe: the owner (engine) sets the deadline
+// or cancels from any thread; the worker running the kernel polls it.
+#ifndef RINGO_UTIL_CANCEL_H_
+#define RINGO_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace ringo {
+namespace cancel {
+
+// Monotonic nanoseconds since an arbitrary epoch; the clock every deadline
+// in the serving layer is expressed in.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation; checkpoints observe it on their next poll.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  // Sets / clears the absolute deadline (NowNanos clock; INT64_MAX = none).
+  void SetDeadline(int64_t deadline_ns) {
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+  int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  bool Cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool Expired() const { return NowNanos() >= deadline_ns(); }
+
+  // True when the kernel should stop: explicit cancel or deadline passed.
+  bool ShouldStop() const { return Cancelled() || Expired(); }
+
+  // Rearms the token for reuse by a later query.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(INT64_MAX, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{INT64_MAX};
+};
+
+// The token the current thread's kernels poll; nullptr outside a serving
+// worker.
+CancelToken* CurrentToken();
+
+// Installs `token` as the current thread's token for the scope; restores
+// the previous one on exit (nesting is allowed, inner token wins).
+class ScopedToken {
+ public:
+  explicit ScopedToken(CancelToken* token);
+  ~ScopedToken();
+  ScopedToken(const ScopedToken&) = delete;
+  ScopedToken& operator=(const ScopedToken&) = delete;
+
+ private:
+  CancelToken* prev_;
+};
+
+// The kernel-side poll: true when the active token (if any) wants the
+// kernel to stop. Kernels call this once per outer iteration — cheap
+// enough to never matter, frequent enough to bound overshoot by one round.
+bool Checkpoint();
+
+}  // namespace cancel
+}  // namespace ringo
+
+#endif  // RINGO_UTIL_CANCEL_H_

@@ -17,6 +17,8 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kNotImplemented: return "Not implemented";
     case StatusCode::kInternal: return "Internal error";
     case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
+    case StatusCode::kOverloaded: return "Overloaded";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode : char {
   kNotImplemented = 7,
   kInternal = 8,
   kCorruption = 9,
+  kDeadlineExceeded = 10,
+  kOverloaded = 11,
 };
 
 // Returns a stable human-readable name for `code` ("Invalid argument", ...).
@@ -80,6 +82,16 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  // The query's deadline passed before (or while) it ran; any partial
+  // result was discarded (src/serve/engine.h).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  // The serving engine's admission queue was full and the query was shed
+  // instead of queued unboundedly; safe to retry after backoff.
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -97,6 +109,10 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   // "OK" or "<code name>: <message>".
   std::string ToString() const;

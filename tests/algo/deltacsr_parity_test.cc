@@ -348,20 +348,22 @@ TEST(DeltaCsrParityTest, DirectedDrainToEmpty) {
 // ----------------------------------------------- cache-counter exactness
 
 struct CounterBaseline {
-  int64_t build, hit, invalidate, delta_apply, compact;
+  int64_t build, hit, invalidate, delta_apply, compact, stale_patch;
   static CounterBaseline Take() {
     return {metrics::CounterValue("algo_view/build"),
             metrics::CounterValue("algo_view/hit"),
             metrics::CounterValue("algo_view/invalidate"),
             metrics::CounterValue("algo_view/delta_apply"),
-            metrics::CounterValue("algo_view/compact")};
+            metrics::CounterValue("algo_view/compact"),
+            metrics::CounterValue("algo_view/stale_patch")};
   }
 };
 
 // The scripted mutate/read trace and its exact expected counter deltas,
 // replayed at every thread count. Each Of() call lands in exactly one of
-// {hit, build, delta_apply, compact}, and invalidate counts every stale
-// refresh regardless of which path served it.
+// {hit, build, delta_apply, compact}; a stale snapshot is additionally
+// counted as stale_patch when it was delta-patched forward and as
+// invalidate when it was discarded by a rebuild or compaction.
 TEST(AlgoViewCacheCountersTest, ScriptedTraceExactAtEveryThreadCount) {
   metrics::SetEnabled(true);
   for (const int threads : testing::StressThreadCounts()) {
@@ -372,13 +374,15 @@ TEST(AlgoViewCacheCountersTest, ScriptedTraceExactAtEveryThreadCount) {
     DirectedGraph g = testing::RandomDirected(80, 320, 0x7AC3);
     const CounterBaseline c0 = CounterBaseline::Take();
     auto expect = [&](int64_t build, int64_t hit, int64_t invalidate,
-                      int64_t delta_apply, int64_t compact) {
+                      int64_t delta_apply, int64_t compact,
+                      int64_t stale_patch) {
       const CounterBaseline c = CounterBaseline::Take();
       EXPECT_EQ(c.build - c0.build, build);
       EXPECT_EQ(c.hit - c0.hit, hit);
       EXPECT_EQ(c.invalidate - c0.invalidate, invalidate);
       EXPECT_EQ(c.delta_apply - c0.delta_apply, delta_apply);
       EXPECT_EQ(c.compact - c0.compact, compact);
+      EXPECT_EQ(c.stale_patch - c0.stale_patch, stale_patch);
     };
 
     // First absent pair in id order — a guaranteed-effective insert, so
@@ -394,42 +398,42 @@ TEST(AlgoViewCacheCountersTest, ScriptedTraceExactAtEveryThreadCount) {
     };
 
     AlgoView::Of(g);  // Cold: full build.
-    expect(1, 0, 0, 0, 0);
+    expect(1, 0, 0, 0, 0, 0);
     AlgoView::Of(g);  // Unchanged: cache hit.
-    expect(1, 1, 0, 0, 0);
+    expect(1, 1, 0, 0, 0, 0);
 
     const Edge e1 = absent_edge();
     g.ApplyEdgeBatch({e1}, {});  // Journaled batch.
     AlgoView::Of(g);  // Stale but covered: delta apply.
-    expect(1, 1, 1, 1, 0);
+    expect(1, 1, 0, 1, 0, 1);
     AlgoView::Of(g);  // Patched view is fresh: hit.
-    expect(1, 2, 1, 1, 0);
+    expect(1, 2, 0, 1, 0, 1);
 
     g.ApplyEdgeBatch({}, {e1});  // Two batches between reads...
     g.ApplyEdgeBatch({absent_edge()}, {});
     AlgoView::Of(g);  // ...still one delta apply.
-    expect(1, 2, 2, 2, 0);
+    expect(1, 2, 0, 2, 0, 2);
 
     ASSERT_TRUE(g.AddEdge(3, 76) || g.DelEdge(3, 76));  // Not journalable.
     AlgoView::Of(g);  // Journal gap: full rebuild.
-    expect(2, 2, 3, 2, 0);
+    expect(2, 2, 1, 2, 0, 2);
 
     {
       deltacsr::ScopedCompactionFraction always(0.0);
       g.ApplyEdgeBatch({absent_edge()}, {});
       AlgoView::Of(g);  // Patched fraction > 0: compaction (not a build).
-      expect(2, 2, 4, 2, 1);
+      expect(2, 2, 2, 2, 1, 2);
     }
 
     {
       deltacsr::ScopedEnable off(false);
       g.ApplyEdgeBatch({absent_edge()}, {});
       AlgoView::Of(g);  // Kill switch: rebuild even though covered.
-      expect(3, 2, 5, 2, 1);
+      expect(3, 2, 3, 2, 1, 2);
     }
 
     AlgoView::Of(g);  // Steady state again: hit.
-    expect(3, 3, 5, 2, 1);
+    expect(3, 3, 3, 2, 1, 2);
   }
 }
 

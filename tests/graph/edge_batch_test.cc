@@ -245,12 +245,29 @@ TEST(EdgeBatchTest, BatchesJournalAndSingleEdgeMutationsInvalidate) {
   EXPECT_TRUE(g.delta_journal().empty());
 }
 
-TEST(EdgeBatchTest, NodeCreatingBatchInvalidatesJournal) {
+TEST(EdgeBatchTest, NodeCreatingBatchJournalsAboveWatermark) {
   DirectedGraph g = testing::RandomDirected(10, 30, 0x11);
+  const uint64_t s0 = g.MutationStamp();
   g.ApplyEdgeBatch({{0, 9}}, {});
   ASSERT_FALSE(g.delta_journal().empty());
-  // New endpoint 1000: the dense renumbering shifts, so no replay.
+  // New endpoint 1000 sits above the id watermark: existing snapshot rows
+  // keep their dense indices, so the batch journals (node add included).
   const EdgeBatchStats stats = g.ApplyEdgeBatch({{0, 1000}}, {});
+  EXPECT_EQ(stats.new_nodes, 1);
+  EXPECT_EQ(g.delta_journal().NumBatches(), 2);
+  EXPECT_TRUE(g.delta_journal().Covers(s0, g.MutationStamp()));
+  EXPECT_EQ(g.delta_journal().NodesSince(s0),
+            (std::vector<NodeId>{1000}));
+}
+
+TEST(EdgeBatchTest, RecycledNodeIdInvalidatesJournal) {
+  DirectedGraph g = testing::RandomDirected(10, 30, 0x12);
+  ASSERT_TRUE(g.DelNode(9));
+  g.ApplyEdgeBatch({{0, 100}}, {});  // Journals: 100 is above the watermark.
+  ASSERT_FALSE(g.delta_journal().empty());
+  // Re-creating id 9 lands *below* the watermark: the dense renumbering
+  // would shift existing rows, so the batch is not replayable.
+  const EdgeBatchStats stats = g.ApplyEdgeBatch({{0, 9}}, {});
   EXPECT_EQ(stats.new_nodes, 1);
   EXPECT_TRUE(g.delta_journal().empty());
 }

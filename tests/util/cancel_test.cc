@@ -1,0 +1,75 @@
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ringo {
+namespace {
+
+TEST(CancelTest, FreshTokenDoesNotStop) {
+  cancel::CancelToken t;
+  EXPECT_FALSE(t.Cancelled());
+  EXPECT_FALSE(t.Expired());
+  EXPECT_FALSE(t.ShouldStop());
+}
+
+TEST(CancelTest, CancelStops) {
+  cancel::CancelToken t;
+  t.Cancel();
+  EXPECT_TRUE(t.Cancelled());
+  EXPECT_TRUE(t.ShouldStop());
+  t.Reset();
+  EXPECT_FALSE(t.ShouldStop());
+}
+
+TEST(CancelTest, PastDeadlineStops) {
+  cancel::CancelToken t;
+  t.SetDeadline(cancel::NowNanos() - 1);
+  EXPECT_TRUE(t.Expired());
+  EXPECT_TRUE(t.ShouldStop());
+  t.SetDeadline(cancel::NowNanos() + 60'000'000'000);  // Far future.
+  EXPECT_FALSE(t.Expired());
+}
+
+TEST(CancelTest, CheckpointFalseWithoutToken) {
+  ASSERT_EQ(cancel::CurrentToken(), nullptr);
+  EXPECT_FALSE(cancel::Checkpoint());
+}
+
+TEST(CancelTest, ScopedTokenInstallsAndRestores) {
+  cancel::CancelToken outer, inner;
+  outer.Cancel();
+  {
+    cancel::ScopedToken so(&outer);
+    EXPECT_EQ(cancel::CurrentToken(), &outer);
+    EXPECT_TRUE(cancel::Checkpoint());
+    {
+      cancel::ScopedToken si(&inner);  // Nesting: inner token wins.
+      EXPECT_EQ(cancel::CurrentToken(), &inner);
+      EXPECT_FALSE(cancel::Checkpoint());
+    }
+    EXPECT_EQ(cancel::CurrentToken(), &outer);
+  }
+  EXPECT_EQ(cancel::CurrentToken(), nullptr);
+}
+
+TEST(CancelTest, TokenIsPerThread) {
+  cancel::CancelToken t;
+  cancel::ScopedToken scoped(&t);
+  bool other_thread_sees_token = true;
+  std::thread([&] {
+    other_thread_sees_token = cancel::CurrentToken() != nullptr;
+  }).join();
+  EXPECT_FALSE(other_thread_sees_token);
+  EXPECT_EQ(cancel::CurrentToken(), &t);
+}
+
+TEST(CancelTest, CancelVisibleAcrossThreads) {
+  cancel::CancelToken t;
+  std::thread([&] { t.Cancel(); }).join();
+  EXPECT_TRUE(t.ShouldStop());
+}
+
+}  // namespace
+}  // namespace ringo

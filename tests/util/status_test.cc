@@ -32,6 +32,16 @@ TEST(StatusTest, EachFactoryMapsToItsCode) {
   EXPECT_TRUE(Status::IOError("m").IsIOError());
   EXPECT_TRUE(Status::NotImplemented("m").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("m").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("m").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Overloaded("m").IsOverloaded());
+}
+
+TEST(StatusTest, ServingCodesRenderTheirNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "Deadline exceeded: late");
+  EXPECT_EQ(Status::Overloaded("full").ToString(), "Overloaded: full");
+  EXPECT_FALSE(Status::DeadlineExceeded("late").IsOverloaded());
+  EXPECT_FALSE(Status::Overloaded("full").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, CopyAndMovePreserveState) {
