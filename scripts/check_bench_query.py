@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validates BENCH_query.json (the declarative query front-end artifact).
+
+Usage: scripts/check_bench_query.py BENCH_query.json
+
+Gate for the BM_Query_ rows, run by run_bench.sh and the CI bench-smoke
+job. The two rows run the same script (wide-table select -> graph ->
+pagerank -> top_k) with the fusion pass on and off; the checks pin the
+properties the pass claims, not the machine's speed:
+
+  * both rows are present with a positive real_time and carry the
+    counters (table_rows/result_rows/checksum/fused_ops/exec_nodes);
+  * fusion changes nothing observable: result_rows and checksum are
+    identical across the pair;
+  * the fused row actually fused (fused_ops > 0) and executed fewer plan
+    nodes; the unfused row fused nothing (fused_ops == 0) — together
+    with the executor's needed-set walk this is the "no intermediate
+    filtered table" assertion: the orphaned select node never ran;
+  * the fused row is at least MIN_SPEEDUP (default 1.2x, overridable via
+    RINGO_BENCH_QUERY_MIN_SPEEDUP for constrained machines) faster —
+    skipping the 10-column materialization must show up in wall time.
+
+Absolute times are recorded for EXPERIMENTS.md but never gated.
+"""
+import json
+import os
+import sys
+
+FUSED_ROW = "BM_Query_ScriptFused"
+UNFUSED_ROW = "BM_Query_ScriptUnfused"
+EXPECTED = [FUSED_ROW, UNFUSED_ROW]
+
+COUNTERS = [
+    "bench_scale", "table_rows", "result_rows", "checksum", "fused_ops",
+    "exec_nodes",
+]
+
+
+def fail(msg):
+    print(f"check_bench_query: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} BENCH_query.json")
+    with open(sys.argv[1]) as f:
+        data = json.load(f)
+
+    rows = {b["name"]: b for b in data.get("benchmarks", [])
+            if b.get("run_type") == "iteration"}
+    for name in EXPECTED:
+        if name not in rows:
+            fail(f"missing row {name}")
+        row = rows[name]
+        if row.get("real_time", 0) <= 0:
+            fail(f"{name}: non-positive real_time")
+        for counter in COUNTERS:
+            if counter not in row:
+                fail(f"{name}: missing counter {counter} "
+                     "(metrics off in the bench binary?)")
+        if row["result_rows"] <= 0:
+            fail(f"{name}: empty result")
+
+    fused = rows[FUSED_ROW]
+    unfused = rows[UNFUSED_ROW]
+
+    if fused["result_rows"] != unfused["result_rows"]:
+        fail(f"fusion changed the row count: {fused['result_rows']} "
+             f"fused vs {unfused['result_rows']} unfused")
+    if fused["checksum"] != unfused["checksum"]:
+        fail(f"fusion changed the checksum: {fused['checksum']!r} "
+             f"fused vs {unfused['checksum']!r} unfused")
+
+    if fused["fused_ops"] <= 0:
+        fail("fused row applied no fusion rewrites — is the "
+             "RINGO_QUERY_FUSE kill switch off?")
+    if unfused["fused_ops"] != 0:
+        fail(f"unfused row applied {unfused['fused_ops']} rewrites "
+             "with fusion disabled")
+    if not (0 < fused["exec_nodes"] < unfused["exec_nodes"]):
+        fail(f"fused plan ran {fused['exec_nodes']} nodes vs "
+             f"{unfused['exec_nodes']} unfused — the orphaned select "
+             "should not execute")
+
+    min_speedup = float(os.environ.get("RINGO_BENCH_QUERY_MIN_SPEEDUP",
+                                       "1.2"))
+    speedup = unfused["real_time"] / fused["real_time"]
+    if speedup < min_speedup:
+        fail(f"fused speedup {speedup:.2f}x < {min_speedup:.2f}x — "
+             "Select->Graph fusion is not skipping the materialization")
+
+    print("check_bench_query: OK "
+          f"(speedup={speedup:.2f}x, fused_ops={fused['fused_ops']:.0f}, "
+          f"exec_nodes {fused['exec_nodes']:.0f} vs "
+          f"{unfused['exec_nodes']:.0f}, "
+          f"rows={fused['result_rows']:.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -68,11 +68,26 @@ OMP_NUM_THREADS=1 \
   "$BUILD_DIR/bench/bench_serving" \
   --benchmark_format=json | tee BENCH_serving.json >/dev/null
 
+# Query front-end rows: the same script with the fusion pass on and off.
+# The gate is the pair's structure (identical results, fused_ops fired,
+# fewer plan nodes, >= 1.2x speedup), checked below. Like streaming, the
+# rows run at their own scale: below ~0.05 the parse/plan/PageRank fixed
+# costs swamp the materialization the fusion pass skips, which is the
+# opposite of the regime the speedup gate is about (~10ms/iteration at
+# 0.1, so this stays cheap even in CI smoke).
+QUERY_SCALE="${RINGO_BENCH_QUERY_SCALE:-0.1}"
+echo "== bench_query (RINGO_BENCH_SCALE=$QUERY_SCALE) =="
+RINGO_BENCH_SCALE="$QUERY_SCALE" \
+  "$BUILD_DIR/bench/bench_query" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json | tee BENCH_query.json >/dev/null
+
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace.py BENCH_conversions_trace.json
   python3 scripts/check_bench_algos.py BENCH_algos.json
   python3 scripts/check_bench_streaming.py BENCH_streaming.json
   python3 scripts/check_bench_serving.py BENCH_serving.json
+  python3 scripts/check_bench_query.py BENCH_query.json
 fi
 
-echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_serving.json BENCH_conversions_trace.json"
+echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_serving.json BENCH_query.json BENCH_conversions_trace.json"

@@ -11,20 +11,24 @@ namespace ringo {
 
 namespace {
 
-// Pulls a node-id column as int64 values (pool ids for string columns).
-Status ExtractNodeColumn(const Table& t, std::string_view name,
-                         std::vector<NodeId>* out) {
+// Pulls a node-id column as int64 values (pool ids for string columns),
+// restricted to the physical rows in `keep` when non-null.
+Status ExtractNodeColumnRows(const Table& t, std::string_view name,
+                             const std::vector<int64_t>* keep,
+                             std::vector<NodeId>* out) {
   RINGO_ASSIGN_OR_RETURN(const int ci, t.FindColumn(name));
   const Column& c = t.column(ci);
-  const int64_t n = t.NumRows();
+  const int64_t n =
+      keep != nullptr ? static_cast<int64_t>(keep->size()) : t.NumRows();
+  const auto row = [&](int64_t i) { return keep != nullptr ? (*keep)[i] : i; };
   out->resize(n);
   switch (c.type()) {
     case ColumnType::kInt:
-      ParallelFor(0, n, [&](int64_t i) { (*out)[i] = c.GetInt(i); });
+      ParallelFor(0, n, [&](int64_t i) { (*out)[i] = c.GetInt(row(i)); });
       return Status::OK();
     case ColumnType::kString:
       ParallelFor(0, n, [&](int64_t i) {
-        (*out)[i] = static_cast<NodeId>(c.GetStr(i));
+        (*out)[i] = static_cast<NodeId>(c.GetStr(row(i)));
       });
       return Status::OK();
     case ColumnType::kFloat:
@@ -32,6 +36,11 @@ Status ExtractNodeColumn(const Table& t, std::string_view name,
                                   "' must be int or string, not float");
   }
   return Status::Internal("unhandled column type");
+}
+
+Status ExtractNodeColumn(const Table& t, std::string_view name,
+                         std::vector<NodeId>* out) {
+  return ExtractNodeColumnRows(t, name, nullptr, out);
 }
 
 // The sorted-pair scaffold shared by the directed and undirected builds.
@@ -106,18 +115,11 @@ void FillDedup(const std::vector<Edge>& v, int64_t lo, int64_t hi,
   }
 }
 
-}  // namespace
-
-Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
-                                   std::string_view dst_col) {
-  trace::Span span("TableToGraph");
-  span.AddAttr("rows", t.NumRows());
-  std::vector<NodeId> src, dst;
-  {
-    RINGO_TRACE_SPAN("TableToGraph/extract");
-    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
-    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
-  }
+// Sort + count + fill over already-extracted (src, dst) pairs — the body
+// TableToGraph and TableToGraphFiltered share once extraction has run.
+DirectedGraph BuildDirectedFromPairs(std::vector<NodeId> src,
+                                     std::vector<NodeId> dst,
+                                     trace::Span* span) {
   const SortedPairs sp(std::move(src), std::move(dst), "TableToGraph/sort",
                        "TableToGraph/count");
 
@@ -147,9 +149,43 @@ Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
   g.BumpEdgeCount(edges);
   fill_span.AddAttr("nodes", nn);
   fill_span.AddAttr("edges", edges);
-  span.AddAttr("nodes", nn);
-  span.AddAttr("edges", edges);
+  span->AddAttr("nodes", nn);
+  span->AddAttr("edges", edges);
   return g;
+}
+
+}  // namespace
+
+Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
+                                   std::string_view dst_col) {
+  trace::Span span("TableToGraph");
+  span.AddAttr("rows", t.NumRows());
+  std::vector<NodeId> src, dst;
+  {
+    RINGO_TRACE_SPAN("TableToGraph/extract");
+    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, src_col, &src));
+    RINGO_RETURN_NOT_OK(ExtractNodeColumn(t, dst_col, &dst));
+  }
+  return BuildDirectedFromPairs(std::move(src), std::move(dst), &span);
+}
+
+Result<DirectedGraph> TableToGraphFiltered(const Table& t,
+                                           std::string_view src_col,
+                                           std::string_view dst_col,
+                                           const std::vector<int64_t>& keep) {
+  trace::Span span("TableToGraphFiltered");
+  span.AddAttr("rows", t.NumRows());
+  span.AddAttr("kept", static_cast<int64_t>(keep.size()));
+  std::vector<NodeId> src, dst;
+  {
+    RINGO_TRACE_SPAN("TableToGraph/extract");
+    RINGO_RETURN_NOT_OK(ExtractNodeColumnRows(t, src_col, &keep, &src));
+    RINGO_RETURN_NOT_OK(ExtractNodeColumnRows(t, dst_col, &keep, &dst));
+  }
+  // Kept rows enter the sort in ascending physical order — exactly the
+  // order Select's GatherRows would give them — so the resulting graph is
+  // bit-identical to TableToGraph over the materialized selection.
+  return BuildDirectedFromPairs(std::move(src), std::move(dst), &span);
 }
 
 Result<UndirectedGraph> TableToUndirectedGraph(const Table& t,

@@ -35,6 +35,17 @@ namespace ringo {
 Result<DirectedGraph> TableToGraph(const Table& t, std::string_view src_col,
                                    std::string_view dst_col);
 
+// Sort-first conversion restricted to the given ascending physical row
+// subset (from Table::MatchingRows): the extract phase gathers only the
+// kept rows, so a Select feeding a graph build never materializes the
+// filtered table. Produces exactly TableToGraph(select(t), ...) — the kept
+// (src, dst) pairs enter the sort in the same relative order a gathered
+// table would give them.
+Result<DirectedGraph> TableToGraphFiltered(const Table& t,
+                                           std::string_view src_col,
+                                           std::string_view dst_col,
+                                           const std::vector<int64_t>& keep);
+
 // Same pipeline, undirected result ({u, v} stored on both endpoints).
 Result<UndirectedGraph> TableToUndirectedGraph(const Table& t,
                                                std::string_view src_col,

@@ -45,6 +45,20 @@ class Ringo {
   Status SaveTableTSV(const Table& t, const std::string& path,
                       bool write_header = false) const;
 
+  // Runs a whole declarative query script (parse → plan → fused execution;
+  // language in src/query/ast.h) against this engine's string pool and
+  // returns the final statement's table. Defined in the query library
+  // (src/query/run_query.cc): callers must link ringo_query or the
+  // umbrella `ringo` target.
+  //
+  //   auto top = ringo.RunQuery(R"(
+  //     posts = load("posts.tsv", "UserId:int,Tag:string,Score:int", true)
+  //     java  = select(posts, "Tag = java")
+  //     g     = graph(java, "UserId", "Score")
+  //     top_k(pagerank(g, 10), "Score", 25)
+  //   )");
+  Result<TablePtr> RunQuery(std::string_view script) const;
+
   // Select with a textual predicate "col <op> literal"; ops: = != < <= > >=.
   // The literal parses as int, then float, then string (quotes optional).
   Result<TablePtr> Select(const TablePtr& t, std::string_view expr) const;

@@ -1,0 +1,79 @@
+#include "query/ast.h"
+
+#include <cstdio>
+
+namespace ringo {
+namespace query {
+
+namespace {
+
+void AppendQuoted(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendExpr(const Expr& e, std::string* out) {
+  switch (e.kind) {
+    case Expr::Kind::kVar:
+      *out += e.text;
+      return;
+    case Expr::Kind::kString:
+      AppendQuoted(e.text, out);
+      return;
+    case Expr::Kind::kInt:
+      *out += std::to_string(e.int_val);
+      return;
+    case Expr::Kind::kFloat: {
+      // Round-trip precision, so print → parse recovers the exact value.
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", e.float_val);
+      *out += buf;
+      return;
+    }
+    case Expr::Kind::kBool:
+      *out += e.bool_val ? "true" : "false";
+      return;
+    case Expr::Kind::kCall:
+      *out += e.text;
+      out->push_back('(');
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) *out += ", ";
+        AppendExpr(e.args[i], out);
+      }
+      out->push_back(')');
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Print(const Expr& e) {
+  std::string out;
+  AppendExpr(e, &out);
+  return out;
+}
+
+std::string Print(const Script& s) {
+  std::string out;
+  for (const Statement& st : s.stmts) {
+    if (!st.target.empty()) {
+      out += st.target;
+      out += " = ";
+    }
+    AppendExpr(st.expr, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace ringo

@@ -1,0 +1,67 @@
+// AST for Ringo's declarative query script language — the C++ analogue of
+// the paper's interactive Python front-end (§4): a script is a sequence of
+// dataflow statements, every intermediate named, e.g.
+//
+//   posts = load("posts.tsv", "UserId:int,Tag:str,Score:int", true)
+//   java  = select(posts, "Tag = java")
+//   g     = graph(java, "UserId", "Score")
+//   pr    = pagerank(g, 10)
+//   top_k(pr, "Score", 25)
+//
+// Grammar (statements separated by newlines or ';', '#' starts a comment):
+//   script    := { statement }
+//   statement := [ ident '=' ] expr
+//   expr      := call | ident | literal
+//   call      := ident '(' [ expr { ',' expr } ] ')'
+//   literal   := string | int | float | 'true' | 'false'
+//
+// The AST keeps source positions for error messages and prints back to a
+// canonical text form (one statement per line, normalized spacing), so
+// parse → print → parse is a fixpoint the golden tests check.
+#ifndef RINGO_QUERY_AST_H_
+#define RINGO_QUERY_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ringo {
+namespace query {
+
+struct SourcePos {
+  int line = 1;  // 1-based.
+  int col = 1;   // 1-based, in characters.
+};
+
+struct Expr {
+  enum class Kind : char { kVar, kString, kInt, kFloat, kBool, kCall };
+
+  Kind kind = Kind::kVar;
+  SourcePos pos;
+  std::string text;        // kVar: name; kString: value; kCall: function.
+  int64_t int_val = 0;     // kInt.
+  double float_val = 0.0;  // kFloat.
+  bool bool_val = false;   // kBool.
+  std::vector<Expr> args;  // kCall.
+};
+
+struct Statement {
+  SourcePos pos;
+  std::string target;  // Empty for a bare expression statement.
+  Expr expr;
+};
+
+struct Script {
+  std::vector<Statement> stmts;
+};
+
+// Canonical text form: one statement per line, `name = expr`, arguments
+// separated by ", ", strings quoted with \" \\ \n \t escapes, floats
+// printed with round-trip precision.
+std::string Print(const Expr& e);
+std::string Print(const Script& s);
+
+}  // namespace query
+}  // namespace ringo
+
+#endif  // RINGO_QUERY_AST_H_

@@ -1,0 +1,201 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace ringo {
+namespace query {
+
+namespace {
+
+Status LexError(SourcePos pos, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(pos.line) +
+                                 ", col " + std::to_string(pos.col) + ": " +
+                                 msg);
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+        continue;
+      }
+      if (c == '#') {  // Comment to end of line.
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+        continue;
+      }
+      if (c == '\n' || c == ';') {
+        if (!out.empty() && out.back().kind != Token::Kind::kNewline) {
+          out.push_back(Make(Token::Kind::kNewline));
+        }
+        Advance();
+        continue;
+      }
+      Token t;
+      switch (c) {
+        case '(': t = Make(Token::Kind::kLParen); Advance(); break;
+        case ')': t = Make(Token::Kind::kRParen); Advance(); break;
+        case ',': t = Make(Token::Kind::kComma); Advance(); break;
+        case '=': t = Make(Token::Kind::kEqual); Advance(); break;
+        case '"': {
+          RINGO_ASSIGN_OR_RETURN(t, LexString());
+          break;
+        }
+        default: {
+          if (IsIdentStart(c)) {
+            t = LexIdent();
+          } else if (IsDigit(c) || c == '-') {
+            RINGO_ASSIGN_OR_RETURN(t, LexNumber());
+          } else {
+            return LexError(Here(), std::string("unexpected character '") +
+                                        c + "'");
+          }
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    // Trailing separator is noise; a final kEnd closes the stream.
+    if (!out.empty() && out.back().kind == Token::Kind::kNewline) {
+      out.pop_back();
+    }
+    out.push_back(Make(Token::Kind::kEnd));
+    return out;
+  }
+
+ private:
+  SourcePos Here() const { return {line_, col_}; }
+
+  Token Make(Token::Kind kind) const {
+    Token t;
+    t.kind = kind;
+    t.pos = Here();
+    return t;
+  }
+
+  void Advance() {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  Token LexIdent() {
+    Token t = Make(Token::Kind::kIdent);
+    const size_t start = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+    t.text = std::string(src_.substr(start, pos_ - start));
+    return t;
+  }
+
+  Result<Token> LexString() {
+    Token t = Make(Token::Kind::kString);
+    Advance();  // Opening quote.
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_];
+      if (c == '\n') break;  // Strings do not span lines.
+      if (c == '\\') {
+        Advance();
+        if (pos_ >= src_.size()) break;
+        switch (src_[pos_]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            return LexError(Here(), std::string("unknown escape '\\") +
+                                        src_[pos_] + "' in string");
+        }
+      }
+      t.text.push_back(c);
+      Advance();
+    }
+    if (pos_ >= src_.size() || src_[pos_] != '"') {
+      return LexError(t.pos, "unterminated string literal");
+    }
+    Advance();  // Closing quote.
+    return t;
+  }
+
+  Result<Token> LexNumber() {
+    Token t = Make(Token::Kind::kInt);
+    const size_t start = pos_;
+    if (src_[pos_] == '-') Advance();
+    bool is_float = false;
+    while (pos_ < src_.size() &&
+           (IsDigit(src_[pos_]) || src_[pos_] == '.' || src_[pos_] == 'e' ||
+            src_[pos_] == 'E' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+      if (src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E') {
+        is_float = true;
+      }
+      Advance();
+    }
+    const std::string_view text = src_.substr(start, pos_ - start);
+    if (is_float) {
+      t.kind = Token::Kind::kFloat;
+      Result<double> v = ParseDouble(text);
+      if (!v.ok()) {
+        return LexError(t.pos,
+                        "bad number '" + std::string(text) + "'");
+      }
+      t.float_val = *v;
+    } else {
+      Result<int64_t> v = ParseInt64(text);
+      if (!v.ok()) {
+        return LexError(t.pos,
+                        "bad number '" + std::string(text) + "'");
+      }
+      t.int_val = *v;
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+const char* TokenKindName(Token::Kind kind) {
+  switch (kind) {
+    case Token::Kind::kIdent: return "identifier";
+    case Token::Kind::kString: return "string";
+    case Token::Kind::kInt: return "integer";
+    case Token::Kind::kFloat: return "float";
+    case Token::Kind::kLParen: return "'('";
+    case Token::Kind::kRParen: return "')'";
+    case Token::Kind::kComma: return "','";
+    case Token::Kind::kEqual: return "'='";
+    case Token::Kind::kNewline: return "end of statement";
+    case Token::Kind::kEnd: return "end of script";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  return Lexer(src).Run();
+}
+
+}  // namespace query
+}  // namespace ringo

@@ -1,0 +1,50 @@
+// Tokenizer for the query script language (see query/ast.h for the
+// grammar). Tracks line/column for every token so parse and plan errors
+// point at the offending source position.
+#ifndef RINGO_QUERY_LEXER_H_
+#define RINGO_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace ringo {
+namespace query {
+
+struct Token {
+  enum class Kind : char {
+    kIdent,    // [A-Za-z_][A-Za-z0-9_]*
+    kString,   // "..." with \" \\ \n \t escapes (text holds the value).
+    kInt,      // Optional '-', digits.
+    kFloat,    // Optional '-', digits with '.' and/or exponent.
+    kLParen,
+    kRParen,
+    kComma,
+    kEqual,
+    kNewline,  // Statement separator: '\n' or ';'.
+    kEnd,
+  };
+
+  Kind kind = Kind::kEnd;
+  SourcePos pos;
+  std::string text;        // kIdent: name; kString: unescaped value.
+  int64_t int_val = 0;     // kInt.
+  double float_val = 0.0;  // kFloat.
+};
+
+const char* TokenKindName(Token::Kind kind);
+
+// Tokenizes the whole script ('#' comments stripped; blank separators
+// collapsed — no two consecutive kNewline tokens; always ends with kEnd).
+// Fails with InvalidArgument("line L, col C: ...") on malformed input
+// (unterminated string, bad number, stray character).
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+}  // namespace query
+}  // namespace ringo
+
+#endif  // RINGO_QUERY_LEXER_H_

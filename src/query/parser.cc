@@ -1,0 +1,134 @@
+#include "query/parser.h"
+
+#include <utility>
+
+#include "query/lexer.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ringo {
+namespace query {
+
+namespace {
+
+Status ParseError(SourcePos pos, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(pos.line) +
+                                 ", col " + std::to_string(pos.col) + ": " +
+                                 msg);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Script> Run() {
+    Script script;
+    SkipSeparators();
+    while (Peek().kind != Token::Kind::kEnd) {
+      RINGO_ASSIGN_OR_RETURN(Statement st, ParseStatement());
+      script.stmts.push_back(std::move(st));
+      if (Peek().kind != Token::Kind::kEnd) {
+        if (Peek().kind != Token::Kind::kNewline) {
+          return ParseError(Peek().pos,
+                            std::string("expected end of statement, got ") +
+                                TokenKindName(Peek().kind));
+        }
+        SkipSeparators();
+      }
+    }
+    return script;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  void SkipSeparators() {
+    while (Peek().kind == Token::Kind::kNewline) ++pos_;
+  }
+
+  Result<Statement> ParseStatement() {
+    Statement st;
+    st.pos = Peek().pos;
+    // `ident =` prefix → assignment; otherwise a bare expression.
+    if (Peek().kind == Token::Kind::kIdent &&
+        Peek(1).kind == Token::Kind::kEqual) {
+      st.target = Next().text;
+      Next();  // '='.
+    }
+    RINGO_ASSIGN_OR_RETURN(st.expr, ParseExpr());
+    return st;
+  }
+
+  Result<Expr> ParseExpr() {
+    const Token& t = Peek();
+    Expr e;
+    e.pos = t.pos;
+    switch (t.kind) {
+      case Token::Kind::kString:
+        e.kind = Expr::Kind::kString;
+        e.text = Next().text;
+        return e;
+      case Token::Kind::kInt:
+        e.kind = Expr::Kind::kInt;
+        e.int_val = Next().int_val;
+        return e;
+      case Token::Kind::kFloat:
+        e.kind = Expr::Kind::kFloat;
+        e.float_val = Next().float_val;
+        return e;
+      case Token::Kind::kIdent: {
+        const std::string name = Next().text;
+        if (name == "true" || name == "false") {
+          e.kind = Expr::Kind::kBool;
+          e.bool_val = name == "true";
+          return e;
+        }
+        if (Peek().kind != Token::Kind::kLParen) {
+          e.kind = Expr::Kind::kVar;
+          e.text = name;
+          return e;
+        }
+        Next();  // '('.
+        e.kind = Expr::Kind::kCall;
+        e.text = name;
+        if (Peek().kind != Token::Kind::kRParen) {
+          while (true) {
+            RINGO_ASSIGN_OR_RETURN(Expr arg, ParseExpr());
+            e.args.push_back(std::move(arg));
+            if (Peek().kind != Token::Kind::kComma) break;
+            Next();  // ','.
+          }
+        }
+        if (Peek().kind != Token::Kind::kRParen) {
+          return ParseError(Peek().pos,
+                            std::string("expected ')' or ',' in call to '") +
+                                name + "', got " +
+                                TokenKindName(Peek().kind));
+        }
+        Next();  // ')'.
+        return e;
+      }
+      default:
+        return ParseError(t.pos, std::string("expected an expression, got ") +
+                                     TokenKindName(t.kind));
+    }
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Script> Parse(std::string_view src) {
+  RINGO_TRACE_SPAN("Query/parse");
+  RINGO_COUNTER_ADD("query/parse", 1);
+  RINGO_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(src));
+  return Parser(std::move(toks)).Run();
+}
+
+}  // namespace query
+}  // namespace ringo

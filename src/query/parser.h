@@ -1,0 +1,20 @@
+// Recursive-descent parser for the query script language: token stream →
+// query::Script (see query/ast.h for the grammar). Errors are
+// InvalidArgument with the source line/column of the offending token.
+#ifndef RINGO_QUERY_PARSER_H_
+#define RINGO_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "util/result.h"
+
+namespace ringo {
+namespace query {
+
+Result<Script> Parse(std::string_view src);
+
+}  // namespace query
+}  // namespace ringo
+
+#endif  // RINGO_QUERY_PARSER_H_

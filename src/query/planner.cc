@@ -1,0 +1,681 @@
+#include "query/planner.h"
+
+#include <utility>
+
+#include "table/table_build.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace ringo {
+namespace query {
+
+namespace {
+
+Status PlanError(SourcePos pos, const std::string& msg) {
+  return Status::InvalidArgument("line " + std::to_string(pos.line) +
+                                 ", col " + std::to_string(pos.col) + ": " +
+                                 msg);
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Mirrors group_by.cc's aggregate typing: count is int, mean is float,
+// sum/min/max/first follow the input column.
+ColumnType AggOutputType(AggFn fn, ColumnType input) {
+  switch (fn) {
+    case AggFn::kCount: return ColumnType::kInt;
+    case AggFn::kMean: return ColumnType::kFloat;
+    case AggFn::kSum:
+    case AggFn::kMin:
+    case AggFn::kMax:
+    case AggFn::kFirst: return input;
+  }
+  return input;
+}
+
+// "name:type, name:type" → Schema (types: int, float, string).
+Result<Schema> ParseSchemaSpec(std::string_view spec, SourcePos pos) {
+  Schema schema;
+  for (std::string_view field : SplitFields(spec, ',')) {
+    field = Trim(field);
+    if (field.empty()) continue;
+    const size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      return PlanError(pos, "schema field '" + std::string(field) +
+                                "' is not 'name:type'");
+    }
+    const std::string_view name = Trim(field.substr(0, colon));
+    Result<ColumnType> type =
+        ColumnTypeFromString(Trim(field.substr(colon + 1)));
+    if (!type.ok()) {
+      return PlanError(pos, type.status().message());
+    }
+    Status st = schema.AddColumn(std::string(name), *type);
+    if (!st.ok()) return PlanError(pos, st.message());
+  }
+  if (schema.num_columns() == 0) {
+    return PlanError(pos, "empty schema spec");
+  }
+  return schema;
+}
+
+class Planner {
+ public:
+  Planner(const Script& script, const std::map<std::string, Schema>& bindings)
+      : script_(script), bindings_(bindings) {}
+
+  Result<Plan> Run() {
+    if (script_.stmts.empty()) {
+      return Status::InvalidArgument("empty query script");
+    }
+    for (const Statement& st : script_.stmts) {
+      RINGO_ASSIGN_OR_RETURN(const int node, PlanExpr(st.expr));
+      if (!st.target.empty()) {
+        if (vars_.count(st.target) > 0) {
+          return PlanError(st.pos, "variable '" + st.target +
+                                       "' is assigned twice");
+        }
+        vars_[st.target] = node;
+      }
+      plan_.root = node;
+    }
+    return std::move(plan_);
+  }
+
+ private:
+  const PlanNode& node(int id) const { return plan_.nodes[id]; }
+
+  int Emit(PlanNode n) {
+    plan_.nodes.push_back(std::move(n));
+    return static_cast<int>(plan_.nodes.size()) - 1;
+  }
+
+  // ---------------------------------------------------- argument helpers
+  Status CheckArgc(const Expr& call, size_t min, size_t max,
+                   const char* signature) {
+    if (call.args.size() < min || call.args.size() > max) {
+      return PlanError(call.pos, "'" + call.text + "' expects " +
+                                     std::string(signature) + ", got " +
+                                     std::to_string(call.args.size()) +
+                                     " argument(s)");
+    }
+    return Status::OK();
+  }
+
+  Result<int> ArgNode(const Expr& call, size_t i, ValueKind want) {
+    const Expr& a = call.args[i];
+    int id = -1;
+    if (a.kind == Expr::Kind::kVar) {
+      const auto it = vars_.find(a.text);
+      if (it == vars_.end()) {
+        RINGO_ASSIGN_OR_RETURN(id, BindOrUndefined(a));
+      } else {
+        id = it->second;
+      }
+    } else if (a.kind == Expr::Kind::kCall) {
+      RINGO_ASSIGN_OR_RETURN(id, PlanExpr(a));
+    } else {
+      return PlanError(a.pos, "argument " + std::to_string(i + 1) + " of '" +
+                                  call.text + "' must be a " +
+                                  (want == ValueKind::kTable ? "table"
+                                                             : "graph"));
+    }
+    if (node(id).value != want) {
+      return PlanError(a.pos, "argument " + std::to_string(i + 1) + " of '" +
+                                  call.text + "' is a " +
+                                  (node(id).value == ValueKind::kTable
+                                       ? "table"
+                                       : "graph") +
+                                  ", expected a " +
+                                  (want == ValueKind::kTable ? "table"
+                                                             : "graph"));
+    }
+    return id;
+  }
+
+  // An unknown variable may name an external binding (the serving layer's
+  // session table); otherwise it is undefined.
+  Result<int> BindOrUndefined(const Expr& var) {
+    const auto bound = bindings_.find(var.text);
+    if (bound == bindings_.end()) {
+      return PlanError(var.pos, "undefined variable '" + var.text + "'");
+    }
+    PlanNode n;
+    n.op = OpKind::kBind;
+    n.pos = var.pos;
+    n.name = var.text;
+    n.schema = bound->second;
+    const int id = Emit(std::move(n));
+    vars_[var.text] = id;
+    return id;
+  }
+
+  Result<std::string> ArgString(const Expr& call, size_t i) {
+    const Expr& a = call.args[i];
+    if (a.kind != Expr::Kind::kString) {
+      return PlanError(a.pos, "argument " + std::to_string(i + 1) + " of '" +
+                                  call.text + "' must be a string");
+    }
+    return a.text;
+  }
+
+  Result<int64_t> ArgInt(const Expr& call, size_t i) {
+    const Expr& a = call.args[i];
+    if (a.kind != Expr::Kind::kInt) {
+      return PlanError(a.pos, "argument " + std::to_string(i + 1) + " of '" +
+                                  call.text + "' must be an integer");
+    }
+    return a.int_val;
+  }
+
+  Result<bool> ArgBool(const Expr& call, size_t i) {
+    const Expr& a = call.args[i];
+    if (a.kind != Expr::Kind::kBool) {
+      return PlanError(a.pos, "argument " + std::to_string(i + 1) + " of '" +
+                                  call.text + "' must be true or false");
+    }
+    return a.bool_val;
+  }
+
+  // Checks `name` against the schema of node `input`.
+  Result<ColumnType> ResolveCol(int input, const std::string& name,
+                                SourcePos pos) {
+    const Schema& s = node(input).schema;
+    const int idx = s.ColumnIndex(name);
+    if (idx < 0) {
+      return PlanError(pos, "no column '" + name + "' in [" + s.ToString() +
+                                "]");
+    }
+    return s.column(idx).type;
+  }
+
+  // ------------------------------------------------------------ planning
+  Result<int> PlanExpr(const Expr& e) {
+    if (e.kind == Expr::Kind::kVar) {
+      const auto it = vars_.find(e.text);
+      if (it != vars_.end()) return it->second;
+      return BindOrUndefined(e);
+    }
+    if (e.kind != Expr::Kind::kCall) {
+      return PlanError(e.pos, "statement has no effect (literal)");
+    }
+    const std::string& fn = e.text;
+    if (fn == "load") return PlanLoad(e);
+    if (fn == "select") return PlanSelect(e);
+    if (fn == "project") return PlanColsOp(e, OpKind::kProject);
+    if (fn == "join") return PlanJoin(e);
+    if (fn == "order_by") return PlanOrderBy(e);
+    if (fn == "group_by") return PlanGroupBy(e);
+    if (fn == "top_k") return PlanTopK(e);
+    if (fn == "unique") return PlanColsOp(e, OpKind::kUnique);
+    if (fn == "graph") return PlanGraph(e);
+    if (fn == "pagerank") return PlanPageRank(e);
+    if (fn == "nodes") return PlanGraphToTable(e, OpKind::kNodes);
+    if (fn == "edges") return PlanGraphToTable(e, OpKind::kEdges);
+    return PlanError(e.pos, "unknown function '" + fn + "'");
+  }
+
+  Result<int> PlanLoad(const Expr& e) {
+    RINGO_RETURN_NOT_OK(
+        CheckArgc(e, 2, 3, "(path, \"name:type,...\"[, header])"));
+    PlanNode n;
+    n.op = OpKind::kLoad;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(n.name, ArgString(e, 0));
+    RINGO_ASSIGN_OR_RETURN(const std::string spec, ArgString(e, 1));
+    RINGO_ASSIGN_OR_RETURN(n.load_schema,
+                           ParseSchemaSpec(spec, e.args[1].pos));
+    if (e.args.size() == 3) {
+      RINGO_ASSIGN_OR_RETURN(n.header, ArgBool(e, 2));
+    }
+    n.schema = n.load_schema;
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanSelect(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 2, 2, "(table, \"col <op> literal\")"));
+    PlanNode n;
+    n.op = OpKind::kSelect;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    RINGO_ASSIGN_OR_RETURN(const std::string expr, ArgString(e, 1));
+    Result<ParsedPredicate> pred = ParsePredicate(expr);
+    if (!pred.ok()) return PlanError(e.args[1].pos, pred.status().message());
+    n.pred = std::move(*pred);
+    RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
+                           ResolveCol(in, n.pred.column, e.args[1].pos));
+    // Typed predicate: an int literal against a float column compares as
+    // float; other mismatches are plan-time errors (EvalPredicate would
+    // reject them at run time, but without a source position).
+    if (ct == ColumnType::kFloat &&
+        std::holds_alternative<int64_t>(n.pred.value)) {
+      n.pred.value = static_cast<double>(std::get<int64_t>(n.pred.value));
+    }
+    const bool ok =
+        (ct == ColumnType::kInt &&
+         std::holds_alternative<int64_t>(n.pred.value)) ||
+        (ct == ColumnType::kFloat &&
+         std::holds_alternative<double>(n.pred.value)) ||
+        (ct == ColumnType::kString &&
+         std::holds_alternative<std::string>(n.pred.value));
+    if (!ok) {
+      return PlanError(e.args[1].pos,
+                       "predicate literal type does not match " +
+                           std::string(ColumnTypeToString(ct)) +
+                           " column '" + n.pred.column + "'");
+    }
+    n.schema = node(in).schema;
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanColsOp(const Expr& e, OpKind op) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 2, 64, "(table, col, ...)"));
+    PlanNode n;
+    n.op = op;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    for (size_t i = 1; i < e.args.size(); ++i) {
+      RINGO_ASSIGN_OR_RETURN(std::string col, ArgString(e, i));
+      RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
+                             ResolveCol(in, col, e.args[i].pos));
+      if (op == OpKind::kProject) {
+        Status st = n.schema.AddColumn(col, ct);
+        if (!st.ok()) return PlanError(e.args[i].pos, st.message());
+      }
+      n.cols.push_back(std::move(col));
+    }
+    if (op != OpKind::kProject) n.schema = node(in).schema;
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanJoin(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 4, 4, "(left, right, lcol, rcol)"));
+    PlanNode n;
+    n.op = OpKind::kJoin;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int l, ArgNode(e, 0, ValueKind::kTable));
+    RINGO_ASSIGN_OR_RETURN(const int r, ArgNode(e, 1, ValueKind::kTable));
+    n.inputs = {l, r};
+    RINGO_ASSIGN_OR_RETURN(n.src_col, ArgString(e, 2));
+    RINGO_ASSIGN_OR_RETURN(n.dst_col, ArgString(e, 3));
+    RINGO_ASSIGN_OR_RETURN(const ColumnType lt,
+                           ResolveCol(l, n.src_col, e.args[2].pos));
+    RINGO_ASSIGN_OR_RETURN(const ColumnType rt,
+                           ResolveCol(r, n.dst_col, e.args[3].pos));
+    if (lt != rt) {
+      return PlanError(e.pos, std::string("join key types differ: ") +
+                                  ColumnTypeToString(lt) + " vs " +
+                                  ColumnTypeToString(rt));
+    }
+    // Output schema: left then right columns, collisions suffixed -1/-2 —
+    // the same rule JoinMulti applies.
+    Status st = internal::AppendSuffixedColumns(
+        node(l).schema, node(r).schema, "-1", &n.schema);
+    if (st.ok()) {
+      st = internal::AppendSuffixedColumns(node(r).schema, node(l).schema,
+                                           "-2", &n.schema);
+    }
+    if (!st.ok()) return PlanError(e.pos, st.message());
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanOrderBy(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 2, 64, "(table, col, ...)"));
+    PlanNode n;
+    n.op = OpKind::kOrderBy;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    for (size_t i = 1; i < e.args.size(); ++i) {
+      RINGO_ASSIGN_OR_RETURN(std::string col, ArgString(e, i));
+      bool asc = true;
+      if (!col.empty() && col.front() == '-') {  // "-Score" = descending.
+        asc = false;
+        col.erase(col.begin());
+      }
+      RINGO_RETURN_NOT_OK(ResolveCol(in, col, e.args[i].pos).status());
+      n.cols.push_back(std::move(col));
+      n.ascending.push_back(asc);
+    }
+    n.schema = node(in).schema;
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanGroupBy(const Expr& e) {
+    RINGO_RETURN_NOT_OK(
+        CheckArgc(e, 3, 64, "(table, \"k1,k2\", count(n)/sum(c, n)/...)"));
+    PlanNode n;
+    n.op = OpKind::kGroupBy;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    RINGO_ASSIGN_OR_RETURN(const std::string keys, ArgString(e, 1));
+    for (std::string_view key : SplitFields(keys, ',')) {
+      std::string col(Trim(key));
+      if (col.empty()) continue;  // "" and stray commas fall through to
+                                  // the needs-at-least-one-key error.
+      RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
+                             ResolveCol(in, col, e.args[1].pos));
+      Status st = n.schema.AddColumn(col, ct);
+      if (!st.ok()) return PlanError(e.args[1].pos, st.message());
+      n.cols.push_back(std::move(col));
+    }
+    if (n.cols.empty()) {
+      return PlanError(e.args[1].pos, "group_by needs at least one key");
+    }
+    static const std::map<std::string, AggFn> kAggFns = {
+        {"count", AggFn::kCount}, {"sum", AggFn::kSum},
+        {"min", AggFn::kMin},     {"max", AggFn::kMax},
+        {"mean", AggFn::kMean},   {"first", AggFn::kFirst}};
+    for (size_t i = 2; i < e.args.size(); ++i) {
+      const Expr& a = e.args[i];
+      const auto fn = a.kind == Expr::Kind::kCall ? kAggFns.find(a.text)
+                                                  : kAggFns.end();
+      if (fn == kAggFns.end()) {
+        return PlanError(a.pos,
+                         "expected an aggregate: count(name), or "
+                         "sum/min/max/mean/first(col, name)");
+      }
+      AggSpec spec;
+      spec.fn = fn->second;
+      ColumnType in_type = ColumnType::kInt;
+      if (spec.fn == AggFn::kCount) {
+        RINGO_RETURN_NOT_OK(CheckArgc(a, 1, 1, "(name)"));
+        RINGO_ASSIGN_OR_RETURN(spec.output_name, ArgString(a, 0));
+      } else {
+        RINGO_RETURN_NOT_OK(CheckArgc(a, 2, 2, "(col, name)"));
+        RINGO_ASSIGN_OR_RETURN(spec.column, ArgString(a, 0));
+        RINGO_ASSIGN_OR_RETURN(in_type,
+                               ResolveCol(in, spec.column, a.args[0].pos));
+        if (in_type == ColumnType::kString && spec.fn != AggFn::kFirst) {
+          return PlanError(a.args[0].pos,
+                           "aggregate over string column '" + spec.column +
+                               "' supports only first/count");
+        }
+        RINGO_ASSIGN_OR_RETURN(spec.output_name, ArgString(a, 1));
+      }
+      Status st = n.schema.AddColumn(spec.output_name,
+                                     AggOutputType(spec.fn, in_type));
+      if (!st.ok()) return PlanError(a.pos, st.message());
+      n.aggs.push_back(std::move(spec));
+    }
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanTopK(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 3, 3, "(table, col, k)"));
+    PlanNode n;
+    n.op = OpKind::kTopK;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    RINGO_ASSIGN_OR_RETURN(n.src_col, ArgString(e, 1));
+    RINGO_RETURN_NOT_OK(ResolveCol(in, n.src_col, e.args[1].pos).status());
+    RINGO_ASSIGN_OR_RETURN(n.k, ArgInt(e, 2));
+    if (n.k < 0) return PlanError(e.args[2].pos, "top_k k must be >= 0");
+    n.schema = node(in).schema;
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanGraph(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 3, 3, "(table, src_col, dst_col)"));
+    PlanNode n;
+    n.op = OpKind::kGraph;
+    n.pos = e.pos;
+    n.value = ValueKind::kGraph;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
+    n.inputs = {in};
+    RINGO_ASSIGN_OR_RETURN(n.src_col, ArgString(e, 1));
+    RINGO_ASSIGN_OR_RETURN(n.dst_col, ArgString(e, 2));
+    for (size_t i = 1; i <= 2; ++i) {
+      const std::string& col = i == 1 ? n.src_col : n.dst_col;
+      RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
+                             ResolveCol(in, col, e.args[i].pos));
+      if (ct == ColumnType::kFloat) {
+        return PlanError(e.args[i].pos, "node id column '" + col +
+                                            "' must be int or string, not "
+                                            "float");
+      }
+    }
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanPageRank(const Expr& e) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 1, 2, "(graph[, iters])"));
+    PlanNode n;
+    n.op = OpKind::kPageRank;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kGraph));
+    n.inputs = {in};
+    n.iters = 10;
+    if (e.args.size() == 2) {
+      RINGO_ASSIGN_OR_RETURN(const int64_t iters, ArgInt(e, 1));
+      if (iters <= 0) {
+        return PlanError(e.args[1].pos, "pagerank iters must be > 0");
+      }
+      n.iters = static_cast<int>(iters);
+    }
+    n.schema = Schema{{"NodeId", ColumnType::kInt},
+                      {"Score", ColumnType::kFloat}};
+    return Emit(std::move(n));
+  }
+
+  Result<int> PlanGraphToTable(const Expr& e, OpKind op) {
+    RINGO_RETURN_NOT_OK(CheckArgc(e, 1, 1, "(graph)"));
+    PlanNode n;
+    n.op = op;
+    n.pos = e.pos;
+    RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kGraph));
+    n.inputs = {in};
+    n.schema = op == OpKind::kNodes
+                   ? Schema{{"NodeId", ColumnType::kInt},
+                            {"InDeg", ColumnType::kInt},
+                            {"OutDeg", ColumnType::kInt}}
+                   : Schema{{"SrcId", ColumnType::kInt},
+                            {"DstId", ColumnType::kInt}};
+    return Emit(std::move(n));
+  }
+
+  const Script& script_;
+  const std::map<std::string, Schema>& bindings_;
+  std::map<std::string, int> vars_;
+  Plan plan_;
+};
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string PredToString(const ParsedPredicate& p) {
+  std::string out = p.column;
+  out += ' ';
+  out += CmpOpName(p.op);
+  out += ' ';
+  if (std::holds_alternative<int64_t>(p.value)) {
+    out += std::to_string(std::get<int64_t>(p.value));
+  } else if (std::holds_alternative<double>(p.value)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(p.value));
+    out += buf;
+  } else {
+    out += '"';
+    out += std::get<std::string>(p.value);
+    out += '"';
+  }
+  return out;
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kMean: return "mean";
+    case AggFn::kFirst: return "first";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kBind: return "bind";
+    case OpKind::kLoad: return "load";
+    case OpKind::kSelect: return "select";
+    case OpKind::kProject: return "project";
+    case OpKind::kJoin: return "join";
+    case OpKind::kOrderBy: return "order_by";
+    case OpKind::kGroupBy: return "group_by";
+    case OpKind::kTopK: return "top_k";
+    case OpKind::kUnique: return "unique";
+    case OpKind::kGraph: return "graph";
+    case OpKind::kFilteredGraph: return "filtered_graph";
+    case OpKind::kPageRank: return "pagerank";
+    case OpKind::kNodes: return "nodes";
+    case OpKind::kEdges: return "edges";
+  }
+  return "unknown";
+}
+
+Result<Plan> PlanScript(const Script& script,
+                        const std::map<std::string, Schema>& bindings) {
+  RINGO_TRACE_SPAN("Query/plan");
+  RINGO_COUNTER_ADD("query/plan", 1);
+  return Planner(script, bindings).Run();
+}
+
+std::string PlanToString(const Plan& plan) {
+  std::string out;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& n = plan.nodes[i];
+    out += '#';
+    out += std::to_string(i);
+    out += " = ";
+    out += OpKindName(n.op);
+    out += '(';
+    bool first = true;
+    auto sep = [&] {
+      if (!first) out += ", ";
+      first = false;
+    };
+    for (int in : n.inputs) {
+      sep();
+      out += '#';
+      out += std::to_string(in);
+    }
+    switch (n.op) {
+      case OpKind::kBind:
+        sep();
+        out += n.name;
+        break;
+      case OpKind::kLoad:
+        sep();
+        out += '"' + n.name + '"';
+        if (n.header) {
+          sep();
+          out += "header";
+        }
+        break;
+      case OpKind::kSelect:
+        sep();
+        out += PredToString(n.pred);
+        break;
+      case OpKind::kFilteredGraph:
+        sep();
+        out += PredToString(n.pred);
+        sep();
+        out += n.src_col;
+        sep();
+        out += n.dst_col;
+        break;
+      case OpKind::kGraph:
+      case OpKind::kJoin:
+        sep();
+        out += n.src_col;
+        sep();
+        out += n.dst_col;
+        break;
+      case OpKind::kProject:
+      case OpKind::kUnique:
+        for (const std::string& c : n.cols) {
+          sep();
+          out += c;
+        }
+        break;
+      case OpKind::kOrderBy:
+        for (size_t c = 0; c < n.cols.size(); ++c) {
+          sep();
+          if (!n.ascending[c]) out += '-';
+          out += n.cols[c];
+        }
+        break;
+      case OpKind::kGroupBy:
+        for (const std::string& c : n.cols) {
+          sep();
+          out += c;
+        }
+        for (const AggSpec& a : n.aggs) {
+          sep();
+          out += AggFnName(a.fn);
+          out += '(';
+          if (!a.column.empty()) {
+            out += a.column;
+            out += ", ";
+          }
+          out += a.output_name;
+          out += ')';
+        }
+        break;
+      case OpKind::kTopK:
+        sep();
+        out += n.src_col;
+        sep();
+        out += std::to_string(n.k);
+        break;
+      case OpKind::kPageRank:
+        sep();
+        out += std::to_string(n.iters);
+        break;
+      case OpKind::kNodes:
+      case OpKind::kEdges:
+        break;
+    }
+    out += ')';
+    if (n.value == ValueKind::kTable) {
+      out += " [";
+      out += n.schema.ToString();
+      out += ']';
+    } else {
+      out += " [graph]";
+    }
+    out += '\n';
+  }
+  out += "root = #";
+  out += std::to_string(plan.root);
+  out += '\n';
+  return out;
+}
+
+}  // namespace query
+}  // namespace ringo

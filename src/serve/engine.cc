@@ -8,6 +8,7 @@
 #include "algo/algo_view.h"
 #include "algo/bfs_engine.h"
 #include "algo/pagerank.h"
+#include "query/query.h"
 #include "table/table.h"
 #include "util/cancel.h"
 #include "util/metrics.h"
@@ -81,6 +82,23 @@ void RunKernel(const Query& q, const QueryContext& ctx, bool parallel,
       }
       return;
     }
+    case QueryKind::kScript: {
+      // Scripted query through the declarative front-end. The session
+      // table (if any) is visible to the script as `t`; the executor
+      // polls the installed cancel token between plan nodes, so the
+      // engine's deadline machinery applies unchanged.
+      query::RunOptions opts;
+      opts.pool = ctx.table != nullptr ? ctx.table->pool() : nullptr;
+      opts.bindings["t"] = ctx.table;
+      Result<query::RunResult> res = query::RunScript(q.script, opts);
+      if (!res.ok()) {
+        r->status = res.status();
+        return;
+      }
+      r->rows = res->rows;
+      r->checksum = res->checksum;
+      return;
+    }
     case QueryKind::kSleep: {
       // Deterministic time-filler: sleep in 1ms slices so cancellation
       // lands within about a millisecond of the deadline.
@@ -106,6 +124,7 @@ const char* QueryKindName(QueryKind kind) {
     case QueryKind::kPageRank: return "pagerank";
     case QueryKind::kTableTopK: return "table_topk";
     case QueryKind::kSleep: return "sleep";
+    case QueryKind::kScript: return "script";
   }
   return "unknown";
 }
@@ -122,11 +141,30 @@ std::future<QueryResult> Engine::Submit(const Session& session, Query q) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> fut = promise->get_future();
 
+  // A negative deadline is a caller bug, not "use the default": reject it
+  // up front instead of silently substituting a policy the caller never
+  // asked for.
+  if (q.deadline_ms < 0) {
+    RINGO_COUNTER_ADD("serve/rejected", 1);
+    QueryResult bad;
+    bad.kind = q.kind;
+    bad.status = Status::InvalidArgument(
+        "deadline_ms must be >= 0 (0 = engine default), got " +
+        std::to_string(q.deadline_ms));
+    promise->set_value(std::move(bad));
+    return fut;
+  }
+
   const int64_t submit_ns = cancel::NowNanos();
   const int64_t rel_ms =
       q.deadline_ms > 0 ? q.deadline_ms : opts_.default_deadline_ms;
-  const int64_t deadline_ns =
-      rel_ms > 0 ? submit_ns + rel_ms * 1'000'000 : INT64_MAX;
+  // Saturating ms → absolute-ns conversion: a huge relative deadline means
+  // "effectively none", and the naive multiply would overflow int64 into
+  // an already-passed deadline.
+  int64_t deadline_ns = INT64_MAX;
+  if (rel_ms > 0 && rel_ms <= (INT64_MAX - submit_ns) / 1'000'000) {
+    deadline_ns = submit_ns + rel_ms * 1'000'000;
+  }
 
   const Session* s = &session;
   const bool admitted =
@@ -184,6 +222,13 @@ QueryResult Engine::Execute(const Session& session, const Query& q,
     // discard the partial result rather than return an approximation.
     RINGO_COUNTER_ADD("serve/deadline_miss", 1);
     r.status = Status::DeadlineExceeded("deadline passed mid-query");
+    r.rows = 0;
+    r.checksum = 0.0;
+  } else if (r.status.IsDeadlineExceeded()) {
+    // Kernels that surface the cancellation as a Status themselves (the
+    // script executor does, between plan nodes) are deadline misses too,
+    // not generic failures.
+    RINGO_COUNTER_ADD("serve/deadline_miss", 1);
     r.rows = 0;
     r.checksum = 0.0;
   } else if (r.status.ok()) {

@@ -7,19 +7,21 @@
 //    future is already satisfied with a kOverloaded Status; nothing queues
 //    unboundedly and the caller finds out in microseconds.
 //  - Deadlines: each query gets an absolute deadline (its own, or the
-//    engine default). A query that expires while still queued is answered
-//    kDeadlineExceeded without running; one that expires mid-kernel is cut
-//    short via the thread's cancel::CancelToken (kernels poll
-//    cancel::Checkpoint() once per round) and its partial result is
-//    discarded — cancellation bounds latency, it never yields approximate
-//    answers.
+//    engine default; deadline_ms = 0 means "engine default", negative is
+//    rejected as kInvalidArgument before queuing, and huge values saturate
+//    to "no deadline" instead of overflowing). A query that expires while
+//    still queued is answered kDeadlineExceeded without running; one that
+//    expires mid-kernel is cut short via the thread's cancel::CancelToken
+//    (kernels poll cancel::Checkpoint() once per round) and its partial
+//    result is discarded — cancellation bounds latency, it never yields
+//    approximate answers.
 //  - Consistency: the worker pins one snapshot through Session::Pin() and
 //    the query reads only that snapshot, so answers are consistent as of
 //    the stamp recorded in QueryResult even while writers stream batches.
 //
-// Metrics: counters serve/{submitted,admitted,shed,completed,failed,
-// deadline_miss} and gauge serve/queue_depth; every query runs under a
-// "Serve/Query" trace span.
+// Metrics: counters serve/{submitted,admitted,rejected,shed,completed,
+// failed,deadline_miss} and gauge serve/queue_depth; every query runs
+// under a "Serve/Query" trace span.
 #ifndef RINGO_SERVE_ENGINE_H_
 #define RINGO_SERVE_ENGINE_H_
 
@@ -55,7 +57,8 @@ class Engine {
 
   // Submits `q` against `session`. The session must stay alive until the
   // returned future is ready. Never blocks: on overload the future is
-  // already satisfied with Status::Overloaded.
+  // already satisfied with Status::Overloaded, and a malformed query
+  // (negative deadline_ms) with Status::InvalidArgument.
   std::future<QueryResult> Submit(const Session& session, Query q);
 
   // Stops admission, drains admitted queries, joins workers. Idempotent;

@@ -23,6 +23,9 @@ enum class QueryKind {
   kPageRank,  // Power iteration (`iters` rounds); rows = node count.
   kTableTopK, // TopK(`column`, `k`) on the session table; rows = k.
   kSleep,     // Sleeps `sleep_ms` in 1ms slices, honoring cancellation.
+  kScript,    // Runs `script` through the query front-end (src/query/)
+              // with the session table bound as `t`; deadlines land at
+              // plan-node boundaries.
 };
 
 const char* QueryKindName(QueryKind kind);
@@ -39,8 +42,12 @@ struct Query {
   int64_t k = 10;
   // kSleep: wall-time to burn, sliced so cancellation lands within ~1ms.
   int64_t sleep_ms = 10;
+  // kScript: query-language source (see query/ast.h for the grammar).
+  std::string script;
 
-  // Relative deadline from submission; <= 0 uses the engine default.
+  // Relative deadline from submission; 0 uses the engine default, and a
+  // negative value is rejected at submission with kInvalidArgument (it is
+  // a caller bug, not a request for the default).
   int64_t deadline_ms = 0;
 };
 

@@ -1,7 +1,11 @@
 #include "storage/string_pool.h"
 
+#include <numeric>
+
 #include "storage/flat_hash_map.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
 
 namespace ringo {
 
@@ -66,7 +70,38 @@ StringPool::Id StringPool::GetOrAdd(std::string_view s) {
   int64_t i = static_cast<int64_t>(hash) & mask;
   while (slots_[i] != kInvalidId) i = (i + 1) & mask;
   slots_[i] = id;
+  version_.fetch_add(1, std::memory_order_release);
   return id;
+}
+
+std::shared_ptr<const std::vector<uint32_t>> StringPool::ByteOrderRanks()
+    const {
+  const uint64_t v = Version();
+  {
+    std::lock_guard<std::mutex> lock(rank_mu_);
+    if (ranks_ != nullptr && ranks_version_ == v) {
+      RINGO_COUNTER_ADD("string_pool/rank_cache_hit", 1);
+      return ranks_;
+    }
+  }
+  RINGO_COUNTER_ADD("string_pool/rank_cache_build", 1);
+  // Build outside rank_mu_ so concurrent readers of a still-valid cache
+  // are never blocked behind an O(P log P) sort.
+  const int64_t p = size();
+  std::vector<Id> ids(p);
+  std::iota(ids.begin(), ids.end(), Id{0});
+  // Distinct strings have distinct bytes, so this order is total and the
+  // (unstable) parallel sort is deterministic.
+  ParallelSort(ids.begin(), ids.end(),
+               [this](Id a, Id b) { return Get(a) < Get(b); });
+  auto ranks = std::make_shared<std::vector<uint32_t>>(p);
+  for (int64_t i = 0; i < p; ++i) {
+    (*ranks)[ids[i]] = static_cast<uint32_t>(i);
+  }
+  std::lock_guard<std::mutex> lock(rank_mu_);
+  ranks_ = std::move(ranks);
+  ranks_version_ = v;
+  return ranks_;
 }
 
 StringPool::Id StringPool::Find(std::string_view s) const {

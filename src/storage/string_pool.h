@@ -6,7 +6,9 @@
 #ifndef RINGO_STORAGE_STRING_POOL_H_
 #define RINGO_STORAGE_STRING_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -35,6 +37,23 @@ class StringPool {
   // Number of distinct interned strings.
   int64_t size() const { return static_cast<int64_t>(offsets_.size()) - 1; }
 
+  // Monotonic version counter: bumped exactly when GetOrAdd interns a new
+  // string (lookups of known strings leave it unchanged). Thread-safe.
+  uint64_t Version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  // Byte-order ranks of every interned string: (*ranks)[id] is the
+  // position of id's bytes in the lexicographic order of the pool's
+  // distinct strings — the key normalization the sort-driven table
+  // operators use for string columns. The result is cached behind
+  // Version(): repeated keyed sorts between interns share one vector
+  // (counter string_pool/rank_cache_hit) instead of re-sorting the whole
+  // pool per sort; interning a new string invalidates the cache and the
+  // next call rebuilds it (string_pool/rank_cache_build). Must not race
+  // with GetOrAdd (same contract as Get).
+  std::shared_ptr<const std::vector<uint32_t>> ByteOrderRanks() const;
+
   // Approximate heap usage in bytes.
   int64_t MemoryUsageBytes() const;
 
@@ -48,6 +67,11 @@ class StringPool {
                                   // [offsets_[i], offsets_[i+1]).
   std::vector<Id> slots_;         // open addressing, kInvalidId = empty.
   mutable std::mutex mu_;
+
+  std::atomic<uint64_t> version_{0};
+  mutable std::mutex rank_mu_;  // Guards the two cache fields below.
+  mutable std::shared_ptr<const std::vector<uint32_t>> ranks_;
+  mutable uint64_t ranks_version_ = 0;  // Valid only when ranks_ != null.
 };
 
 }  // namespace ringo

@@ -4,10 +4,15 @@
 // left table, partitioned across threads with per-thread match buffers,
 // then materialized with parallel gathers. Output order is deterministic:
 // left row order, matches within a left row in right row order.
+//
+// The build side is split out as JoinBuild (table/join_build.h):
+// Table::BuildJoin constructs it once, Table::JoinWithBuild probes it any
+// number of times, and JoinMulti composes the two for the one-shot case.
 #include <cmath>
 #include <cstring>
 
 #include "storage/flat_hash_map.h"
+#include "table/join_build.h"
 #include "table/row_compare.h"
 #include "table/table.h"
 #include "table/table_build.h"
@@ -84,43 +89,50 @@ bool CompositeKey(const std::vector<KeyExtractor>& extractors, int64_t row,
   return true;
 }
 
-}  // namespace
-
-Result<TablePtr> Table::Join(const Table& left, const Table& right,
-                             std::string_view left_col,
-                             std::string_view right_col,
-                             bool keep_provenance) {
-  return JoinMulti(left, right, {std::string(left_col)},
-                   {std::string(right_col)}, keep_provenance);
-}
-
-Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
-                                  const std::vector<std::string>& left_cols,
-                                  const std::vector<std::string>& right_cols,
-                                  bool keep_provenance) {
-  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
-    return Status::InvalidArgument(
-        "join requires equally many (>=1) key columns on both sides");
-  }
-  std::vector<int> lci, rci;
-  RINGO_RETURN_NOT_OK(ResolveColumns(left, left_cols, &lci));
-  RINGO_RETURN_NOT_OK(ResolveColumns(right, right_cols, &rci));
-  for (size_t c = 0; c < lci.size(); ++c) {
-    const ColumnType lt = left.schema().column(lci[c]).type;
-    const ColumnType rt = right.schema().column(rci[c]).type;
-    if (lt != rt) {
-      return Status::TypeMismatch(
-          std::string("join key types differ on '") + left_cols[c] + "': " +
-          ColumnTypeToString(lt) + " vs " + ColumnTypeToString(rt));
+// Fills the chained hash table over `right`'s key columns. Build-side keys
+// are extracted in parallel up front; the table is pre-sized for the row
+// count (power-of-two buckets, one reservation, no growth rehashes) and
+// filled sequentially. Inserting in reverse row order makes every chain
+// come out ascending when walked from its head.
+void BuildChains(const Table& right, const std::vector<int>& rci,
+                 const StringPool* key_pool,
+                 FlatHashMap<uint64_t, int64_t>* heads,
+                 std::vector<int64_t>* next) {
+  std::vector<KeyExtractor> rkeys;
+  for (int c : rci) rkeys.emplace_back(right, c, key_pool);
+  const int64_t nr = right.NumRows();
+  std::vector<uint64_t> rkey(nr);
+  std::vector<uint8_t> rkey_ok(nr);
+  ParallelFor(0, nr, [&](int64_t r) {
+    rkey_ok[r] = CompositeKey(rkeys, r, &rkey[r]) ? 1 : 0;
+  });
+  heads->Reserve(nr);
+  next->assign(nr, -1);
+  trace::Span build_span("Table/Join/build");
+  for (int64_t r = nr - 1; r >= 0; --r) {
+    if (!rkey_ok[r]) continue;
+    auto [slot, inserted] = heads->Insert(rkey[r], r);
+    if (!inserted) {
+      (*next)[r] = *slot;
+      *slot = r;
     }
   }
-  const bool composite = lci.size() > 1;
+  // The pre-sized build side must never rehash (PR 2's claim); the
+  // counter makes that checkable per query and in the aggregate.
+  build_span.AddAttr("build_rehashes", heads->GrowRehashes());
+  build_span.AddAttr("build_probe_steps", heads->stats().probe_steps);
+  RINGO_COUNTER_ADD("join/build_rehashes", heads->GrowRehashes());
+  RINGO_COUNTER_ADD("join/build_probe_steps", heads->stats().probe_steps);
+}
 
-  trace::Span span("Table/Join");
-  span.AddAttr("left_rows", left.NumRows());
-  span.AddAttr("right_rows", right.NumRows());
-  span.AddAttr("key_columns", static_cast<int64_t>(lci.size()));
-
+// Probes `left` against prepared chains and materializes the joined table.
+Result<TablePtr> ProbeAndEmit(const Table& left, const std::vector<int>& lci,
+                              const Table& right,
+                              const std::vector<int>& rci,
+                              const StringPool* key_pool,
+                              const FlatHashMap<uint64_t, int64_t>& heads,
+                              const std::vector<int64_t>& next,
+                              bool keep_provenance, trace::Span* span) {
   // Output schema: left columns then right columns, collisions suffixed.
   Schema out_schema;
   RINGO_RETURN_NOT_OK(
@@ -132,47 +144,11 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
     RINGO_RETURN_NOT_OK(out_schema.AddColumn("_rrow", ColumnType::kInt));
   }
 
-  const std::shared_ptr<StringPool>& out_pool = left.pool();
-  std::vector<KeyExtractor> lkeys, rkeys;
-  for (size_t c = 0; c < lci.size(); ++c) {
-    lkeys.emplace_back(left, lci[c], out_pool.get());
-    rkeys.emplace_back(right, rci[c], out_pool.get());
-  }
+  const bool composite = lci.size() > 1;
+  std::vector<KeyExtractor> lkeys;
+  for (int c : lci) lkeys.emplace_back(left, c, key_pool);
   // Exact verification for composite keys (hash equality is not enough).
   const RowComparator verify(&left, &right, lci, rci);
-
-  // Build-side keys are extracted in parallel up front; the chained hash
-  // table is then pre-sized for the row count (power-of-two buckets, one
-  // reservation, no growth rehashes) and filled sequentially. Inserting in
-  // reverse row order makes every chain come out ascending when walked
-  // from its head.
-  const int64_t nr = right.NumRows();
-  std::vector<uint64_t> rkey(nr);
-  std::vector<uint8_t> rkey_ok(nr);
-  ParallelFor(0, nr, [&](int64_t r) {
-    rkey_ok[r] = CompositeKey(rkeys, r, &rkey[r]) ? 1 : 0;
-  });
-  FlatHashMap<uint64_t, int64_t> heads;
-  heads.Reserve(nr);
-  std::vector<int64_t> next(nr, -1);
-  {
-    trace::Span build_span("Table/Join/build");
-    for (int64_t r = nr - 1; r >= 0; --r) {
-      if (!rkey_ok[r]) continue;
-      auto [slot, inserted] = heads.Insert(rkey[r], r);
-      if (!inserted) {
-        next[r] = *slot;
-        *slot = r;
-      }
-    }
-    // The pre-sized build side must never rehash (PR 2's claim); the
-    // counter makes that checkable per query and in the aggregate.
-    build_span.AddAttr("build_rehashes", heads.GrowRehashes());
-    build_span.AddAttr("build_probe_steps", heads.stats().probe_steps);
-    RINGO_COUNTER_ADD("join/build_rehashes", heads.GrowRehashes());
-    RINGO_COUNTER_ADD("join/build_probe_steps", heads.stats().probe_steps);
-  }
-  span.AddAttr("build_rehashes", heads.GrowRehashes());
 
   // Probe left rows, partitioned; per-thread buffers keep the output
   // deterministic after in-order concatenation.
@@ -207,10 +183,11 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
     lrows.insert(lrows.end(), lbuf[t].begin(), lbuf[t].end());
     rrows.insert(rrows.end(), rbuf[t].begin(), rbuf[t].end());
   }
-  span.AddAttr("matches", static_cast<int64_t>(lrows.size()));
+  span->AddAttr("matches", static_cast<int64_t>(lrows.size()));
 
   // Materialize: join always produces a new table object (paper §3).
-  TablePtr out = Create(std::move(out_schema), out_pool);
+  const std::shared_ptr<StringPool>& out_pool = left.pool();
+  TablePtr out = Table::Create(std::move(out_schema), out_pool);
   EmitColumns(left, lrows, out_pool, out.get(), 0);
   EmitColumns(right, rrows, out_pool, out.get(), left.num_columns());
   if (keep_provenance) {
@@ -229,6 +206,100 @@ Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
   RINGO_RETURN_NOT_OK(
       out->SealAppendedRows(static_cast<int64_t>(lrows.size())));
   return out;
+}
+
+// Resolves both key column lists and checks their types agree pairwise.
+Status ResolveJoinKeys(const Table& left, const Table& right,
+                       const std::vector<std::string>& left_cols,
+                       const std::vector<std::string>& right_cols,
+                       std::vector<int>* lci, std::vector<int>* rci) {
+  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
+    return Status::InvalidArgument(
+        "join requires equally many (>=1) key columns on both sides");
+  }
+  RINGO_RETURN_NOT_OK(ResolveColumns(left, left_cols, lci));
+  RINGO_RETURN_NOT_OK(ResolveColumns(right, right_cols, rci));
+  for (size_t c = 0; c < lci->size(); ++c) {
+    const ColumnType lt = left.schema().column((*lci)[c]).type;
+    const ColumnType rt = right.schema().column((*rci)[c]).type;
+    if (lt != rt) {
+      return Status::TypeMismatch(
+          std::string("join key types differ on '") + left_cols[c] + "': " +
+          ColumnTypeToString(lt) + " vs " + ColumnTypeToString(rt));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TablePtr> Table::Join(const Table& left, const Table& right,
+                             std::string_view left_col,
+                             std::string_view right_col,
+                             bool keep_provenance) {
+  return JoinMulti(left, right, {std::string(left_col)},
+                   {std::string(right_col)}, keep_provenance);
+}
+
+Result<JoinBuildPtr> Table::BuildJoin(const TablePtr& right,
+                                      const std::vector<std::string>& right_cols,
+                                      std::shared_ptr<StringPool> key_pool) {
+  if (right == nullptr) {
+    return Status::InvalidArgument("BuildJoin: right table is null");
+  }
+  if (right_cols.empty()) {
+    return Status::InvalidArgument("BuildJoin: no key columns");
+  }
+  if (key_pool == nullptr) key_pool = right->pool();
+  auto build = std::make_shared<JoinBuild>();
+  build->right_ = right;
+  build->key_cols_ = right_cols;
+  build->key_pool_ = std::move(key_pool);
+  RINGO_RETURN_NOT_OK(
+      ResolveColumns(*right, right_cols, &build->rci_));
+  BuildChains(*right, build->rci_, build->key_pool_.get(), &build->heads_,
+              &build->next_);
+  return JoinBuildPtr(std::move(build));
+}
+
+Result<TablePtr> Table::JoinWithBuild(const Table& left,
+                                      const std::vector<std::string>& left_cols,
+                                      const JoinBuild& build,
+                                      bool keep_provenance) {
+  const Table& right = *build.right_;
+  std::vector<int> lci, rci;
+  RINGO_RETURN_NOT_OK(
+      ResolveJoinKeys(left, right, left_cols, build.key_cols_, &lci, &rci));
+  trace::Span span("Table/Join");
+  span.AddAttr("left_rows", left.NumRows());
+  span.AddAttr("right_rows", right.NumRows());
+  span.AddAttr("key_columns", static_cast<int64_t>(lci.size()));
+  span.AddAttr("build_rehashes", build.heads_.GrowRehashes());
+  return ProbeAndEmit(left, lci, right, rci, build.key_pool_.get(),
+                      build.heads_, build.next_, keep_provenance, &span);
+}
+
+Result<TablePtr> Table::JoinMulti(const Table& left, const Table& right,
+                                  const std::vector<std::string>& left_cols,
+                                  const std::vector<std::string>& right_cols,
+                                  bool keep_provenance) {
+  std::vector<int> lci, rci;
+  RINGO_RETURN_NOT_OK(
+      ResolveJoinKeys(left, right, left_cols, right_cols, &lci, &rci));
+
+  trace::Span span("Table/Join");
+  span.AddAttr("left_rows", left.NumRows());
+  span.AddAttr("right_rows", right.NumRows());
+  span.AddAttr("key_columns", static_cast<int64_t>(lci.size()));
+
+  // One-shot build + probe. Strings normalize into the left pool — the
+  // output pool — exactly as before the build/probe split.
+  FlatHashMap<uint64_t, int64_t> heads;
+  std::vector<int64_t> next;
+  BuildChains(right, rci, left.pool().get(), &heads, &next);
+  span.AddAttr("build_rehashes", heads.GrowRehashes());
+  return ProbeAndEmit(left, lci, right, rci, left.pool().get(), heads, next,
+                      keep_provenance, &span);
 }
 
 }  // namespace ringo

@@ -1,0 +1,40 @@
+// JoinBuild: the reusable build side of the hash equi-join. Table::JoinMulti
+// builds a chained hash table over the right operand's key columns and
+// throws it away after one probe; pipelines that probe the same right table
+// repeatedly (the query executor's join build-side reuse) construct a
+// JoinBuild once via Table::BuildJoin and probe it with
+// Table::JoinWithBuild any number of times. The referenced right table and
+// key pool are held alive by shared ownership; the right table must not be
+// mutated while the build is in use.
+#ifndef RINGO_TABLE_JOIN_BUILD_H_
+#define RINGO_TABLE_JOIN_BUILD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/flat_hash_map.h"
+#include "table/table.h"
+
+namespace ringo {
+
+class JoinBuild {
+ public:
+  const TablePtr& right() const { return right_; }
+  const std::vector<std::string>& key_cols() const { return key_cols_; }
+  const std::shared_ptr<StringPool>& key_pool() const { return key_pool_; }
+
+ private:
+  friend class Table;
+
+  TablePtr right_;
+  std::vector<std::string> key_cols_;
+  std::vector<int> rci_;                  // Resolved key column indices.
+  std::shared_ptr<StringPool> key_pool_;  // Strings normalize into this pool.
+  FlatHashMap<uint64_t, int64_t> heads_;  // key → head of right-row chain.
+  std::vector<int64_t> next_;             // Chain links (ascending rows).
+};
+
+}  // namespace ringo
+
+#endif  // RINGO_TABLE_JOIN_BUILD_H_

@@ -43,9 +43,13 @@ void NormalizedColumnKeys(const Table& t, int ci, bool ascending,
       });
       return;
     case ColumnType::kString: {
-      const std::vector<uint32_t> ranks = ByteOrderRanks(*t.pool());
+      // Cached on the pool behind its version counter: a script of keyed
+      // sorts over one table re-sorts the distinct strings once, not once
+      // per sort.
+      const std::shared_ptr<const std::vector<uint32_t>> ranks =
+          t.pool()->ByteOrderRanks();
       ParallelFor(0, n, [&](int64_t i) {
-        keys[i] = uint64_t{ranks[c.GetStr(i)]} ^ flip;
+        keys[i] = uint64_t{(*ranks)[c.GetStr(i)]} ^ flip;
       });
       return;
     }

@@ -33,8 +33,10 @@ namespace internal {
 
 // Byte-order ranks of every interned string: ranks[id] is the position of
 // id's bytes in the lexicographic order of the pool's distinct strings.
-// O(P log P) comparison sort over the P distinct strings — small next to
-// the row counts the callers sort.
+// O(P log P) comparison sort over the P distinct strings. Uncached
+// reference implementation kept for parity tests; the sort operators go
+// through StringPool::ByteOrderRanks(), which memoizes the result behind
+// the pool's version counter.
 std::vector<uint32_t> ByteOrderRanks(const StringPool& pool);
 
 // Fills keys[0, NumRows) with order-preserving uint64 keys for column

@@ -6,6 +6,7 @@
 #ifndef RINGO_TABLE_ROW_COMPARE_H_
 #define RINGO_TABLE_ROW_COMPARE_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,13 @@ class RowComparator {
       }
       case ColumnType::kFloat: {
         const double va = ca.GetFloat(ra), vb = cb.GetFloat(rb);
+        // NaN-last total order, matching radix::FloatKey: every NaN is
+        // equal to every other NaN and greater than every non-NaN. The
+        // IEEE comparisons alone would make NaN unordered (compare as
+        // "equal" to everything), which both breaks strict weak ordering
+        // and disagrees with the radix path.
+        const bool na = std::isnan(va), nb = std::isnan(vb);
+        if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
         return va < vb ? -1 : (va > vb ? 1 : 0);
       }
       case ColumnType::kString: {

@@ -249,6 +249,14 @@ Status Table::SelectInPlace(std::string_view col, CmpOp op,
   return Status::OK();
 }
 
+Result<std::vector<int64_t>> Table::MatchingRows(std::string_view col,
+                                                 CmpOp op,
+                                                 const Value& value) const {
+  std::vector<int64_t> keep;
+  RINGO_RETURN_NOT_OK(EvalPredicate(col, op, value, &keep));
+  return keep;
+}
+
 Result<TablePtr> Table::Select(std::string_view col, CmpOp op,
                                const Value& value) const {
   trace::Span span("Table/Select");

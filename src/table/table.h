@@ -30,6 +30,9 @@ namespace ringo {
 class Table;
 using TablePtr = std::shared_ptr<Table>;
 
+class JoinBuild;  // table/join_build.h — reusable hash-join build side.
+using JoinBuildPtr = std::shared_ptr<const JoinBuild>;
+
 // A dynamically typed cell value used at API boundaries (appends,
 // predicates). Hot loops never touch Value; operations resolve it to a
 // typed constant once up front.
@@ -100,6 +103,13 @@ class Table {
   Result<TablePtr> Select(std::string_view col, CmpOp op,
                           const Value& value) const;
 
+  // The ascending physical row indices where `col <op> value` holds — the
+  // keep-set Select gathers. Exposed so fused pipelines (the query
+  // planner's Select→ToGraph pushdown) can consume the predicate without
+  // materializing the filtered table.
+  Result<std::vector<int64_t>> MatchingRows(std::string_view col, CmpOp op,
+                                            const Value& value) const;
+
   // General row-predicate select (copying). The predicate must be safe to
   // call concurrently.
   TablePtr SelectRows(
@@ -145,6 +155,23 @@ class Table {
                                     const std::vector<std::string>& left_cols,
                                     const std::vector<std::string>& right_cols,
                                     bool keep_provenance = false);
+
+  // Precomputes JoinMulti's build side — the chained hash table over
+  // `right`'s key columns, with strings normalized into `key_pool` — so
+  // several probes against one (right table, key columns) pair share one
+  // build. JoinMulti itself is BuildJoin + JoinWithBuild.
+  static Result<JoinBuildPtr> BuildJoin(
+      const TablePtr& right, const std::vector<std::string>& right_cols,
+      std::shared_ptr<StringPool> key_pool);
+
+  // Probes a prepared build side with `left`. Identical output (schema,
+  // rows, order) to JoinMulti(left, *build.right(), left_cols,
+  // build.key_cols()). `left`'s string keys must normalize into the
+  // build's key pool — within one engine session every table shares it.
+  static Result<TablePtr> JoinWithBuild(const Table& left,
+                                        const std::vector<std::string>& left_cols,
+                                        const JoinBuild& build,
+                                        bool keep_provenance = false);
 
   // -------------------------------------------------------------- groupby
   // Groups by `group_cols` and computes aggregates. Result: group columns

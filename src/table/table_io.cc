@@ -11,7 +11,11 @@ namespace ringo {
 
 namespace {
 
-// Splits `text` into line views, skipping comments/blank lines.
+// Splits `text` into line views, skipping comments/blank lines. When
+// `has_header`, the header is the first non-blank line — even a
+// '#'-prefixed one (the common "# col1<TAB>col2" TSV export format) — and
+// is consumed before comment-skipping applies. Skipping comments first
+// used to silently promote the first data row to header and drop it.
 std::vector<std::string_view> DataLines(std::string_view text,
                                         bool has_header) {
   std::vector<std::string_view> lines;
@@ -21,15 +25,15 @@ std::vector<std::string_view> DataLines(std::string_view text,
     size_t end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(start, end - start);
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (!line.empty() && line.front() != '#') {
-      if (header_pending) {
-        header_pending = false;
-      } else {
-        lines.push_back(line);
-      }
-    }
     start = end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    if (header_pending) {
+      header_pending = false;  // Consumed, commented or not.
+      continue;
+    }
+    if (line.front() == '#') continue;
+    lines.push_back(line);
   }
   return lines;
 }

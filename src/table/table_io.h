@@ -11,7 +11,10 @@ namespace ringo {
 
 // Loads a tab-separated file into a table with the given schema. Lines
 // starting with '#' and empty lines are skipped; with `has_header` the
-// first non-comment line is skipped too. Parsing is chunk-parallel.
+// first non-blank line is consumed as the header — even when it is
+// '#'-prefixed (the "# col1<TAB>col2" commented-header export format), so
+// the first data row is never mistaken for a header. Parsing is
+// chunk-parallel.
 Result<TablePtr> LoadTableTSV(const Schema& schema, const std::string& path,
                               std::shared_ptr<StringPool> pool = nullptr,
                               bool has_header = false);

@@ -28,6 +28,7 @@
 #define RINGO_UTIL_RADIX_SORT_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -56,10 +57,16 @@ inline uint64_t Int64Key(int64_t v) {
 // Order-preserving normalization of a double to total-order bits:
 // positive values get the sign bit set, negative values are bitwise
 // complemented (so more-negative sorts lower). -0.0 is collapsed onto
-// +0.0 first, matching the comparison path where the two are equal. NaNs
-// get a deterministic (sign-dependent) position at the extremes — the
-// comparison path has no meaningful NaN order at all.
+// +0.0 first, matching the comparison path where the two are equal. All
+// NaNs (any payload, either sign) map to one canonical key above +inf's —
+// the documented NaN-last total order: -inf < finite < +inf < NaN, every
+// NaN equal. RowComparator implements the same order on the comparison
+// path, so radix and comparator sorts agree on columns containing NaN.
+// (No real double maps to the canonical key: it would need exponent and
+// mantissa bits all set, which is itself a NaN pattern.)
+inline constexpr uint64_t kFloatNanKey = ~uint64_t{0};
 inline uint64_t FloatKey(double v) {
+  if (std::isnan(v)) return kFloatNanKey;
   if (v == 0.0) v = 0.0;  // Collapse -0.0 onto +0.0.
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));

@@ -1,0 +1,117 @@
+// Golden tests for the query-script lexer and parser: the canonical
+// Print() form is a parse fixpoint (parse → print → parse → print is
+// stable), and malformed input fails as kInvalidArgument with the 1-based
+// source line/column in the message.
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/ast.h"
+#include "util/status.h"
+
+namespace ringo {
+namespace query {
+namespace {
+
+// Parses and prints back in canonical form; the script must be valid.
+std::string Canon(const std::string& src) {
+  Result<Script> s = Parse(src);
+  RINGO_CHECK_OK(s.status());
+  return Print(*s);
+}
+
+void ExpectParseError(const std::string& src, const std::string& want) {
+  const Result<Script> s = Parse(src);
+  ASSERT_FALSE(s.ok()) << "parsed unexpectedly: " << src;
+  EXPECT_TRUE(s.status().IsInvalidArgument()) << s.status();
+  EXPECT_NE(s.status().message().find(want), std::string::npos)
+      << "message: " << s.status().message() << "\nwant substring: " << want;
+}
+
+TEST(ParserTest, PrintIsAParseFixpoint) {
+  const std::string src =
+      "# leading comment\n"
+      "posts = load( \"posts.tsv\" ,\"UserId:int,Tag:string\",true )\n"
+      "\n"
+      "java = select(posts,\"Tag = java\");g = graph(java, \"UserId\", "
+      "\"Tag\")\n"
+      "top_k(pagerank(g, 10), \"Score\", 25)  # trailing comment\n";
+  const std::string canon = Canon(src);
+  EXPECT_EQ(canon,
+            "posts = load(\"posts.tsv\", \"UserId:int,Tag:string\", true)\n"
+            "java = select(posts, \"Tag = java\")\n"
+            "g = graph(java, \"UserId\", \"Tag\")\n"
+            "top_k(pagerank(g, 10), \"Score\", 25)\n");
+  EXPECT_EQ(Canon(canon), canon);  // Canonical form is the fixpoint.
+}
+
+TEST(ParserTest, LiteralsPrintCanonically) {
+  const std::string canon =
+      Canon("x = f(-7,2.5,-0.125,true,false,\"a\\\"b\\\\c\\nd\\te\")");
+  EXPECT_EQ(canon,
+            "x = f(-7, 2.5, -0.125, true, false, \"a\\\"b\\\\c\\nd\\te\")\n");
+  EXPECT_EQ(Canon(canon), canon);
+}
+
+TEST(ParserTest, SemicolonsAndNewlinesAreEquivalentSeparators) {
+  EXPECT_EQ(Canon("a = f(); b = g(a);; c = h(a, b)"),
+            Canon("a = f()\nb = g(a)\n\n\nc = h(a, b)"));
+}
+
+TEST(ParserTest, EmptyAndCommentOnlyScriptsParseToNothing) {
+  for (const char* src : {"", "\n\n", "# just a comment\n", "  \t \n# x"}) {
+    const Result<Script> s = Parse(src);
+    ASSERT_TRUE(s.ok()) << s.status();
+    EXPECT_TRUE(s->stmts.empty()) << "src: " << src;
+  }
+}
+
+TEST(ParserTest, PositionsAreOneBasedLineAndColumn) {
+  const Result<Script> s = Parse("a = f(1)\n  top_k(a, \"x\", 2)");
+  ASSERT_TRUE(s.ok()) << s.status();
+  ASSERT_EQ(s->stmts.size(), 2u);
+  EXPECT_EQ(s->stmts[0].pos.line, 1);
+  EXPECT_EQ(s->stmts[0].pos.col, 1);
+  EXPECT_EQ(s->stmts[1].pos.line, 2);
+  EXPECT_EQ(s->stmts[1].pos.col, 3);
+  // The string argument's own position points at its opening quote.
+  EXPECT_EQ(s->stmts[1].expr.args[1].pos.col, 12);
+}
+
+TEST(ParserTest, UnterminatedStringReportsItsStart) {
+  ExpectParseError("x = \"abc", "line 1, col 5: unterminated string literal");
+  ExpectParseError("a = f()\nb = \"x",
+                   "line 2, col 5: unterminated string literal");
+}
+
+TEST(ParserTest, UnexpectedCharacterIsPositioned) {
+  ExpectParseError("x = @", "line 1, col 5: unexpected character '@'");
+}
+
+TEST(ParserTest, UnknownEscapeInString) {
+  ExpectParseError("x = \"a\\qb\"", "unknown escape '\\q' in string");
+}
+
+TEST(ParserTest, UnclosedCallNamesTheFunction) {
+  ExpectParseError("f(1, 2\ng()", "expected ')' or ',' in call to 'f'");
+}
+
+TEST(ParserTest, DanglingAssignmentNeedsAnExpression) {
+  ExpectParseError("x = ,", "expected an expression, got ','");
+  ExpectParseError("x =", "expected an expression, got end of script");
+}
+
+TEST(ParserTest, TrailingJunkAfterStatement) {
+  ExpectParseError("a b",
+                   "line 1, col 3: expected end of statement, got identifier");
+}
+
+TEST(ParserTest, BadNumberLiteral) {
+  ExpectParseError("x = f(1.2.3)", "bad number '1.2.3'");
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace ringo

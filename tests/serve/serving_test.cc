@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <future>
 #include <mutex>
 #include <vector>
@@ -223,6 +224,121 @@ TEST_F(ServingTest, DeadlineExpiredInQueueSkipsExecution) {
                                           .deadline_ms = 20}).get();
   EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
   EXPECT_EQ(r.snapshot_stamp, 0u);
+  EXPECT_TRUE(blocker.get().status.ok());
+  const ServeCounters after = ServeCounters::Read();
+  EXPECT_EQ(after.deadline_miss - before.deadline_miss, 1);
+}
+
+// Regression: Submit used to fold q.deadline_ms < 0 into "use the engine
+// default", silently substituting a policy for what is a caller bug. A
+// negative deadline is now rejected before the queue with a typed
+// kInvalidArgument — never admitted, never run.
+TEST_F(ServingTest, NegativeDeadlineRejectedBeforeQueue) {
+  const DirectedGraph g = testing::RandomDirected(10, 20, 0x5e9);
+  Session session("s", &g);
+  Engine engine({.workers = 1, .queue_capacity = 8});
+  const ServeCounters before = ServeCounters::Read();
+  const int64_t rejected_before = metrics::CounterValue("serve/rejected");
+
+  QueryResult r = engine.Submit(session, {.kind = QueryKind::kSleep,
+                                          .sleep_ms = 1,
+                                          .deadline_ms = -5}).get();
+  EXPECT_TRUE(r.status.IsInvalidArgument()) << r.status.ToString();
+  EXPECT_EQ(r.snapshot_stamp, 0u);  // Never reached a worker.
+
+  const ServeCounters after = ServeCounters::Read();
+  EXPECT_EQ(metrics::CounterValue("serve/rejected") - rejected_before, 1);
+  EXPECT_EQ(after.admitted - before.admitted, 0);
+  EXPECT_EQ(after.completed - before.completed, 0);
+  EXPECT_EQ(after.deadline_miss - before.deadline_miss, 0);
+}
+
+// Regression: the ms -> absolute-ns deadline conversion used to overflow
+// int64 for huge relative deadlines, wrapping into an already-passed
+// deadline that killed the query on arrival. The conversion now saturates
+// to "effectively no deadline" and the query completes.
+TEST_F(ServingTest, HugeDeadlineSaturatesInsteadOfOverflowing) {
+  const DirectedGraph g = testing::RandomDirected(10, 20, 0x5ea);
+  Session session("s", &g);
+  Engine engine({.workers = 1, .queue_capacity = 8});
+  const ServeCounters before = ServeCounters::Read();
+
+  QueryResult r =
+      engine.Submit(session, {.kind = QueryKind::kSleep,
+                              .sleep_ms = 1,
+                              .deadline_ms = INT64_MAX / 1'000}).get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  const ServeCounters after = ServeCounters::Read();
+  EXPECT_EQ(after.completed - before.completed, 1);
+  EXPECT_EQ(after.deadline_miss - before.deadline_miss, 0);
+}
+
+TEST_F(ServingTest, ScriptQueryRunsAgainstSessionTable) {
+  const DirectedGraph g = testing::RandomDirected(10, 20, 0x5eb);
+  const TablePtr table = testing::MakeIntTable(
+      {"src", "dst"}, {{5, 0}, {9, 1}, {1, 2}, {7, 3}, {3, 4}});
+  Session session("s", &g, table);
+  Engine engine({.workers = 1, .queue_capacity = 8});
+
+  // The session table is bound as `t`; top-3 by src keeps (9,1) (7,3)
+  // (5,0), and the checksum sums every numeric cell of the result.
+  QueryResult r = engine.Submit(session,
+                                {.kind = QueryKind::kScript,
+                                 .script = "top_k(t, \"src\", 3)"}).get();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rows, 3);
+  EXPECT_EQ(r.checksum, (9.0 + 7.0 + 5.0) + (1.0 + 3.0 + 0.0));
+}
+
+TEST_F(ServingTest, ScriptErrorsAreTypedWithPosition) {
+  const DirectedGraph g = testing::RandomDirected(10, 20, 0x5ec);
+  const TablePtr table = testing::MakeIntTable({"src", "dst"}, {{1, 2}});
+  Session session("s", &g, table);
+  Engine engine({.workers = 1, .queue_capacity = 8});
+  const int64_t failed_before = metrics::CounterValue("serve/failed");
+
+  // Unknown column: planned against the bound table's schema, so the
+  // failure is a typed InvalidArgument carrying the source position.
+  QueryResult r = engine.Submit(session,
+                                {.kind = QueryKind::kScript,
+                                 .script = "select(t, \"nope = 1\")"}).get();
+  EXPECT_TRUE(r.status.IsInvalidArgument()) << r.status.ToString();
+  EXPECT_NE(r.status.message().find("line 1"), std::string::npos)
+      << r.status.ToString();
+  EXPECT_EQ(metrics::CounterValue("serve/failed") - failed_before, 1);
+
+  // No session table: `t` is simply not bound, so the planner reports
+  // an undefined variable at its use site (a script need not mention
+  // `t` at all, so there is no earlier point to fail).
+  Session bare("bare", &g);
+  QueryResult missing =
+      engine.Submit(bare, {.kind = QueryKind::kScript,
+                           .script = "top_k(t, \"src\", 1)"}).get();
+  EXPECT_TRUE(missing.status.IsInvalidArgument())
+      << missing.status.ToString();
+  EXPECT_NE(missing.status.message().find("undefined variable 't'"),
+            std::string::npos)
+      << missing.status.ToString();
+}
+
+TEST_F(ServingTest, ScriptDeadlineExpiredInQueueIsAMiss) {
+  const DirectedGraph g = testing::RandomDirected(10, 20, 0x5ed);
+  const TablePtr table = testing::MakeIntTable({"src", "dst"}, {{1, 2}});
+  Session session("s", &g, table);
+  Engine engine({.workers = 1, .queue_capacity = 8});
+  const ServeCounters before = ServeCounters::Read();
+
+  // The blocker holds the only worker past the script's 20ms deadline, so
+  // the script query expires in the queue and never executes a plan node.
+  std::future<QueryResult> blocker =
+      engine.Submit(session, {.kind = QueryKind::kSleep, .sleep_ms = 100});
+  QueryResult r = engine.Submit(session,
+                                {.kind = QueryKind::kScript,
+                                 .script = "top_k(t, \"src\", 1)",
+                                 .deadline_ms = 20}).get();
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_EQ(r.rows, 0);
   EXPECT_TRUE(blocker.get().status.ok());
   const ServeCounters after = ServeCounters::Read();
   EXPECT_EQ(after.deadline_miss - before.deadline_miss, 1);

@@ -5,6 +5,9 @@
 #include <thread>
 #include <vector>
 
+#include "table/key_normalize.h"
+#include "util/metrics.h"
+
 namespace ringo {
 namespace {
 
@@ -80,6 +83,59 @@ TEST(StringPoolTest, MemoryUsagePositiveAndGrows) {
   const int64_t before = pool.MemoryUsageBytes();
   for (int i = 0; i < 1000; ++i) pool.GetOrAdd("payload-" + std::to_string(i));
   EXPECT_GT(pool.MemoryUsageBytes(), before);
+}
+
+TEST(StringPoolTest, VersionBumpsOnlyOnNewInterns) {
+  StringPool pool;
+  const uint64_t v0 = pool.Version();
+  pool.GetOrAdd("alpha");
+  const uint64_t v1 = pool.Version();
+  EXPECT_GT(v1, v0);
+  pool.GetOrAdd("alpha");  // Re-intern: no new id, no version bump.
+  EXPECT_EQ(pool.Version(), v1);
+  pool.GetOrAdd("beta");
+  EXPECT_GT(pool.Version(), v1);
+}
+
+// The cached byte-order ranks: repeated calls return the memoized vector
+// (and bump the hit counter, not the build counter) until a NEW intern
+// invalidates it; the rebuilt ranks must match the uncached reference
+// implementation exactly.
+TEST(StringPoolTest, ByteOrderRanksCachedBehindVersion) {
+  metrics::SetEnabled(true);
+  StringPool pool;
+  for (const char* s : {"pear", "apple", "zebra", "apples", "Pear", ""}) {
+    pool.GetOrAdd(s);
+  }
+
+  const int64_t hits0 = metrics::CounterValue("string_pool/rank_cache_hit");
+  const int64_t builds0 =
+      metrics::CounterValue("string_pool/rank_cache_build");
+  const auto ranks1 = pool.ByteOrderRanks();
+  EXPECT_EQ(*ranks1, internal::ByteOrderRanks(pool));
+
+  // Same version: the second call is a cache hit on the same vector.
+  const auto ranks2 = pool.ByteOrderRanks();
+  EXPECT_EQ(ranks1.get(), ranks2.get());
+  EXPECT_EQ(metrics::CounterValue("string_pool/rank_cache_build") - builds0,
+            1);
+  EXPECT_EQ(metrics::CounterValue("string_pool/rank_cache_hit") - hits0, 1);
+
+  // Re-interning an existing string does not invalidate...
+  pool.GetOrAdd("apple");
+  EXPECT_EQ(pool.ByteOrderRanks().get(), ranks1.get());
+
+  // ...but a new intern does: the next call rebuilds, and the new ranks
+  // again match the reference (which re-sorts from scratch every call).
+  pool.GetOrAdd("banana");
+  const auto ranks3 = pool.ByteOrderRanks();
+  EXPECT_NE(ranks3.get(), ranks1.get());
+  EXPECT_EQ(*ranks3, internal::ByteOrderRanks(pool));
+  EXPECT_EQ(metrics::CounterValue("string_pool/rank_cache_build") - builds0,
+            2);
+
+  // The old shared_ptr stays valid for readers that grabbed it pre-bump.
+  EXPECT_EQ(ranks1->size(), 6u);
 }
 
 }  // namespace

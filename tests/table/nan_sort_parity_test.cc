@@ -1,0 +1,208 @@
+// Radix-vs-comparator parity on float columns containing NaN, ±inf, and
+// ±0.0 — the regression suite for the FloatKey NaN-canonicalization fix.
+//
+// Before the fix, FloatKey passed NaN bits through the sign-flip
+// transform: negative-sign NaNs keyed below -inf and positive ones above
+// +inf, so the radix path scattered NaN rows to both ends while the
+// comparison path (std::stable_sort with RowComparator) put them wherever
+// operator< left them. The two paths now implement the same documented
+// total order — -inf < finite < +inf < NaN, all NaNs equal, -0.0 == +0.0
+// — so every sort-driven operator must produce *bit-identical* output
+// with the radix kernel on or off, at every thread count.
+//
+// The binary carries the `parity` ctest label, so the CI parity job runs
+// it alongside the CSR and delta-CSR parity gates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "stress/stress_support.h"
+#include "table/table.h"
+#include "util/radix_sort.h"
+#include "util/rng.h"
+
+namespace ringo {
+namespace {
+
+using testing::ScopedNumThreads;
+using testing::StressThreadCounts;
+
+// RAII toggle for the radix kill switch (mirrors radix_stress_test).
+class ScopedRadix {
+ public:
+  explicit ScopedRadix(bool on) : prev_(radix::Enabled()) {
+    radix::SetEnabled(on);
+  }
+  ~ScopedRadix() { radix::SetEnabled(prev_); }
+  ScopedRadix(const ScopedRadix&) = delete;
+  ScopedRadix& operator=(const ScopedRadix&) = delete;
+
+ private:
+  bool prev_;
+};
+
+double PayloadNan(uint64_t payload, bool negative) {
+  uint64_t bits = 0x7FF8000000000000ull | (payload & 0xFFFFFFFFull);
+  if (negative) bits |= uint64_t{1} << 63;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Large enough for the kernel's multi-part parallel path (> 1 << 14),
+// seeded with every special value class: quiet/signaling/payload NaNs of
+// both signs, ±inf, ±0.0, denormals, and ordinary values with ties.
+constexpr int64_t kRows = 40000;
+
+TablePtr MakeNanTable(int64_t n, uint64_t seed) {
+  Schema schema{{"g", ColumnType::kInt}, {"f", ColumnType::kFloat}};
+  TablePtr t = Table::Create(std::move(schema));
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> specials = {
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::signaling_NaN(),
+      PayloadNan(0xBEEF, false),
+      PayloadNan(0xBEEF, true),
+      inf,
+      -inf,
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+  };
+  SplitMix64 mix(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = static_cast<int64_t>(mix() % 40);
+    // One row in four is a special value; the rest are small quarters
+    // with heavy ties so stability is load-bearing.
+    const double f =
+        (mix() % 4 == 0)
+            ? specials[mix() % specials.size()]
+            : static_cast<double>(static_cast<int64_t>(mix() % 64) - 32) /
+                  4.0;
+    RINGO_CHECK_OK(t->AppendRow({g, f}));
+  }
+  return t;
+}
+
+// Bit-identical table equality: row ids and every cell, doubles compared
+// by bits so NaN payload or sign drift would be caught.
+void ExpectSameTable(const Table& a, const Table& b, const std::string& ctx) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << ctx;
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << ctx;
+  for (int64_t r = 0; r < a.NumRows(); ++r) {
+    ASSERT_EQ(a.RowId(r), b.RowId(r)) << ctx << " row " << r;
+  }
+  for (int c = 0; c < a.num_columns(); ++c) {
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    ASSERT_EQ(ca.type(), cb.type()) << ctx << " col " << c;
+    for (int64_t r = 0; r < a.NumRows(); ++r) {
+      if (ca.type() == ColumnType::kFloat) {
+        uint64_t ba, bb;
+        const double da = ca.GetFloat(r), db = cb.GetFloat(r);
+        std::memcpy(&ba, &da, sizeof(ba));
+        std::memcpy(&bb, &db, sizeof(bb));
+        ASSERT_EQ(ba, bb) << ctx << " col " << c << " row " << r;
+      } else {
+        ASSERT_EQ(ca.GetInt(r), cb.GetInt(r)) << ctx << " col " << c
+                                              << " row " << r;
+      }
+    }
+  }
+}
+
+// Reference = comparison path at one thread; parity is asserted for both
+// kernels at every stress thread count.
+template <typename Op>
+void ExpectRadixParity(const std::string& ctx, Op op) {
+  TablePtr ref;
+  {
+    ScopedNumThreads threads(1);
+    ScopedRadix radix_off(false);
+    auto r = op();
+    ASSERT_TRUE(r.ok()) << ctx << ": " << r.status().ToString();
+    ref = *r;
+  }
+  for (int tc : StressThreadCounts()) {
+    ScopedNumThreads threads(tc);
+    {
+      ScopedRadix radix_on(true);
+      auto r = op();
+      ASSERT_TRUE(r.ok()) << ctx;
+      ExpectSameTable(**r, *ref, ctx + " radix tc=" + std::to_string(tc));
+    }
+    {
+      ScopedRadix radix_off(false);
+      auto r = op();
+      ASSERT_TRUE(r.ok()) << ctx;
+      ExpectSameTable(**r, *ref, ctx + " cmp tc=" + std::to_string(tc));
+    }
+  }
+}
+
+TEST(NanSortParity, OrderByFloatBothDirections) {
+  const TablePtr t = MakeNanTable(kRows, 0xA1B2);
+  ExpectRadixParity("OrderBy f", [&] { return t->OrderBy({"f"}); });
+  ExpectRadixParity("OrderBy f desc",
+                    [&] { return t->OrderBy({"f"}, {false}); });
+}
+
+TEST(NanSortParity, OrderByCompositeKeys) {
+  const TablePtr t = MakeNanTable(kRows, 0xF10A7);
+  ExpectRadixParity("OrderBy (g,f)", [&] { return t->OrderBy({"g", "f"}); });
+  ExpectRadixParity("OrderBy (f,g) asc/desc", [&] {
+    return t->OrderBy({"f", "g"}, {true, false});
+  });
+}
+
+TEST(NanSortParity, TopKAndGroupBy) {
+  const TablePtr t = MakeNanTable(kRows, 0x70B0);
+  ExpectRadixParity("TopK f", [&] { return t->TopK("f", 700); });
+  ExpectRadixParity("TopK f asc", [&] { return t->TopK("f", 700, true); });
+  ExpectRadixParity("GroupBy g min/max/sum f", [&] {
+    return t->GroupByAggregate({"g"}, {{"f", AggFn::kMin, "lo"},
+                                       {"f", AggFn::kMax, "hi"},
+                                       {"f", AggFn::kSum, "total"}});
+  });
+}
+
+TEST(NanSortParity, UniqueOnFloatColumn) {
+  const TablePtr t = MakeNanTable(kRows, 0x0DDB);
+  ExpectRadixParity("Unique f", [&] { return t->Unique({"f"}); });
+  ExpectRadixParity("Unique (g,f)", [&] { return t->Unique({"g", "f"}); });
+}
+
+// The documented order itself, not just parity: ascending puts every NaN
+// row at the bottom, after +inf, regardless of NaN sign or payload.
+TEST(NanSortParity, NansSortLastAscending) {
+  const TablePtr t = MakeNanTable(kRows, 0x1A57);
+  for (const bool radix_on : {false, true}) {
+    ScopedRadix radix(radix_on);
+    auto sorted = t->OrderBy({"f"});
+    ASSERT_TRUE(sorted.ok());
+    const Column& f = (*sorted)->column(1);
+    int64_t first_nan = (*sorted)->NumRows();
+    for (int64_t r = 0; r < (*sorted)->NumRows(); ++r) {
+      if (std::isnan(f.GetFloat(r))) {
+        first_nan = r;
+        break;
+      }
+    }
+    ASSERT_LT(first_nan, (*sorted)->NumRows()) << "table lost its NaNs";
+    for (int64_t r = first_nan; r < (*sorted)->NumRows(); ++r) {
+      EXPECT_TRUE(std::isnan(f.GetFloat(r)))
+          << "radix=" << radix_on << " non-NaN after first NaN at " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ringo

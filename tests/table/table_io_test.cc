@@ -46,9 +46,12 @@ TEST_F(TableIoTest, LoadBasicTSV) {
 }
 
 TEST_F(TableIoTest, SkipsCommentsBlankLinesAndHeader) {
+  // The header is the FIRST non-blank line (commented or not), so the
+  // comment banner goes after it here; mid-file comments and blanks are
+  // skipped as data.
   const std::string path = TempFile("comments.tsv",
-                                    "# a comment\n"
                                     "id\n"
+                                    "# a comment\n"
                                     "\n"
                                     "7\n"
                                     "# tail comment\n"
@@ -59,6 +62,39 @@ TEST_F(TableIoTest, SkipsCommentsBlankLinesAndHeader) {
   ASSERT_EQ((*t)->NumRows(), 2);
   EXPECT_EQ((*t)->column(0).GetInt(0), 7);
   EXPECT_EQ((*t)->column(0).GetInt(1), 8);
+}
+
+// Regression: a '#'-commented header line ("# id<TAB>w", the common TSV
+// export format) used to be skipped as a comment, after which the first
+// DATA row was silently consumed as the header — every load lost a row.
+// The first non-blank line is now the header whether commented or not.
+TEST_F(TableIoTest, CommentedHeaderDoesNotEatFirstDataRow) {
+  const std::string path = TempFile("commented_header.tsv",
+                                    "# id\tw\n"
+                                    "1\t0.5\n"
+                                    "2\t1.5\n"
+                                    "3\t2.5\n");
+  Schema schema{{"id", ColumnType::kInt}, {"w", ColumnType::kFloat}};
+  auto t = LoadTableTSV(schema, path, nullptr, /*has_header=*/true);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ((*t)->NumRows(), 3);  // Row "1" survived.
+  EXPECT_EQ((*t)->column(0).GetInt(0), 1);
+  EXPECT_DOUBLE_EQ((*t)->column(1).GetFloat(0), 0.5);
+}
+
+// Regression companion: blank lines before the header do not count as the
+// header — the first non-BLANK line does, and data still follows.
+TEST_F(TableIoTest, BlankLinesBeforeHeaderAreSkipped) {
+  const std::string path = TempFile("blank_then_header.tsv",
+                                    "\n"
+                                    "\n"
+                                    "id\tw\n"
+                                    "4\t0.25\n");
+  Schema schema{{"id", ColumnType::kInt}, {"w", ColumnType::kFloat}};
+  auto t = LoadTableTSV(schema, path, nullptr, /*has_header=*/true);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ((*t)->NumRows(), 1);
+  EXPECT_EQ((*t)->column(0).GetInt(0), 4);
 }
 
 TEST_F(TableIoTest, HandlesCRLF) {

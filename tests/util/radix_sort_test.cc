@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <utility>
@@ -91,6 +92,31 @@ TEST(RadixKeyTest, FloatKeyPreservesOrder) {
 
 TEST(RadixKeyTest, FloatKeyCollapsesNegativeZero) {
   EXPECT_EQ(radix::FloatKey(-0.0), radix::FloatKey(0.0));
+}
+
+// Regression: FloatKey used to pass NaN bits through the sign-flip
+// transform, so negative-sign NaNs keyed *below* -inf while positive ones
+// keyed above +inf — the radix path then disagreed with the comparison
+// path about where NaN rows land. Every NaN (any sign, any payload) must
+// map to the one canonical key above +inf's.
+TEST(RadixKeyTest, FloatKeyCanonicalizesEveryNan) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = std::numeric_limits<double>::signaling_NaN();
+  // A quiet NaN with a nonzero extra payload, built from raw bits.
+  uint64_t payload_bits = 0x7FF8000000000000ull | 0xDEADBEEFull;
+  double payload_nan;
+  std::memcpy(&payload_nan, &payload_bits, sizeof(payload_nan));
+
+  const double nans[] = {qnan, -qnan, snan, -snan, payload_nan,
+                         -payload_nan};
+  for (const double n : nans) {
+    EXPECT_EQ(radix::FloatKey(n), radix::kFloatNanKey) << n;
+  }
+  // NaN-last: strictly above +inf, which is itself the largest non-NaN.
+  EXPECT_LT(radix::FloatKey(std::numeric_limits<double>::infinity()),
+            radix::kFloatNanKey);
+  EXPECT_LT(radix::FloatKey(std::numeric_limits<double>::max()),
+            radix::kFloatNanKey);
 }
 
 TEST(RadixSortTest, U64MatchesStdSort) {
