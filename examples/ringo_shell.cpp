@@ -31,6 +31,7 @@
 #include "gen/graph_gen.h"
 #include "gen/stackoverflow_gen.h"
 #include "graph/graph_io.h"
+#include "table/table_io.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -135,8 +136,12 @@ class Shell {
                                ringo::ColumnTypeFromString(parts[1]));
         RINGO_RETURN_NOT_OK(schema.AddColumn(std::string(parts[0]), type));
       }
-      RINGO_ASSIGN_OR_RETURN(tables_[tok[1]],
-                             engine_.LoadTableTSV(schema, tok[3]));
+      // ".rtb" files dispatch to the checksummed binary format (the
+      // schema argument is verified against the stored one); anything
+      // else parses as headerless TSV.
+      RINGO_ASSIGN_OR_RETURN(
+          tables_[tok[1]],
+          ringo::LoadTableAuto(schema, tok[3], engine_.pool()));
       return Status::OK();
     }
     if (cmd == "gen") {
@@ -287,6 +292,10 @@ class Shell {
     if (cmd == "save") {
       RINGO_RETURN_NOT_OK(NeedArgs(tok, 3, "save <table> <file>"));
       RINGO_ASSIGN_OR_RETURN(ringo::TablePtr t, GetTable(tok[1]));
+      const std::string& path = tok[2];
+      if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".rtb") == 0) {
+        return ringo::SaveTableBin(*t, path);
+      }
       return engine_.SaveTableTSV(*t, tok[2], /*write_header=*/true);
     }
     if (cmd == "savegraph") {

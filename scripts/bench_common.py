@@ -1,0 +1,86 @@
+"""Shared scaffolding for the scripts/check_bench_*.py gates.
+
+Every checker reads one Google-Benchmark JSON artifact, indexes its rows,
+verifies presence/positivity/counters, and fails with a one-line message
+and exit code 1. That plumbing lives here; each checker keeps only its
+domain-specific assertions.
+
+Usage pattern:
+
+    from bench_common import Checker
+
+    c = Checker("check_bench_foo", "BENCH_foo.json")
+    rows = c.load_rows(sys.argv)              # argv parsing + JSON load
+    row = c.require_row(rows, "BM_Foo_Bar")   # presence + real_time > 0
+    c.require_counters(row, ["rows", "checksum"])
+    if row["rows"] <= 0:
+        c.fail("BM_Foo_Bar: empty result")
+    c.ok("rows=...")                          # prints "<name>: OK (...)"
+"""
+import json
+import sys
+
+
+class Checker:
+    """One benchmark artifact gate: loading, row lookup, and uniform
+    FAIL/OK reporting under the checker's name."""
+
+    def __init__(self, name, artifact_hint):
+        self.name = name
+        self.artifact_hint = artifact_hint
+
+    def fail(self, msg):
+        print(f"{self.name}: FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+
+    def ok(self, detail=""):
+        suffix = f" ({detail})" if detail else ""
+        print(f"{self.name}: OK{suffix}")
+
+    def load_rows(self, argv, iteration_only=True):
+        """Parses argv, loads the artifact, and returns {name: row}.
+
+        Aggregate rows (mean/median/stddev) are dropped when
+        iteration_only is set, so repetition configs cannot shadow the
+        raw rows the gates reason about.
+        """
+        if len(argv) != 2:
+            self.fail(f"usage: {argv[0]} <{self.artifact_hint}>")
+        path = argv[1]
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except OSError as e:
+            self.fail(f"cannot read {path}: {e}")
+        except json.JSONDecodeError as e:
+            self.fail(f"{path} is not valid JSON: {e}")
+        rows = {}
+        for b in doc.get("benchmarks", []):
+            if iteration_only and b.get("run_type") not in (None, "iteration"):
+                continue
+            rows[b.get("name")] = b
+        return rows
+
+    def require_row(self, rows, name):
+        """The row must exist and have a positive real_time."""
+        if name not in rows:
+            self.fail(f"missing benchmark row {name}")
+        row = rows[name]
+        if row.get("real_time", 0) <= 0:
+            self.fail(f"{name}: non-positive real_time")
+        return row
+
+    def require_counters(self, row, counters):
+        """Every named counter must be present (a missing counter usually
+        means the bench binary ran with metrics disabled)."""
+        for c in counters:
+            if c not in row:
+                self.fail(f"{row.get('name')}: missing counter {c} "
+                          "(metrics off in the bench binary?)")
+        return row
+
+    def ratio(self, numer, denom, what):
+        """numer/denom with a divide-by-zero diagnostic."""
+        if denom <= 0:
+            self.fail(f"{what}: non-positive denominator {denom}")
+        return numer / denom

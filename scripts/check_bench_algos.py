@@ -14,8 +14,13 @@ The legacy-vs-CSR speedup ratios are printed for the before/after record
 in EXPERIMENTS.md but deliberately NOT gated — absolute timings must stay
 green on slow single-core CI machines.
 """
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import Checker
+
+checker = Checker("check_bench_algos", "BENCH_algos.json")
 
 EXPECTED = [
     "BM_Algos_Bfs_SeqBaseline_LiveJournalSim",
@@ -51,28 +56,13 @@ COUNTER_GATED = [
 
 
 def fail(msg):
-    print(f"check_bench_algos: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    checker.fail(msg)
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <BENCH_algos.json>")
-    path = sys.argv[1]
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        fail(f"cannot read {path}: {e}")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    rows = {b.get("name"): b for b in doc.get("benchmarks", [])}
+    rows = checker.load_rows(sys.argv, iteration_only=False)
     for name in EXPECTED:
-        if name not in rows:
-            fail(f"missing benchmark row {name}")
-        if rows[name].get("real_time", 0) <= 0:
-            fail(f"{name}: non-positive real_time")
+        checker.require_row(rows, name)
 
     for name in COUNTER_GATED:
         row = rows[name]
@@ -101,7 +91,7 @@ def main():
         unit = rows[f"BM_Algos_{algo}_LiveJournalSim"].get("time_unit", "ms")
         print(f"check_bench_algos: {algo} CSR speedup vs legacy oracle: "
               f"{legacy / csr:.2f}x ({legacy:.3f} -> {csr:.3f} {unit})")
-    print(f"check_bench_algos: OK ({len(EXPECTED)} rows)")
+    checker.ok(f"{len(EXPECTED)} rows")
 
 
 if __name__ == "__main__":

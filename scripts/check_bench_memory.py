@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates BENCH_memory.json (the compact-layouts artifact, DESIGN.md §14).
+
+Usage: scripts/check_bench_memory.py BENCH_memory.json
+
+Gate for the BM_Memory_ row pairs, run by run_bench.sh and the CI
+bench-smoke job. Each pair is a compact layout against its plain oracle;
+the checks pin the properties the layouts claim, not the machine's speed:
+
+  * CSR pair: the compressed base layout is at least MIN_EDGE_RATIO
+    (default 2x) smaller per edge than the plain int64 arrays, and
+    PageRank over it is within MAX_SLOWDOWN (default 2.5x) of the plain
+    arm's time. The serial prefix-sum chain of delta decoding costs ~2x
+    on a cache-resident pull scan — that space/time trade is the layout's
+    contract (it is opt-in via compactcsr::SetEnabled); the gate catches
+    decode-path regressions, not the trade itself. The default-layout
+    rows tracked in BENCH_algos.json / BENCH_table_ops.json are the
+    no-regression gates for everyone who does not opt in.
+  * Table pair: encoded columns are at least MIN_ROW_RATIO (default 1.5x)
+    smaller per row, the compound select returns identical result_rows,
+    and stays within MAX_TABLE_SLOWDOWN (default 1.3x) of plain —
+    predicates over dict columns evaluate once per dictionary entry and
+    FOR comparisons map onto the packed codes, so the per-row work is a
+    bit-unpack plus a table lookup (~1.2x a direct array compare).
+  * Load pair: LoadTableBin over the mmap-able .rtb format is at least
+    MIN_LOAD_SPEEDUP (default 10x) faster than the TSV parse of the same
+    100K-row table.
+
+Thresholds are overridable via RINGO_BENCH_MEMORY_* env vars for
+constrained machines. Absolute bytes/times are recorded for
+EXPERIMENTS.md but never gated.
+"""
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import Checker
+
+CSR_PLAIN = "BM_Memory_CsrPlain"
+CSR_COMPACT = "BM_Memory_CsrCompact"
+TABLE_PLAIN = "BM_Memory_TablePlain"
+TABLE_ENCODED = "BM_Memory_TableEncoded"
+LOAD_TEXT = "BM_Memory_LoadText"
+LOAD_BIN = "BM_Memory_LoadBin"
+
+
+def env_float(name, default):
+    return float(os.environ.get(name, str(default)))
+
+
+def main():
+    c = Checker("check_bench_memory", "BENCH_memory.json")
+    rows = c.load_rows(sys.argv)
+
+    min_edge_ratio = env_float("RINGO_BENCH_MEMORY_MIN_EDGE_RATIO", 2.0)
+    min_row_ratio = env_float("RINGO_BENCH_MEMORY_MIN_ROW_RATIO", 1.5)
+    max_slowdown = env_float("RINGO_BENCH_MEMORY_MAX_SLOWDOWN", 2.5)
+    max_table_slowdown = env_float("RINGO_BENCH_MEMORY_MAX_TABLE_SLOWDOWN",
+                                   1.3)
+    min_load_speedup = env_float("RINGO_BENCH_MEMORY_MIN_LOAD_SPEEDUP", 10.0)
+
+    # ---- CSR pair ----------------------------------------------------
+    csr_plain = c.require_counters(
+        c.require_row(rows, CSR_PLAIN),
+        ["bench_scale", "edges", "graph_bytes", "bytes_per_edge"])
+    csr_compact = c.require_counters(
+        c.require_row(rows, CSR_COMPACT),
+        ["bench_scale", "edges", "graph_bytes", "bytes_per_edge"])
+    if csr_plain["edges"] != csr_compact["edges"]:
+        c.fail(f"CSR arms disagree on edge count: {csr_plain['edges']} "
+               f"vs {csr_compact['edges']}")
+    edge_ratio = c.ratio(csr_plain["bytes_per_edge"],
+                         csr_compact["bytes_per_edge"], "CSR bytes_per_edge")
+    if edge_ratio < min_edge_ratio:
+        c.fail(f"compressed CSR only {edge_ratio:.2f}x smaller per edge "
+               f"(< {min_edge_ratio:.2f}x): "
+               f"{csr_plain['bytes_per_edge']:.1f} plain vs "
+               f"{csr_compact['bytes_per_edge']:.1f} compact")
+    csr_slowdown = c.ratio(csr_compact["real_time"], csr_plain["real_time"],
+                           "CSR real_time")
+    if csr_slowdown > max_slowdown:
+        c.fail(f"PageRank over compressed CSR is {csr_slowdown:.2f}x slower "
+               f"than plain (> {max_slowdown:.2f}x)")
+
+    # ---- table pair --------------------------------------------------
+    tbl_plain = c.require_counters(
+        c.require_row(rows, TABLE_PLAIN),
+        ["table_rows", "result_rows", "table_bytes", "bytes_per_row"])
+    tbl_enc = c.require_counters(
+        c.require_row(rows, TABLE_ENCODED),
+        ["table_rows", "result_rows", "table_bytes", "bytes_per_row"])
+    if tbl_plain["result_rows"] != tbl_enc["result_rows"]:
+        c.fail(f"encoding changed the select result: "
+               f"{tbl_plain['result_rows']} plain vs "
+               f"{tbl_enc['result_rows']} encoded rows")
+    row_ratio = c.ratio(tbl_plain["bytes_per_row"], tbl_enc["bytes_per_row"],
+                        "table bytes_per_row")
+    if row_ratio < min_row_ratio:
+        c.fail(f"encoded columns only {row_ratio:.2f}x smaller per row "
+               f"(< {min_row_ratio:.2f}x): "
+               f"{tbl_plain['bytes_per_row']:.1f} plain vs "
+               f"{tbl_enc['bytes_per_row']:.1f} encoded")
+    tbl_slowdown = c.ratio(tbl_enc["real_time"], tbl_plain["real_time"],
+                           "table real_time")
+    if tbl_slowdown > max_table_slowdown:
+        c.fail(f"select over encoded columns is {tbl_slowdown:.2f}x slower "
+               f"than plain (> {max_table_slowdown:.2f}x)")
+
+    # ---- load pair ---------------------------------------------------
+    load_text = c.require_counters(c.require_row(rows, LOAD_TEXT), ["rows"])
+    load_bin = c.require_counters(c.require_row(rows, LOAD_BIN), ["rows"])
+    if load_text["rows"] != load_bin["rows"]:
+        c.fail(f"load arms disagree on row count: {load_text['rows']} "
+               f"text vs {load_bin['rows']} bin")
+    load_speedup = c.ratio(load_text["real_time"], load_bin["real_time"],
+                           "load real_time")
+    if load_speedup < min_load_speedup:
+        c.fail(f"binary load only {load_speedup:.2f}x faster than TSV "
+               f"(< {min_load_speedup:.2f}x)")
+
+    c.ok(f"bytes/edge {csr_plain['bytes_per_edge']:.1f}->"
+         f"{csr_compact['bytes_per_edge']:.1f} ({edge_ratio:.2f}x), "
+         f"bytes/row {tbl_plain['bytes_per_row']:.1f}->"
+         f"{tbl_enc['bytes_per_row']:.1f} ({row_ratio:.2f}x), "
+         f"scan slowdowns {csr_slowdown:.2f}x/{tbl_slowdown:.2f}x, "
+         f"load {load_speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

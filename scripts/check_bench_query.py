@@ -22,9 +22,13 @@ properties the pass claims, not the machine's speed:
 
 Absolute times are recorded for EXPERIMENTS.md but never gated.
 """
-import json
 import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import Checker
+
+checker = Checker("check_bench_query", "BENCH_query.json")
 
 FUSED_ROW = "BM_Query_ScriptFused"
 UNFUSED_ROW = "BM_Query_ScriptUnfused"
@@ -37,28 +41,14 @@ COUNTERS = [
 
 
 def fail(msg):
-    print(f"check_bench_query: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    checker.fail(msg)
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} BENCH_query.json")
-    with open(sys.argv[1]) as f:
-        data = json.load(f)
-
-    rows = {b["name"]: b for b in data.get("benchmarks", [])
-            if b.get("run_type") == "iteration"}
+    rows = checker.load_rows(sys.argv)
     for name in EXPECTED:
-        if name not in rows:
-            fail(f"missing row {name}")
-        row = rows[name]
-        if row.get("real_time", 0) <= 0:
-            fail(f"{name}: non-positive real_time")
-        for counter in COUNTERS:
-            if counter not in row:
-                fail(f"{name}: missing counter {counter} "
-                     "(metrics off in the bench binary?)")
+        row = checker.require_counters(checker.require_row(rows, name),
+                                       COUNTERS)
         if row["result_rows"] <= 0:
             fail(f"{name}: empty result")
 
@@ -90,11 +80,10 @@ def main():
         fail(f"fused speedup {speedup:.2f}x < {min_speedup:.2f}x — "
              "Select->Graph fusion is not skipping the materialization")
 
-    print("check_bench_query: OK "
-          f"(speedup={speedup:.2f}x, fused_ops={fused['fused_ops']:.0f}, "
-          f"exec_nodes {fused['exec_nodes']:.0f} vs "
-          f"{unfused['exec_nodes']:.0f}, "
-          f"rows={fused['result_rows']:.0f})")
+    checker.ok(f"speedup={speedup:.2f}x, fused_ops={fused['fused_ops']:.0f}, "
+               f"exec_nodes {fused['exec_nodes']:.0f} vs "
+               f"{unfused['exec_nodes']:.0f}, "
+               f"rows={fused['result_rows']:.0f}")
 
 
 if __name__ == "__main__":

@@ -27,8 +27,13 @@ this gates the serving engine's behavior, not the machine's speed:
 Absolute latencies and QPS are recorded for EXPERIMENTS.md before/after
 comparisons but never gated.
 """
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import Checker
+
+checker = Checker("check_bench_serving", "BENCH_serving.json")
 
 CLOSED_ROWS = [
     "BM_Serving_ClosedLoop",
@@ -46,28 +51,14 @@ COUNTERS = [
 
 
 def fail(msg):
-    print(f"check_bench_serving: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    checker.fail(msg)
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} BENCH_serving.json")
-    with open(sys.argv[1]) as f:
-        data = json.load(f)
-
-    rows = {b["name"]: b for b in data.get("benchmarks", [])
-            if b.get("run_type") == "iteration"}
+    rows = checker.load_rows(sys.argv)
     for name in EXPECTED:
-        if name not in rows:
-            fail(f"missing row {name}")
-        row = rows[name]
-        if row.get("real_time", 0) <= 0:
-            fail(f"{name}: non-positive real_time")
-        for counter in COUNTERS:
-            if counter not in row:
-                fail(f"{name}: missing counter {counter} "
-                     "(metrics off in the bench binary?)")
+        row = checker.require_counters(checker.require_row(rows, name),
+                                       COUNTERS)
         if row["failed"] != 0:
             fail(f"{name}: {row['failed']} queries failed outright")
 
@@ -112,13 +103,12 @@ def main():
 
     closed = rows[CLOSED_ROWS[0]]
     writer = rows[CLOSED_ROWS[1]]
-    print("check_bench_serving: OK "
-          f"(closed-loop qps={closed['qps']:.0f} "
-          f"p50={closed['p50_ms']:.2f}ms p99={closed['p99_ms']:.2f}ms; "
-          f"with-writer qps={writer['qps']:.0f} "
-          f"p99={writer['p99_ms']:.2f}ms; "
-          f"overload shed={rows[OVERLOAD_ROW]['shed']:.0f}/"
-          f"{rows[OVERLOAD_ROW]['issued']:.0f})")
+    checker.ok(f"closed-loop qps={closed['qps']:.0f} "
+               f"p50={closed['p50_ms']:.2f}ms p99={closed['p99_ms']:.2f}ms; "
+               f"with-writer qps={writer['qps']:.0f} "
+               f"p99={writer['p99_ms']:.2f}ms; "
+               f"overload shed={rows[OVERLOAD_ROW]['shed']:.0f}/"
+               f"{rows[OVERLOAD_ROW]['issued']:.0f}")
 
 
 if __name__ == "__main__":

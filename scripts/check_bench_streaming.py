@@ -28,8 +28,13 @@ ratio that says nothing about big-memory workloads, so smoke runs at
 tiny scales check structure only. Ratios are printed either way for
 the before/after record in EXPERIMENTS.md.
 """
-import json
+import os
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_common import Checker
+
+checker = Checker("check_bench_streaming", "BENCH_streaming.json")
 
 # The directed hotspot pair carries the gated ratio; the other pairs are
 # informational (undirected coverage, query-in-loop coverage, and the
@@ -59,32 +64,13 @@ RATIO_GATE_MIN_SCALE = 0.3
 
 
 def fail(msg):
-    print(f"check_bench_streaming: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    checker.fail(msg)
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <BENCH_streaming.json>")
-    path = sys.argv[1]
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-    except OSError as e:
-        fail(f"cannot read {path}: {e}")
-    except json.JSONDecodeError as e:
-        fail(f"{path} is not valid JSON: {e}")
-
-    rows = {b.get("name"): b for b in doc.get("benchmarks", [])}
+    rows = checker.load_rows(sys.argv, iteration_only=False)
     for name in EXPECTED:
-        if name not in rows:
-            fail(f"missing benchmark row {name}")
-        row = rows[name]
-        if row.get("real_time", 0) <= 0:
-            fail(f"{name}: non-positive real_time")
-        for c in COUNTERS:
-            if c not in row:
-                fail(f"{name}: missing counter {c} (metrics disabled?)")
+        checker.require_counters(checker.require_row(rows, name), COUNTERS)
 
     for name in EXPECTED:
         row = rows[name]
@@ -140,7 +126,7 @@ def main():
     if scale < RATIO_GATE_MIN_SCALE:
         print(f"check_bench_streaming: ratio gate skipped "
               f"(bench_scale {scale} < {RATIO_GATE_MIN_SCALE})")
-    print(f"check_bench_streaming: OK ({len(EXPECTED)} rows)")
+    checker.ok(f"{len(EXPECTED)} rows")
 
 
 if __name__ == "__main__":

@@ -82,12 +82,22 @@ RINGO_BENCH_SCALE="$QUERY_SCALE" \
   --benchmark_min_time=0.5 \
   --benchmark_format=json | tee BENCH_query.json >/dev/null
 
+# Compact-layout rows (DESIGN.md §14): compressed CSR vs plain, encoded
+# columns vs plain, and the .rtb binary load vs TSV. The gates are
+# structural ratios (bytes/edge, bytes/row, scan slowdown, load speedup),
+# so the default scale is fine; the load pair is fixed at 100K rows.
+echo "== bench_memory (RINGO_BENCH_SCALE=$SCALE) =="
+"$BUILD_DIR/bench/bench_memory" \
+  --benchmark_min_time=0.5 \
+  --benchmark_format=json | tee BENCH_memory.json >/dev/null
+
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace.py BENCH_conversions_trace.json
   python3 scripts/check_bench_algos.py BENCH_algos.json
   python3 scripts/check_bench_streaming.py BENCH_streaming.json
   python3 scripts/check_bench_serving.py BENCH_serving.json
   python3 scripts/check_bench_query.py BENCH_query.json
+  python3 scripts/check_bench_memory.py BENCH_memory.json
 fi
 
-echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_serving.json BENCH_query.json BENCH_conversions_trace.json"
+echo "done: BENCH_conversions.json BENCH_table_ops.json BENCH_algos.json BENCH_streaming.json BENCH_serving.json BENCH_query.json BENCH_memory.json BENCH_conversions_trace.json"

@@ -4,6 +4,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "algo/compactcsr_switch.h"
 #include "algo/deltacsr_switch.h"
 #include "graph/edge_batch.h"
 #include "graph/snapshot_cache.h"
@@ -95,7 +96,39 @@ void MergeRunInto(std::span<const int64_t> src, const EdgeOp* b,
   }
 }
 
+template <typename T>
+int64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
 }  // namespace
+
+int64_t AlgoView::BaseCsr::MemoryUsageBytes() const {
+  return ni.MemoryUsageBytes() + VecBytes(out_offsets) + VecBytes(out_nbrs) +
+         VecBytes(in_offsets) + VecBytes(in_nbrs) +
+         out_c.MemoryUsageBytes() + in_c.MemoryUsageBytes();
+}
+
+int64_t AlgoView::MemoryUsageBytes() const {
+  int64_t bytes = base_->MemoryUsageBytes();
+  for (const DirPatch* p : {&out_patch_, &in_patch_}) {
+    bytes += VecBytes(p->slot) + VecBytes(p->nodes) + VecBytes(p->offsets) +
+             VecBytes(p->arena);
+  }
+  if (ext_ni_ != nullptr) bytes += ext_ni_->MemoryUsageBytes();
+  return bytes;
+}
+
+NbrSpan AlgoView::DecodeBase(const compactcsr::CompressedDir& d,
+                             const std::vector<int64_t>& offsets, int64_t i) {
+  const int64_t deg = offsets[i + 1] - offsets[i];
+  if (deg == 0) return {};
+  compactcsr::BufRef buf =
+      compactcsr::AcquireBuf(static_cast<size_t>(deg));
+  compactcsr::DecodeRun(d.bytes.data() + d.byte_offsets[i], deg, buf.data());
+  const int64_t* p = buf.data();
+  return {p, static_cast<size_t>(deg), std::move(buf)};
+}
 
 template <typename Graph>
 std::shared_ptr<AlgoView> AlgoView::BuildFull(const Graph& g) {
@@ -129,10 +162,32 @@ std::shared_ptr<AlgoView> AlgoView::BuildFull(const Graph& g) {
   }
   view->num_out_arcs_ = static_cast<int64_t>(base->out_nbrs.size());
   view->base_nodes_ = base->ni.size();
+  if (compactcsr::Enabled()) {
+    // Freeze the compact layout into this base: varint delta streams
+    // replace the flat payloads, element offsets stay for O(1) degrees.
+    base->out_c = compactcsr::Compress(base->out_offsets, base->out_nbrs);
+    std::vector<int64_t>().swap(base->out_nbrs);
+    if (kDirected) {
+      base->in_c = compactcsr::Compress(base->in_offsets, base->in_nbrs);
+      std::vector<int64_t>().swap(base->in_nbrs);
+    }
+    RINGO_COUNTER_ADD("algo_view/compress", 1);
+  }
   view->base_ = std::move(base);
+  view->PublishMemGauges();
   span.AddAttr("nodes", view->NumNodes());
   span.AddAttr("arcs", view->NumOutArcs());
   return view;
+}
+
+void AlgoView::PublishMemGauges() const {
+  const int64_t bytes = MemoryUsageBytes();
+  const int64_t arcs = NumOutArcs() + (directed_ ? NumInArcs() : 0);
+  metrics::GaugeSet("mem/graph_bytes", static_cast<double>(bytes));
+  metrics::GaugeSet("mem/bytes_per_edge",
+                    arcs == 0 ? 0.0
+                              : static_cast<double>(bytes) /
+                                    static_cast<double>(arcs));
 }
 
 void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
@@ -175,8 +230,7 @@ void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
   np.offsets.assign(p + 1, 0);
   ParallelFor(0, p, [&](int64_t idx) {
     const auto [node, grp] = uni[idx];
-    int64_t sz = static_cast<int64_t>(
-        (in_dir ? prev.In(node) : prev.Out(node)).size());
+    int64_t sz = in_dir ? prev.InDegree(node) : prev.OutDegree(node);
     if (grp >= 0) {
       for (int64_t o = groups[grp]; o < groups[grp + 1]; ++o) {
         sz += ops[o].op;
@@ -193,8 +247,9 @@ void AlgoView::PatchDirection(const AlgoView& prev, bool in_dir,
     const auto [node, grp] = uni[idx];
     np.nodes[idx] = node;
     np.slot[node] = static_cast<int32_t>(idx);
-    const std::span<const int64_t> src =
-        in_dir ? prev.In(node) : prev.Out(node);
+    // NbrSpan, not std::span: on a compressed base the run lives in pooled
+    // scratch kept alive by this handle.
+    const NbrSpan src = in_dir ? prev.In(node) : prev.Out(node);
     int64_t* dst = np.arena.data() + np.offsets[idx];
     if (grp < 0) {
       std::copy(src.begin(), src.end(), dst);
@@ -340,6 +395,7 @@ std::shared_ptr<const AlgoView> AlgoView::CachedOf(const Graph& g) {
   metrics::GaugeSet("algo_view/delta_nodes",
                     static_cast<double>(view->PatchedNodes()));
   metrics::GaugeSet("algo_view/delta_fraction", view->DeltaFraction());
+  view->PublishMemGauges();
   scope.Publish(view, built_stamp);
   return view;
 }

@@ -57,12 +57,47 @@
 #include <span>
 #include <vector>
 
+#include "algo/compact_csr.h"
 #include "algo/node_index.h"
 #include "graph/delta_journal.h"
 #include "graph/directed_graph.h"
 #include "graph/undirected_graph.h"
 
 namespace ringo {
+
+// What Out()/In() hand back: a span-shaped view over a neighbor run that
+// optionally owns a ref on the pooled scratch buffer the run was decoded
+// into (compressed base layout, DESIGN.md §14). On the plain path the ref
+// is null and this is just a pointer+length. Converts implicitly to
+// std::span<const int64_t> for span-typed helpers — but such a raw span is
+// only valid while some NbrSpan over the same run is alive, so bind
+// `auto`/NbrSpan, not std::span, when holding a run across further
+// Out()/In() calls.
+class NbrSpan {
+ public:
+  using value_type = int64_t;
+
+  NbrSpan() = default;
+  NbrSpan(std::span<const int64_t> s) : p_(s.data()), n_(s.size()) {}
+  NbrSpan(const int64_t* p, size_t n) : p_(p), n_(n) {}
+  NbrSpan(const int64_t* p, size_t n, compactcsr::BufRef buf)
+      : buf_(std::move(buf)), p_(p), n_(n) {}
+
+  operator std::span<const int64_t>() const { return {p_, n_}; }
+  const int64_t* begin() const { return p_; }
+  const int64_t* end() const { return p_ + n_; }
+  const int64_t* data() const { return p_; }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  int64_t operator[](size_t k) const { return p_[k]; }
+  int64_t front() const { return p_[0]; }
+  int64_t back() const { return p_[n_ - 1]; }
+
+ private:
+  compactcsr::BufRef buf_;
+  const int64_t* p_ = nullptr;
+  size_t n_ = 0;
+};
 
 class AlgoView {
  public:
@@ -116,34 +151,122 @@ class AlgoView {
 
   // Ascending spans of dense neighbor indices (patch run if the node was
   // touched by a replayed batch, base span otherwise; delta-created nodes
-  // with no patched adjacency read as empty).
-  std::span<const int64_t> Out(int64_t i) const {
+  // with no patched adjacency read as empty). On a compressed base the run
+  // is decoded into pooled thread-local scratch kept alive by the returned
+  // NbrSpan's buffer ref.
+  NbrSpan Out(int64_t i) const {
     if (static_cast<size_t>(i) < out_patch_.slot.size()) {
       const int32_t s = out_patch_.slot[i];
       if (s >= 0) return out_patch_.Run(s);
     }
     if (i >= base_nodes_) return {};
+    if (base_->out_c.has()) {
+      return DecodeBase(base_->out_c, base_->out_offsets, i);
+    }
     return {base_->out_nbrs.data() + base_->out_offsets[i],
             static_cast<size_t>(base_->out_offsets[i + 1] -
                                 base_->out_offsets[i])};
   }
-  std::span<const int64_t> In(int64_t i) const {
+  NbrSpan In(int64_t i) const {
     if (!directed_) return Out(i);
     if (static_cast<size_t>(i) < in_patch_.slot.size()) {
       const int32_t s = in_patch_.slot[i];
       if (s >= 0) return in_patch_.Run(s);
     }
     if (i >= base_nodes_) return {};
+    if (base_->in_c.has()) {
+      return DecodeBase(base_->in_c, base_->in_offsets, i);
+    }
     return {base_->in_nbrs.data() + base_->in_offsets[i],
             static_cast<size_t>(base_->in_offsets[i + 1] -
                                 base_->in_offsets[i])};
   }
+  // Decode-and-consume iteration: calls fn(u) for each neighbor of i in
+  // ascending order — the same values Out(i)/In(i) would yield, in the same
+  // order. On a compressed base this fuses the varint decode into the
+  // caller's loop, skipping the pooled scratch buffer entirely; sequential
+  // whole-graph scans (PageRank's pull is the canonical one) should prefer
+  // this over Out()/In(), whose per-call buffer round-trip dominates
+  // short runs. Kernels that must hold a run while visiting another
+  // (triangle intersection) still need the span form.
+  template <typename Fn>
+  void ForEachOut(int64_t i, Fn&& fn) const {
+    if (static_cast<size_t>(i) < out_patch_.slot.size()) {
+      const int32_t s = out_patch_.slot[i];
+      if (s >= 0) {
+        for (const int64_t u : out_patch_.Run(s)) fn(u);
+        return;
+      }
+    }
+    if (i >= base_nodes_) return;
+    if (base_->out_c.has()) {
+      compactcsr::DecodeRunForEach(
+          base_->out_c.bytes.data() + base_->out_c.byte_offsets[i],
+          base_->out_offsets[i + 1] - base_->out_offsets[i], fn);
+      return;
+    }
+    const int64_t* p = base_->out_nbrs.data();
+    for (int64_t k = base_->out_offsets[i]; k < base_->out_offsets[i + 1];
+         ++k) {
+      fn(p[k]);
+    }
+  }
+  template <typename Fn>
+  void ForEachIn(int64_t i, Fn&& fn) const {
+    if (!directed_) {
+      ForEachOut(i, fn);
+      return;
+    }
+    if (static_cast<size_t>(i) < in_patch_.slot.size()) {
+      const int32_t s = in_patch_.slot[i];
+      if (s >= 0) {
+        for (const int64_t u : in_patch_.Run(s)) fn(u);
+        return;
+      }
+    }
+    if (i >= base_nodes_) return;
+    if (base_->in_c.has()) {
+      compactcsr::DecodeRunForEach(
+          base_->in_c.bytes.data() + base_->in_c.byte_offsets[i],
+          base_->in_offsets[i + 1] - base_->in_offsets[i], fn);
+      return;
+    }
+    const int64_t* p = base_->in_nbrs.data();
+    for (int64_t k = base_->in_offsets[i]; k < base_->in_offsets[i + 1];
+         ++k) {
+      fn(p[k]);
+    }
+  }
+
+  // Degrees are O(1) on every layout: element offsets stay plain even when
+  // the neighbor payload is compressed (PageRank divides by out-degree per
+  // node per iteration — a decode here would dominate the kernel).
   int64_t OutDegree(int64_t i) const {
-    return static_cast<int64_t>(Out(i).size());
+    if (static_cast<size_t>(i) < out_patch_.slot.size()) {
+      const int32_t s = out_patch_.slot[i];
+      if (s >= 0) return out_patch_.offsets[s + 1] - out_patch_.offsets[s];
+    }
+    if (i >= base_nodes_) return 0;
+    return base_->out_offsets[i + 1] - base_->out_offsets[i];
   }
   int64_t InDegree(int64_t i) const {
-    return static_cast<int64_t>(In(i).size());
+    if (!directed_) return OutDegree(i);
+    if (static_cast<size_t>(i) < in_patch_.slot.size()) {
+      const int32_t s = in_patch_.slot[i];
+      if (s >= 0) return in_patch_.offsets[s + 1] - in_patch_.offsets[s];
+    }
+    if (i >= base_nodes_) return 0;
+    return base_->in_offsets[i + 1] - base_->in_offsets[i];
   }
+
+  // True when the base neighbor payload is varint-compressed (the layout is
+  // frozen at build time from compactcsr::Enabled()).
+  bool compressed() const { return base_->out_c.has(); }
+
+  // Bytes held by this snapshot: base arrays (plain or compressed), patch
+  // overlays, and the extended index if any. Feeds the mem/graph_bytes and
+  // mem/bytes_per_edge gauges at build time.
+  int64_t MemoryUsageBytes() const;
 
   // ---- Delta introspection (gauges, tests, bench tables). ----
   // Number of nodes whose reads are served from patch runs.
@@ -167,13 +290,19 @@ class AlgoView {
 
  private:
   // The immutable dense part, shared between a snapshot and every view
-  // patched forward from it.
+  // patched forward from it. The element offsets are always plain; when the
+  // compact layout is on, the *_nbrs payloads are replaced by varint delta
+  // streams in *_c (the vectors are left empty).
   struct BaseCsr {
     NodeIndex ni;
     std::vector<int64_t> out_offsets;  // n+1 entries.
     std::vector<int64_t> out_nbrs;
     std::vector<int64_t> in_offsets;   // Empty for undirected views.
     std::vector<int64_t> in_nbrs;
+    compactcsr::CompressedDir out_c;
+    compactcsr::CompressedDir in_c;
+
+    int64_t MemoryUsageBytes() const;
   };
 
   // Patch overlay for one direction: `nodes` lists the patched dense
@@ -195,9 +324,16 @@ class AlgoView {
 
   AlgoView() = default;
 
+  // Refreshes mem/graph_bytes and mem/bytes_per_edge from this snapshot.
+  void PublishMemGauges() const;
+
   void set_snapshot_stamp(uint64_t s) const {
     snapshot_stamp_.store(s, std::memory_order_relaxed);
   }
+
+  // Decodes base run i of a compressed direction into pooled scratch.
+  static NbrSpan DecodeBase(const compactcsr::CompressedDir& d,
+                            const std::vector<int64_t>& offsets, int64_t i);
 
   // Full CSR materialization without counters (Build and the compaction
   // path wrap it with the right one).

@@ -62,24 +62,25 @@ class DirView {
 
   bool both() const { return fwd_out_ && fwd_in_; }
 
-  // Arcs followed when expanding u forward.
-  std::span<const int64_t> FwdA(int64_t u) const {
+  // Arcs followed when expanding u forward. NbrSpan (not std::span):
+  // on a compressed base each run lives in pooled scratch pinned by the
+  // returned handle for as long as the caller holds it.
+  NbrSpan FwdA(int64_t u) const {
     return fwd_out_ ? v_->Out(u) : v_->In(u);
   }
-  std::span<const int64_t> FwdB(int64_t u) const {
-    return both() ? v_->In(u) : std::span<const int64_t>{};
-  }
+  NbrSpan FwdB(int64_t u) const { return both() ? v_->In(u) : NbrSpan{}; }
   // Candidate predecessors of an unvisited vertex (reverse of Fwd). For an
   // undirected view In == Out, so this degenerates correctly.
-  std::span<const int64_t> BwdA(int64_t u) const {
+  NbrSpan BwdA(int64_t u) const {
     return fwd_out_ ? v_->In(u) : v_->Out(u);
   }
-  std::span<const int64_t> BwdB(int64_t u) const {
-    return both() ? v_->Out(u) : std::span<const int64_t>{};
-  }
+  NbrSpan BwdB(int64_t u) const { return both() ? v_->Out(u) : NbrSpan{}; }
 
+  // Degrees come from the O(1) offset arrays — no decode. When both() is
+  // set FwdA is Out and FwdB is In.
   int64_t FwdDegree(int64_t u) const {
-    return static_cast<int64_t>(FwdA(u).size() + FwdB(u).size());
+    const int64_t a = fwd_out_ ? v_->OutDegree(u) : v_->InDegree(u);
+    return both() ? a + v_->InDegree(u) : a;
   }
   int64_t TotalFwdArcs() const {
     int64_t total = 0;

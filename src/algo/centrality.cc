@@ -66,7 +66,9 @@ struct CsrAdj {
   explicit CsrAdj(std::shared_ptr<const AlgoView> v) : view(std::move(v)) {}
 
   int64_t size() const { return view->NumNodes(); }
-  std::span<const int64_t> nbrs(int64_t i) const { return view->Out(i); }
+  // NbrSpan (not std::span): on a compressed base the run lives in pooled
+  // scratch that must stay pinned while the caller iterates it.
+  NbrSpan nbrs(int64_t i) const { return view->Out(i); }
   const NodeIndex& node_index() const { return view->node_index(); }
 };
 

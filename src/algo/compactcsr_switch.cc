@@ -1,0 +1,27 @@
+#include "algo/compactcsr_switch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace ringo {
+namespace compactcsr {
+
+namespace {
+
+bool EnvDefault() {
+  const char* v = std::getenv("RINGO_COMPACT_CSR");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0 ||
+         std::strcmp(v, "true") == 0;
+}
+
+std::atomic<bool> g_enabled{EnvDefault()};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace compactcsr
+}  // namespace ringo

@@ -109,19 +109,28 @@ ComponentLabels StronglyConnectedComponents(const DirectedGraph& g) {
   std::vector<int64_t> stack;           // Tarjan's node stack.
   std::vector<std::pair<int64_t, size_t>> frames;  // (node, next-child).
   int64_t timer = 0, components = 0;
+  // Adjacency of the frame currently on top, refreshed when the top
+  // changes: on a compressed base this decodes each frame's run once per
+  // top-change instead of once per child access.
+  NbrSpan run;
+  int64_t run_node = -1;
 
   for (int64_t root = 0; root < n; ++root) {
     if (disc[root] != kUnvisited) continue;
     frames.emplace_back(root, 0);
     while (!frames.empty()) {
       auto& [u, child] = frames.back();
+      if (u != run_node) {
+        run = out.Out(u);
+        run_node = u;
+      }
       if (child == 0) {
         disc[u] = low[u] = timer++;
         stack.push_back(u);
         on_stack[u] = 1;
       }
-      if (child < static_cast<size_t>(out.OutDegree(u))) {
-        const int64_t v = out.Out(u)[child++];
+      if (child < run.size()) {
+        const int64_t v = run[child++];
         if (disc[v] == kUnvisited) {
           frames.emplace_back(v, 0);
         } else if (on_stack[v]) {

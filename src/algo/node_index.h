@@ -50,6 +50,14 @@ class NodeIndex {
     return i == nullptr ? -1 : *i;
   }
 
+  // Bytes held by the id array and the reverse-lookup structure (feeds the
+  // snapshot memory gauges).
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(ids_.capacity() * sizeof(NodeId) +
+                                dense_.capacity() * sizeof(int64_t)) +
+           index_.MemoryUsageBytes();
+  }
+
   // Pairs a dense value array back up with node ids (ascending id order).
   template <typename T>
   std::vector<std::pair<NodeId, T>> Zip(const std::vector<T>& values) const {

@@ -1,7 +1,6 @@
 #include "algo/pagerank.h"
 
 #include <cmath>
-#include <span>
 
 #include "algo/algo_view.h"
 #include "algo/csr_switch.h"
@@ -25,14 +24,16 @@ Status ValidateConfig(const PageRankConfig& c) {
 }
 
 // The shared SpMV-style pull iteration: next = (1-d)·t + d·(Aᵀ D⁻¹ pr + s·t)
-// where s is the rank mass parked on dangling nodes. `in_of(i)` yields the
-// ascending span of i's in-neighbors (dense indices); both the legacy and
+// where s is the rank mass parked on dangling nodes. `for_each_in(i, fn)`
+// visits i's in-neighbors (dense indices) ascending; both the legacy and
 // the CSR path feed this same kernel, so their arithmetic — including the
 // blocked, thread-count-invariant reductions — is identical instruction for
-// instruction. Iteration stops early when the L1 delta drops below tol
+// instruction. The visitor form (rather than a span) lets the compressed
+// CSR layout fuse its varint decode into the accumulation loop with no
+// scratch buffer. Iteration stops early when the L1 delta drops below tol
 // (delta-based convergence).
 template <typename InSpanFn>
-std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
+std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& for_each_in,
                                        const std::vector<double>& inv_out_deg,
                                        const PageRankConfig& config,
                                        const std::vector<double>& teleport,
@@ -62,9 +63,7 @@ std::vector<double> PowerIterateKernel(int64_t n, InSpanFn&& in_of,
 
     auto pull = [&](int64_t i) {
       double acc = 0.0;
-      for (const int64_t u : in_of(i)) {
-        acc += pr[u] * inv_out_deg[u];
-      }
+      for_each_in(i, [&](int64_t u) { acc += pr[u] * inv_out_deg[u]; });
       next[i] = (1.0 - d) * teleport[i] + d * (acc + dangling * teleport[i]);
     };
     if (parallel) {
@@ -107,13 +106,13 @@ std::vector<double> LegacyDenseScores(const DirectedGraph& g,
     int64_t o = in_offsets[i];
     for (NodeId u : node_ptr[i]->in) in_nbrs[o++] = ni.IndexOf(u);
   });
-  auto in_of = [&](int64_t i) {
-    return std::span<const int64_t>(
-        in_nbrs.data() + in_offsets[i],
-        static_cast<size_t>(in_offsets[i + 1] - in_offsets[i]));
+  auto for_each_in = [&](int64_t i, auto&& fn) {
+    for (int64_t o = in_offsets[i]; o < in_offsets[i + 1]; ++o) {
+      fn(in_nbrs[o]);
+    }
   };
-  return PowerIterateKernel(n, in_of, inv_out_deg, config, teleport, parallel,
-                            span);
+  return PowerIterateKernel(n, for_each_in, inv_out_deg, config, teleport,
+                            parallel, span);
 }
 
 // CSR path: the in-spans come straight from the pinned snapshot; the only
@@ -130,9 +129,9 @@ std::vector<double> CsrDenseScores(const AlgoView& view,
     const int64_t od = view.OutDegree(i);
     inv_out_deg[i] = od > 0 ? 1.0 / static_cast<double>(od) : 0.0;
   });
-  auto in_of = [&](int64_t i) { return view.In(i); };
-  return PowerIterateKernel(n, in_of, inv_out_deg, config, teleport, parallel,
-                            span, init, iters_out);
+  auto for_each_in = [&](int64_t i, auto&& fn) { view.ForEachIn(i, fn); };
+  return PowerIterateKernel(n, for_each_in, inv_out_deg, config, teleport,
+                            parallel, span, init, iters_out);
 }
 
 // Shared driver: builds the teleport vector (uniform, or concentrated on

@@ -160,11 +160,14 @@ std::vector<int64_t> CsrNodeTriangles(const AlgoView& view) {
   std::vector<int64_t> tri(n, 0);
   ParallelForDynamic(0, n, [&](int64_t i) {
     int64_t twice = 0;
-    for (const int64_t v : view.Out(i)) {
+    // NbrSpan keeps i's run pinned (one decode on the compact layout) while
+    // the inner Out(v) decodes into separate scratch buffers.
+    const NbrSpan nbrs = view.Out(i);
+    for (const int64_t v : nbrs) {
       if (v == i) continue;
       // |N(i) ∩ N(v)| counts each triangle through edge (i,v) once; summing
       // over v counts each of i's triangles twice.
-      twice += IntersectSkip(view.Out(i), i, view.Out(v), v);
+      twice += IntersectSkip(nbrs, i, view.Out(v), v);
     }
     tri[i] = twice / 2;
   });
@@ -174,7 +177,7 @@ std::vector<int64_t> CsrNodeTriangles(const AlgoView& view) {
 // Degree of dense node i excluding a self-loop (spans are ascending, so
 // the self entry is found by binary search).
 int64_t CleanDegree(const AlgoView& view, int64_t i) {
-  const std::span<const int64_t> nbrs = view.Out(i);
+  const NbrSpan nbrs = view.Out(i);
   int64_t deg = static_cast<int64_t>(nbrs.size());
   if (std::binary_search(nbrs.begin(), nbrs.end(), i)) --deg;
   return deg;

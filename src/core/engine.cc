@@ -40,6 +40,13 @@ Result<ParsedPredicate> ParsePredicate(std::string_view expr) {
       return Status::InvalidArgument("cannot parse predicate: '" +
                                      std::string(expr) + "'");
     }
+    // Column names are single tokens; internal whitespace means a stray
+    // connective or typo landed here ("or a = 1").
+    if (col.find_first_of(" \t") != std::string_view::npos) {
+      return Status::InvalidArgument("malformed column name '" +
+                                     std::string(col) + "' in predicate: '" +
+                                     std::string(expr) + "'");
+    }
     ParsedPredicate out;
     out.column = std::string(col);
     out.op = op;
@@ -62,6 +69,78 @@ Result<ParsedPredicate> ParsePredicate(std::string_view expr) {
                                  std::string(expr) + "'");
 }
 
+Result<PredicateExpr> ParsePredicateExpr(std::string_view expr) {
+  PredicateExpr out;
+  out.disjuncts.emplace_back();
+  size_t leaf_start = 0;
+  char quote = 0;
+
+  auto close_leaf = [&](size_t end, bool start_disjunct) -> Status {
+    const std::string_view leaf =
+        Trim(expr.substr(leaf_start, end - leaf_start));
+    if (leaf.empty()) {
+      return Status::InvalidArgument("empty clause in predicate: '" +
+                                     std::string(expr) + "'");
+    }
+    Result<ParsedPredicate> p = ParsePredicate(leaf);
+    RINGO_RETURN_NOT_OK(p.status());
+    out.disjuncts.back().push_back(std::move(*p));
+    if (start_disjunct) out.disjuncts.emplace_back();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < expr.size();) {
+    const char c = expr[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      ++i;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      ++i;
+      continue;
+    }
+    // A connective is a whole lowercase/uppercase word with whitespace on
+    // both sides, outside quotes.
+    const auto word_at = [&](std::string_view kw) {
+      if (i == 0 ||
+          !std::isspace(static_cast<unsigned char>(expr[i - 1]))) {
+        return false;
+      }
+      if (expr.size() - i < kw.size()) return false;
+      for (size_t k = 0; k < kw.size(); ++k) {
+        if (std::tolower(static_cast<unsigned char>(expr[i + k])) != kw[k]) {
+          return false;
+        }
+      }
+      // A connective at the very end is still a connective — the empty
+      // trailing clause is then diagnosed by close_leaf.
+      return i + kw.size() == expr.size() ||
+             std::isspace(static_cast<unsigned char>(expr[i + kw.size()]));
+    };
+    if (word_at("and")) {
+      RINGO_RETURN_NOT_OK(close_leaf(i, /*start_disjunct=*/false));
+      i += 3;
+      leaf_start = i;
+      continue;
+    }
+    if (word_at("or")) {
+      RINGO_RETURN_NOT_OK(close_leaf(i, /*start_disjunct=*/true));
+      i += 2;
+      leaf_start = i;
+      continue;
+    }
+    ++i;
+  }
+  if (quote != 0) {
+    return Status::InvalidArgument("unterminated quote in predicate: '" +
+                                   std::string(expr) + "'");
+  }
+  RINGO_RETURN_NOT_OK(close_leaf(expr.size(), /*start_disjunct=*/false));
+  return out;
+}
+
 Ringo::Ringo() : pool_(std::make_shared<StringPool>()) {}
 
 TablePtr Ringo::NewTable(Schema schema) const {
@@ -82,14 +161,14 @@ Status Ringo::SaveTableTSV(const Table& t, const std::string& path,
 Result<TablePtr> Ringo::Select(const TablePtr& t,
                                std::string_view expr) const {
   RINGO_TRACE_SPAN("Engine/Select");
-  RINGO_ASSIGN_OR_RETURN(const ParsedPredicate p, ParsePredicate(expr));
-  return t->Select(p.column, p.op, p.value);
+  RINGO_ASSIGN_OR_RETURN(const PredicateExpr p, ParsePredicateExpr(expr));
+  return t->Select(p);
 }
 
 Status Ringo::SelectInPlace(const TablePtr& t, std::string_view expr) const {
   RINGO_TRACE_SPAN("Engine/SelectInPlace");
-  RINGO_ASSIGN_OR_RETURN(const ParsedPredicate p, ParsePredicate(expr));
-  return t->SelectInPlace(p.column, p.op, p.value);
+  RINGO_ASSIGN_OR_RETURN(const PredicateExpr p, ParsePredicateExpr(expr));
+  return t->SelectInPlace(p);
 }
 
 Result<TablePtr> Ringo::Join(const TablePtr& left, const TablePtr& right,

@@ -59,8 +59,10 @@ class Ringo {
   //   )");
   Result<TablePtr> RunQuery(std::string_view script) const;
 
-  // Select with a textual predicate "col <op> literal"; ops: = != < <= > >=.
-  // The literal parses as int, then float, then string (quotes optional).
+  // Select with a textual predicate; ops: = != < <= > >=. The literal
+  // parses as int, then float, then string (quotes optional). Leaf
+  // comparisons compose with `and` / `or` (`and` binds tighter):
+  //   ringo.Select(posts, "Tag = Java and Score >= 10 or Tag = C++")
   Result<TablePtr> Select(const TablePtr& t, std::string_view expr) const;
   // In-place variant (the paper's select benchmark operates in place).
   Status SelectInPlace(const TablePtr& t, std::string_view expr) const;
@@ -116,13 +118,16 @@ class Ringo {
   std::shared_ptr<StringPool> pool_;
 };
 
-// Parses "col <op> literal" into its pieces; shared with tests.
-struct ParsedPredicate {
-  std::string column;
-  CmpOp op;
-  Value value;
-};
+// Parses "col <op> literal" into its pieces (ParsedPredicate lives in
+// table/table.h); shared with tests.
 Result<ParsedPredicate> ParsePredicate(std::string_view expr);
+
+// Parses a compound predicate: leaf comparisons joined by `and` / `or`
+// (case-insensitive, whitespace-delimited keywords; occurrences inside
+// quoted literals are left alone). `and` binds tighter than `or`, so
+// "a = 1 and b > 2 or c = 3" is (a=1 ∧ b>2) ∨ (c=3); there are no
+// parentheses. A single comparison yields a one-leaf expression.
+Result<PredicateExpr> ParsePredicateExpr(std::string_view expr);
 
 }  // namespace ringo
 

@@ -135,14 +135,15 @@ class Executor {
         return Status::OK();
       }
       case OpKind::kLoad: {
+        // Extension dispatch: ".rtb" maps the binary format (checksummed,
+        // zero-copy for encoded columns) and checks the declared schema;
+        // everything else parses as TSV.
         RINGO_ASSIGN_OR_RETURN(
-            out->table, LoadTableTSV(n.load_schema, n.name, pool_, n.header));
+            out->table, LoadTableAuto(n.load_schema, n.name, pool_, n.header));
         return Status::OK();
       }
       case OpKind::kSelect: {
-        RINGO_ASSIGN_OR_RETURN(
-            out->table,
-            TableIn(n)->Select(n.pred.column, n.pred.op, n.pred.value));
+        RINGO_ASSIGN_OR_RETURN(out->table, TableIn(n)->Select(n.pred));
         return Status::OK();
       }
       case OpKind::kProject: {
@@ -200,9 +201,8 @@ class Executor {
         // The fused Select→ToGraph path: evaluate the predicate to a row
         // set and extract only those rows — no filtered table exists.
         const TablePtr& t = TableIn(n);
-        RINGO_ASSIGN_OR_RETURN(
-            const std::vector<int64_t> keep,
-            t->MatchingRows(n.pred.column, n.pred.op, n.pred.value));
+        RINGO_ASSIGN_OR_RETURN(const std::vector<int64_t> keep,
+                               t->MatchingRows(n.pred));
         RINGO_ASSIGN_OR_RETURN(
             DirectedGraph g,
             TableToGraphFiltered(*t, n.src_col, n.dst_col, keep));

@@ -249,30 +249,36 @@ class Planner {
     RINGO_ASSIGN_OR_RETURN(const int in, ArgNode(e, 0, ValueKind::kTable));
     n.inputs = {in};
     RINGO_ASSIGN_OR_RETURN(const std::string expr, ArgString(e, 1));
-    Result<ParsedPredicate> pred = ParsePredicate(expr);
+    Result<PredicateExpr> pred = ParsePredicateExpr(expr);
     if (!pred.ok()) return PlanError(e.args[1].pos, pred.status().message());
     n.pred = std::move(*pred);
-    RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
-                           ResolveCol(in, n.pred.column, e.args[1].pos));
-    // Typed predicate: an int literal against a float column compares as
-    // float; other mismatches are plan-time errors (EvalPredicate would
+    // Per-leaf diagnostics: every column of every AND-group resolves
+    // against the input schema, and every literal matches its column's
+    // type (an int literal against a float column compares as float;
+    // other mismatches are plan-time errors — EvalPredicateExpr would
     // reject them at run time, but without a source position).
-    if (ct == ColumnType::kFloat &&
-        std::holds_alternative<int64_t>(n.pred.value)) {
-      n.pred.value = static_cast<double>(std::get<int64_t>(n.pred.value));
-    }
-    const bool ok =
-        (ct == ColumnType::kInt &&
-         std::holds_alternative<int64_t>(n.pred.value)) ||
-        (ct == ColumnType::kFloat &&
-         std::holds_alternative<double>(n.pred.value)) ||
-        (ct == ColumnType::kString &&
-         std::holds_alternative<std::string>(n.pred.value));
-    if (!ok) {
-      return PlanError(e.args[1].pos,
-                       "predicate literal type does not match " +
-                           std::string(ColumnTypeToString(ct)) +
-                           " column '" + n.pred.column + "'");
+    for (std::vector<ParsedPredicate>& conj : n.pred.disjuncts) {
+      for (ParsedPredicate& leaf : conj) {
+        RINGO_ASSIGN_OR_RETURN(const ColumnType ct,
+                               ResolveCol(in, leaf.column, e.args[1].pos));
+        if (ct == ColumnType::kFloat &&
+            std::holds_alternative<int64_t>(leaf.value)) {
+          leaf.value = static_cast<double>(std::get<int64_t>(leaf.value));
+        }
+        const bool ok =
+            (ct == ColumnType::kInt &&
+             std::holds_alternative<int64_t>(leaf.value)) ||
+            (ct == ColumnType::kFloat &&
+             std::holds_alternative<double>(leaf.value)) ||
+            (ct == ColumnType::kString &&
+             std::holds_alternative<std::string>(leaf.value));
+        if (!ok) {
+          return PlanError(e.args[1].pos,
+                           "predicate literal type does not match " +
+                               std::string(ColumnTypeToString(ct)) +
+                               " column '" + leaf.column + "'");
+        }
+      }
     }
     n.schema = node(in).schema;
     return Emit(std::move(n));
@@ -520,6 +526,21 @@ std::string PredToString(const ParsedPredicate& p) {
     out += '"';
     out += std::get<std::string>(p.value);
     out += '"';
+  }
+  return out;
+}
+
+// DNF form, printed the way the language reads: leaves joined by " and "
+// within a group, groups joined by " or " (a single leaf prints bare, so
+// the golden plans of simple selects are unchanged).
+std::string PredToString(const PredicateExpr& p) {
+  std::string out;
+  for (size_t d = 0; d < p.disjuncts.size(); ++d) {
+    if (d > 0) out += " or ";
+    for (size_t l = 0; l < p.disjuncts[d].size(); ++l) {
+      if (l > 0) out += " and ";
+      out += PredToString(p.disjuncts[d][l]);
+    }
   }
   return out;
 }

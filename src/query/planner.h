@@ -64,7 +64,7 @@ struct PlanNode {
   std::string name;              // kBind: binding name; kLoad: file path.
   bool header = false;           // kLoad.
   Schema load_schema;            // kLoad: declared schema.
-  ParsedPredicate pred;          // kSelect / kFilteredGraph.
+  PredicateExpr pred;            // kSelect / kFilteredGraph (DNF).
   std::vector<std::string> cols;  // kProject/kUnique/kOrderBy/kGroupBy keys.
   std::vector<bool> ascending;    // kOrderBy.
   std::string src_col, dst_col;   // kGraph/kFilteredGraph; kJoin keys;

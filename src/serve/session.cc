@@ -2,6 +2,7 @@
 
 #include "algo/algo_view.h"
 #include "graph/directed_graph.h"
+#include "table/table_io.h"
 #include "util/logging.h"
 
 namespace ringo {
@@ -10,6 +11,17 @@ namespace serve {
 Session::Session(std::string id, const DirectedGraph* graph, TablePtr table)
     : id_(std::move(id)), graph_(graph), table_(std::move(table)) {
   RINGO_CHECK(graph_ != nullptr);  // A session needs a graph.
+}
+
+Result<Session> Session::WithTableFile(std::string id,
+                                       const DirectedGraph* graph,
+                                       const Schema& schema,
+                                       const std::string& path,
+                                       std::shared_ptr<StringPool> pool,
+                                       bool has_header) {
+  RINGO_ASSIGN_OR_RETURN(
+      TablePtr t, LoadTableAuto(schema, path, std::move(pool), has_header));
+  return Session(std::move(id), graph, std::move(t));
 }
 
 QueryContext Session::Pin() const {

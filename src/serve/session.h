@@ -43,6 +43,18 @@ class Session {
   // `graph` must outlive the session; `table` (optional) is shared.
   Session(std::string id, const DirectedGraph* graph, TablePtr table = {});
 
+  // Builds a session whose companion table comes from a file: ".rtb"
+  // paths map the binary format (encoded columns stay encoded, borrowing
+  // the mapping zero-copy — the compact at-rest layout serves directly),
+  // anything else parses as TSV against `schema`. The schema also
+  // cross-checks an .rtb file's stored schema when non-empty.
+  static Result<Session> WithTableFile(std::string id,
+                                       const DirectedGraph* graph,
+                                       const Schema& schema,
+                                       const std::string& path,
+                                       std::shared_ptr<StringPool> pool = nullptr,
+                                       bool has_header = false);
+
   // Pins the freshest cached snapshot for one query. Thread-safe; any
   // number of concurrent Pin() calls race only inside the single-flight
   // snapshot cache.

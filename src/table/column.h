@@ -2,14 +2,34 @@
 // dense vector of int64, double, or interned string ids. All table
 // operations iterate over columns, so access paths are branch-free inner
 // loops over one vector.
+//
+// Since §14 a column may instead hold an *encoded* payload (dictionary or
+// frame-of-reference + bit-packing, column_encoding.h), chosen by
+// Encode() from observed stats. Encoding is transparent: element accessors
+// decode O(1) per element, and the raw-vector accessors lazily materialize
+// the plain vector on first touch — so operators and key_normalize are
+// untouched, and the memory win applies to data at rest (loaded or served
+// tables), not mid-operator.
+//
+// Concurrency: encoded state is published through an acquire/release
+// atomic. Any number of threads may read a const column concurrently, even
+// while one of them triggers the (mutex-serialized, once-only) lazy
+// decode: readers that still observe the encoded state read the immutable
+// payload (kept alive until the column dies), and only readers that
+// observe the cleared state touch the plain vector. Mutating methods
+// require exclusive access, like any other vector mutation.
 #ifndef RINGO_TABLE_COLUMN_H_
 #define RINGO_TABLE_COLUMN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <variant>
 #include <vector>
 
 #include "storage/string_pool.h"
+#include "table/column_encoding.h"
 #include "table/schema.h"
 #include "util/logging.h"
 
@@ -18,6 +38,13 @@ namespace ringo {
 class Column {
  public:
   explicit Column(ColumnType type);
+  // Wraps an already-encoded payload (the .rtb zero-copy load path).
+  Column(ColumnType type, std::shared_ptr<const EncodedColumn> enc);
+
+  Column(const Column& o);
+  Column& operator=(const Column& o);
+  Column(Column&& o) noexcept;
+  Column& operator=(Column&& o) noexcept;
 
   ColumnType type() const { return type_; }
   int64_t size() const;
@@ -29,35 +56,78 @@ class Column {
   // the table layer validates before dispatching to columns.
   void AppendInt(int64_t v) {
     RINGO_DCHECK(type_ == ColumnType::kInt);
+    EnsureDecodedExclusive();
     std::get<IntVec>(data_).push_back(v);
   }
   void AppendFloat(double v) {
     RINGO_DCHECK(type_ == ColumnType::kFloat);
+    EnsureDecodedExclusive();
     std::get<FloatVec>(data_).push_back(v);
   }
   void AppendStr(StringPool::Id v) {
     RINGO_DCHECK(type_ == ColumnType::kString);
+    EnsureDecodedExclusive();
     std::get<StrVec>(data_).push_back(v);
   }
 
-  int64_t GetInt(int64_t i) const { return std::get<IntVec>(data_)[i]; }
-  double GetFloat(int64_t i) const { return std::get<FloatVec>(data_)[i]; }
-  StringPool::Id GetStr(int64_t i) const { return std::get<StrVec>(data_)[i]; }
+  int64_t GetInt(int64_t i) const {
+    if (const EncodedColumn* e = active()) return e->DecodeInt(i);
+    return std::get<IntVec>(data_)[i];
+  }
+  double GetFloat(int64_t i) const {
+    if (const EncodedColumn* e = active()) return e->DecodeFloat(i);
+    return std::get<FloatVec>(data_)[i];
+  }
+  StringPool::Id GetStr(int64_t i) const {
+    if (const EncodedColumn* e = active()) return e->DecodeStr(i);
+    return std::get<StrVec>(data_)[i];
+  }
 
-  void SetInt(int64_t i, int64_t v) { std::get<IntVec>(data_)[i] = v; }
-  void SetFloat(int64_t i, double v) { std::get<FloatVec>(data_)[i] = v; }
-  void SetStr(int64_t i, StringPool::Id v) { std::get<StrVec>(data_)[i] = v; }
+  void SetInt(int64_t i, int64_t v) {
+    EnsureDecodedExclusive();
+    std::get<IntVec>(data_)[i] = v;
+  }
+  void SetFloat(int64_t i, double v) {
+    EnsureDecodedExclusive();
+    std::get<FloatVec>(data_)[i] = v;
+  }
+  void SetStr(int64_t i, StringPool::Id v) {
+    EnsureDecodedExclusive();
+    std::get<StrVec>(data_)[i] = v;
+  }
 
-  // Raw vector access for hot loops (type checked in debug builds).
-  std::vector<int64_t>& ints() { return std::get<IntVec>(data_); }
-  const std::vector<int64_t>& ints() const { return std::get<IntVec>(data_); }
-  std::vector<double>& floats() { return std::get<FloatVec>(data_); }
-  const std::vector<double>& floats() const { return std::get<FloatVec>(data_); }
-  std::vector<StringPool::Id>& strs() { return std::get<StrVec>(data_); }
-  const std::vector<StringPool::Id>& strs() const { return std::get<StrVec>(data_); }
+  // Raw vector access for hot loops (type checked in debug builds). Const
+  // overloads materialize the plain vector from an encoded payload first
+  // (safe under concurrent const readers); non-const ones require
+  // exclusive access anyway.
+  std::vector<int64_t>& ints() {
+    EnsureDecodedExclusive();
+    return std::get<IntVec>(data_);
+  }
+  const std::vector<int64_t>& ints() const {
+    EnsureDecodedShared();
+    return std::get<IntVec>(data_);
+  }
+  std::vector<double>& floats() {
+    EnsureDecodedExclusive();
+    return std::get<FloatVec>(data_);
+  }
+  const std::vector<double>& floats() const {
+    EnsureDecodedShared();
+    return std::get<FloatVec>(data_);
+  }
+  std::vector<StringPool::Id>& strs() {
+    EnsureDecodedExclusive();
+    return std::get<StrVec>(data_);
+  }
+  const std::vector<StringPool::Id>& strs() const {
+    EnsureDecodedShared();
+    return std::get<StrVec>(data_);
+  }
 
   // Returns a new column with rows picked by `idx` (values are indices into
-  // this column). Parallel for large gathers.
+  // this column). Parallel for large gathers. An encoded source decodes
+  // per element into a plain result without materializing itself.
   Column Gather(const std::vector<int64_t>& idx) const;
 
   // Keeps exactly the rows listed in `keep` (ascending), discarding the
@@ -67,6 +137,21 @@ class Column {
   // Appends all rows of `other` (same type) to this column.
   void AppendColumn(const Column& other);
 
+  // ---- Encoding (DESIGN.md §14) ----
+  // Replaces the plain vector with a dictionary / frame-of-reference
+  // payload when the observed stats make it at least ~10% smaller; no-op
+  // (returns false) otherwise or when already encoded. Requires exclusive
+  // access.
+  bool Encode();
+  bool encoded() const { return active() != nullptr; }
+  ColumnEncoding encoding() const {
+    const EncodedColumn* e = active();
+    return e != nullptr ? e->enc : ColumnEncoding::kPlain;
+  }
+  // The live encoded payload, or nullptr when plain (table_io serializes
+  // straight from it).
+  const EncodedColumn* encoded_state() const { return active(); }
+
   int64_t MemoryUsageBytes() const;
 
  private:
@@ -74,8 +159,26 @@ class Column {
   using FloatVec = std::vector<double>;
   using StrVec = std::vector<StringPool::Id>;
 
+  const EncodedColumn* active() const {
+    return active_.load(std::memory_order_acquire);
+  }
+  // Materializes data_ from the encoded payload (mutex-serialized, safe
+  // under concurrent const readers); keeps enc_ alive for readers that
+  // already observed it.
+  void EnsureDecodedShared() const;
+  // Exclusive-path variant: also drops the encoded payload.
+  void EnsureDecodedExclusive() {
+    if (active() == nullptr) return;
+    EnsureDecodedShared();
+    enc_.reset();
+  }
+
   ColumnType type_;
-  std::variant<IntVec, FloatVec, StrVec> data_;
+  // mutable: the lazy decode fills it behind a const accessor; the
+  // active_ fence makes that single transition safe (header comment).
+  mutable std::variant<IntVec, FloatVec, StrVec> data_;
+  mutable std::shared_ptr<const EncodedColumn> enc_;
+  mutable std::atomic<const EncodedColumn*> active_{nullptr};
 };
 
 }  // namespace ringo

@@ -131,7 +131,10 @@ Result<TablePtr> Table::GroupByAggregate(
       if (s.first_row < 0) s.first_row = r;
       if (ci >= 0 && schema_.column(ci).type == ColumnType::kInt) {
         const int64_t v = cols_[ci].GetInt(r);
-        s.isum += v;
+        // Two's-complement wrap on overflow (defined via uint64), matching
+        // what callers summing near-INT64_MAX values have always observed.
+        s.isum = static_cast<int64_t>(static_cast<uint64_t>(s.isum) +
+                                      static_cast<uint64_t>(v));
         if (v < s.imin) s.imin = v;
         if (v > s.imax) s.imax = v;
         s.sum += static_cast<double>(v);  // For kMean.

@@ -6,6 +6,7 @@
 
 #include "table/key_normalize.h"
 #include "table/row_compare.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
 
@@ -168,6 +169,21 @@ void EvalTyped(int64_t n, CmpOp op, T rhs, const Get& get,
   }
 }
 
+// Dictionary fast path: a dict-encoded column has few distinct values, so
+// evaluate the comparison once per dictionary entry and flag rows with a
+// byte lookup on the bit-packed code. Exactly equivalent to the per-row
+// form (a row's flag depends only on its decoded value), but the scan
+// touches one code and one byte of `match` per row instead of decoding —
+// for strings it also collapses per-row pool lookups into per-entry ones.
+template <typename T, typename DictGet>
+void EvalDictCodes(const EncodedColumn& e, int64_t dict_count, int64_t n,
+                   CmpOp op, T rhs, const DictGet& dict_at,
+                   std::vector<uint8_t>* flags) {
+  std::vector<uint8_t> match(static_cast<size_t>(dict_count), 0);
+  EvalTyped<T>(dict_count, op, rhs, dict_at, &match);
+  ParallelFor(0, n, [&](int64_t i) { (*flags)[i] = match[e.Code(i)]; });
+}
+
 std::vector<int64_t> FlagsToKeep(const std::vector<uint8_t>& flags) {
   std::vector<int64_t> keep;
   for (int64_t i = 0; i < static_cast<int64_t>(flags.size()); ++i) {
@@ -181,17 +197,50 @@ std::vector<int64_t> FlagsToKeep(const std::vector<uint8_t>& flags) {
 Status Table::EvalPredicate(std::string_view col, CmpOp op,
                             const Value& value,
                             std::vector<int64_t>* keep) const {
+  std::vector<uint8_t> flags;
+  RINGO_RETURN_NOT_OK(EvalPredicateFlags(col, op, value, &flags));
+  *keep = FlagsToKeep(flags);
+  return Status::OK();
+}
+
+Status Table::EvalPredicateFlags(std::string_view col, CmpOp op,
+                                 const Value& value,
+                                 std::vector<uint8_t>* out_flags) const {
   RINGO_ASSIGN_OR_RETURN(const int ci, schema_.FindColumn(col));
   const Column& c = cols_[ci];
-  std::vector<uint8_t> flags(num_rows_);
+  std::vector<uint8_t>& flags = *out_flags;
+  flags.assign(num_rows_, 0);
   switch (c.type()) {
     case ColumnType::kInt: {
       if (!std::holds_alternative<int64_t>(value)) {
         return Status::TypeMismatch("int column '" + std::string(col) +
                                     "' compared with non-int value");
       }
-      EvalTyped<int64_t>(num_rows_, op, std::get<int64_t>(value),
-                         [&](int64_t i) { return c.GetInt(i); }, &flags);
+      const int64_t rhs = std::get<int64_t>(value);
+      const EncodedColumn* e = c.encoded_state();
+      if (e != nullptr && e->enc == ColumnEncoding::kDictInt) {
+        EvalDictCodes<int64_t>(
+            *e, static_cast<int64_t>(e->dict_ints.size()), num_rows_, op, rhs,
+            [&](int64_t k) { return e->dict_ints[k]; }, &flags);
+      } else if (e != nullptr && e->enc == ColumnEncoding::kForInt &&
+                 e->bits <= 62) {
+        // FOR is order-preserving (v = base + code), so every comparison
+        // maps onto the packed codes: v op rhs <=> code op (rhs - base).
+        // Codes live in [0, 2^bits), so clamping the threshold to
+        // [-1, 2^bits] decides out-of-range rhs the same way exact
+        // arithmetic would while keeping the compare in int64.
+        const __int128 wide = static_cast<__int128>(rhs) - e->for_base;
+        const __int128 hi = static_cast<__int128>(int64_t{1} << e->bits);
+        const int64_t t =
+            static_cast<int64_t>(wide < -1 ? -1 : (wide > hi ? hi : wide));
+        EvalTyped<int64_t>(
+            num_rows_, op, t,
+            [&](int64_t i) { return static_cast<int64_t>(e->Code(i)); },
+            &flags);
+      } else {
+        EvalTyped<int64_t>(num_rows_, op, rhs,
+                           [&](int64_t i) { return c.GetInt(i); }, &flags);
+      }
       break;
     }
     case ColumnType::kFloat: {
@@ -204,8 +253,15 @@ Status Table::EvalPredicate(std::string_view col, CmpOp op,
         return Status::TypeMismatch("float column '" + std::string(col) +
                                     "' compared with non-numeric value");
       }
-      EvalTyped<double>(num_rows_, op, rhs,
-                        [&](int64_t i) { return c.GetFloat(i); }, &flags);
+      const EncodedColumn* e = c.encoded_state();
+      if (e != nullptr && e->enc == ColumnEncoding::kDictFloat) {
+        EvalDictCodes<double>(
+            *e, static_cast<int64_t>(e->dict_floats.size()), num_rows_, op,
+            rhs, [&](int64_t k) { return e->dict_floats[k]; }, &flags);
+      } else {
+        EvalTyped<double>(num_rows_, op, rhs,
+                          [&](int64_t i) { return c.GetFloat(i); }, &flags);
+      }
       break;
     }
     case ColumnType::kString: {
@@ -220,6 +276,10 @@ Status Table::EvalPredicate(std::string_view col, CmpOp op,
         if (id == StringPool::kInvalidId) {
           const uint8_t fill = (op == CmpOp::kNe) ? 1 : 0;
           std::fill(flags.begin(), flags.end(), fill);
+        } else if (const EncodedColumn* e = c.encoded_state()) {
+          EvalDictCodes<StringPool::Id>(
+              *e, static_cast<int64_t>(e->dict_strs.size()), num_rows_, op,
+              id, [&](int64_t k) { return e->dict_strs[k]; }, &flags);
         } else {
           EvalTyped<StringPool::Id>(num_rows_, op, id,
                                     [&](int64_t i) { return c.GetStr(i); },
@@ -228,14 +288,77 @@ Status Table::EvalPredicate(std::string_view col, CmpOp op,
       } else {
         // Ordering comparisons resolve bytes per distinct id via the pool.
         const std::string_view rhs_view = rhs;
-        auto get = [&](int64_t i) { return pool_->Get(c.GetStr(i)); };
-        EvalTyped<std::string_view>(num_rows_, op, rhs_view, get, &flags);
+        if (const EncodedColumn* e = c.encoded_state()) {
+          EvalDictCodes<std::string_view>(
+              *e, static_cast<int64_t>(e->dict_strs.size()), num_rows_, op,
+              rhs_view, [&](int64_t k) { return pool_->Get(e->dict_strs[k]); },
+              &flags);
+        } else {
+          auto get = [&](int64_t i) { return pool_->Get(c.GetStr(i)); };
+          EvalTyped<std::string_view>(num_rows_, op, rhs_view, get, &flags);
+        }
       }
       break;
     }
   }
-  *keep = FlagsToKeep(flags);
   return Status::OK();
+}
+
+Status Table::EvalPredicateExpr(const PredicateExpr& pred,
+                                std::vector<int64_t>* keep) const {
+  if (pred.disjuncts.empty()) {
+    return Status::InvalidArgument("empty predicate expression");
+  }
+  for (const auto& conj : pred.disjuncts) {
+    if (conj.empty()) {
+      return Status::InvalidArgument("empty AND-group in predicate");
+    }
+  }
+  // Single leaf: identical to the scalar overloads.
+  if (pred.disjuncts.size() == 1 && pred.disjuncts[0].size() == 1) {
+    const ParsedPredicate& l = pred.disjuncts[0][0];
+    return EvalPredicate(l.column, l.op, l.value, keep);
+  }
+  std::vector<uint8_t> acc(num_rows_, 0);
+  std::vector<uint8_t> conj_flags, leaf_flags;
+  for (const auto& conj : pred.disjuncts) {
+    conj_flags.assign(num_rows_, 1);
+    for (const ParsedPredicate& l : conj) {
+      RINGO_RETURN_NOT_OK(EvalPredicateFlags(l.column, l.op, l.value,
+                                             &leaf_flags));
+      ParallelFor(0, num_rows_,
+                  [&](int64_t i) { conj_flags[i] &= leaf_flags[i]; });
+    }
+    ParallelFor(0, num_rows_, [&](int64_t i) { acc[i] |= conj_flags[i]; });
+  }
+  *keep = FlagsToKeep(acc);
+  return Status::OK();
+}
+
+Status Table::SelectInPlace(const PredicateExpr& pred) {
+  trace::Span span("Table/SelectInPlace");
+  span.AddAttr("rows", num_rows_);
+  std::vector<int64_t> keep;
+  RINGO_RETURN_NOT_OK(EvalPredicateExpr(pred, &keep));
+  span.AddAttr("kept", static_cast<int64_t>(keep.size()));
+  CompactKeep(keep);
+  return Status::OK();
+}
+
+Result<TablePtr> Table::Select(const PredicateExpr& pred) const {
+  trace::Span span("Table/Select");
+  span.AddAttr("rows", num_rows_);
+  std::vector<int64_t> keep;
+  RINGO_RETURN_NOT_OK(EvalPredicateExpr(pred, &keep));
+  span.AddAttr("kept", static_cast<int64_t>(keep.size()));
+  return GatherRows(keep);
+}
+
+Result<std::vector<int64_t>> Table::MatchingRows(
+    const PredicateExpr& pred) const {
+  std::vector<int64_t> keep;
+  RINGO_RETURN_NOT_OK(EvalPredicateExpr(pred, &keep));
+  return keep;
 }
 
 Status Table::SelectInPlace(std::string_view col, CmpOp op,
@@ -392,6 +515,25 @@ int64_t Table::MemoryUsageBytes() const {
   int64_t bytes = static_cast<int64_t>(row_ids_.capacity() * sizeof(int64_t));
   for (const Column& c : cols_) bytes += c.MemoryUsageBytes();
   return bytes;
+}
+
+int64_t Table::EncodeColumns() {
+  trace::Span span("Table/EncodeColumns");
+  int64_t encoded = 0;
+  for (Column& c : cols_) encoded += c.Encode() ? 1 : 0;
+  RINGO_COUNTER_ADD("table/columns_encoded", encoded);
+  span.AddAttr("encoded", encoded);
+  PublishMemGauges();
+  return encoded;
+}
+
+void Table::PublishMemGauges() const {
+  const int64_t bytes = MemoryUsageBytes();
+  metrics::GaugeSet("mem/table_bytes", static_cast<double>(bytes));
+  metrics::GaugeSet("mem/bytes_per_row",
+                    num_rows_ == 0 ? 0.0
+                                   : static_cast<double>(bytes) /
+                                         static_cast<double>(num_rows_));
 }
 
 bool Table::ContentEquals(const Table& other) const {

@@ -14,6 +14,7 @@
 #ifndef RINGO_TABLE_TABLE_H_
 #define RINGO_TABLE_TABLE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,6 +40,21 @@ using JoinBuildPtr = std::shared_ptr<const JoinBuild>;
 using Value = std::variant<int64_t, double, std::string>;
 
 enum class CmpOp : char { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// One parsed leaf comparison "col <op> literal" of the query language's
+// select predicate (parsing lives in core/engine.h, shared with tests).
+struct ParsedPredicate {
+  std::string column;
+  CmpOp op;
+  Value value;
+};
+
+// Compound predicate in disjunctive normal form: an OR of AND-groups of
+// leaf comparisons. "a = 1 and b > 2 or c = 3" parses as {{a=1, b>2},
+// {c=3}} — `and` binds tighter than `or`; the language has no parentheses.
+struct PredicateExpr {
+  std::vector<std::vector<ParsedPredicate>> disjuncts;
+};
 
 enum class AggFn : char { kCount, kSum, kMin, kMax, kMean, kFirst };
 
@@ -109,6 +125,13 @@ class Table {
   // materializing the filtered table.
   Result<std::vector<int64_t>> MatchingRows(std::string_view col, CmpOp op,
                                             const Value& value) const;
+
+  // Compound (DNF) variants: a row survives when every leaf of at least one
+  // AND-group holds. Leaves evaluate to parallel flag vectors that are
+  // combined element-wise, so the cost is one column scan per leaf.
+  Status SelectInPlace(const PredicateExpr& pred);
+  Result<TablePtr> Select(const PredicateExpr& pred) const;
+  Result<std::vector<int64_t>> MatchingRows(const PredicateExpr& pred) const;
 
   // General row-predicate select (copying). The predicate must be safe to
   // call concurrently.
@@ -250,12 +273,23 @@ class Table {
   // ----------------------------------------------------------------- misc
   int64_t MemoryUsageBytes() const;
 
+  // Compacts columns whose observed stats justify a dictionary or
+  // frame-of-reference layout (DESIGN.md §14); access stays transparent
+  // through the Column API. Returns the number of columns encoded and
+  // refreshes the mem/table_bytes + mem/bytes_per_row gauges. Requires
+  // exclusive access (like any mutation).
+  int64_t EncodeColumns();
+  // Refreshes mem/table_bytes and mem/bytes_per_row from current usage.
+  void PublishMemGauges() const;
+
   // Deep structural equality of contents (schema, row count, cell values in
   // physical order; row ids are NOT compared).
   bool ContentEquals(const Table& other) const;
 
  private:
   friend class TableOps;
+  // table_io.cc — restores row_ids_/next_row_id_ when loading .rtb files.
+  friend class TableBinAccess;
 
   // Compacts all columns + row ids to the given ascending row subset.
   void CompactKeep(const std::vector<int64_t>& keep);
@@ -264,6 +298,12 @@ class Table {
   // Evaluates a typed single-column comparison into `keep` (ascending).
   Status EvalPredicate(std::string_view col, CmpOp op, const Value& value,
                        std::vector<int64_t>* keep) const;
+  // Same, but into per-row 0/1 flags (the combiner for compound selects).
+  Status EvalPredicateFlags(std::string_view col, CmpOp op, const Value& value,
+                            std::vector<uint8_t>* flags) const;
+  // DNF evaluation: per-leaf flags ANDed within a group, ORed across.
+  Status EvalPredicateExpr(const PredicateExpr& pred,
+                           std::vector<int64_t>* keep) const;
 
   Schema schema_;
   std::shared_ptr<StringPool> pool_;

@@ -1,11 +1,20 @@
 #include "table/table_io.h"
 
+#include <bit>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
+#include <string_view>
+#include <unordered_map>
 
+#include "storage/mmap_file.h"
+#include "util/checksum.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace ringo {
 
@@ -111,6 +120,9 @@ Result<TablePtr> LoadTableTSV(const Schema& schema, const std::string& path,
   for (const Status& st : frag_status) {
     RINGO_RETURN_NOT_OK(st);
   }
+  // Reserve final capacity up front so the fragment merge appends without
+  // reallocation (n is exact: every fragment row survives or we returned).
+  table->ReserveRows(n);
   for (int t = 0; t < threads; ++t) {
     for (int c = 0; c < schema.num_columns(); ++c) {
       table->mutable_column(c).AppendColumn(frag[t][c]);
@@ -150,6 +162,568 @@ Status SaveTableTSV(const Table& t, const std::string& path,
     return Status::IOError("write failure on '" + path + "'");
   }
   return Status::OK();
+}
+
+// --------------------------------------------------------------------------
+// .rtb binary table format (DESIGN.md §14).
+//
+// Layout (all integers little-endian; the format is not byte-swapped on
+// big-endian hosts — Ringo targets x86-64/AArch64):
+//
+//   [64-byte header]
+//     0  magic "RTB1"
+//     4  u32 version (= 1)
+//     8  u32 ncols
+//     12 u32 flags (reserved, 0)
+//     16 i64 nrows
+//     24 i64 next_row_id
+//     32 u64 dir_offset
+//     40 u64 dir_bytes
+//     48 u32 dir_crc
+//     52 u32 header_crc  (CRC-32 of bytes [0, 52))
+//     56 zero padding to 64
+//   [segments]   8-byte aligned, zero-padded between; one data segment per
+//                column, one dictionary segment per dict-encoded column,
+//                one row-id segment (nrows × i64)
+//   [directory]  per-column: name, type, on-disk encoding, bit width,
+//                for_base, dict_count, then (offset, bytes, crc) for the
+//                data and dictionary segments; finally the row-id segment's
+//                (offset, bytes, crc)
+//
+// Plain int/float columns are raw 8-byte values (floats keep their exact
+// bit patterns). Encoded columns store their packed code stream verbatim,
+// so the loader can hand the column a zero-copy view into the mapping.
+// String columns are *always* dictionary-form on disk — pool ids are
+// process-local, so the dictionary stores the bytes and the loader
+// re-interns them into the target pool.
+
+// Friend of Table: the loader's private-state restore hatch.
+class TableBinAccess {
+ public:
+  static int64_t NextRowId(const Table& t) { return t.next_row_id_; }
+  static void Restore(Table& t, std::vector<int64_t> row_ids,
+                      int64_t next_row_id) {
+    t.num_rows_ = static_cast<int64_t>(row_ids.size());
+    t.row_ids_ = std::move(row_ids);
+    t.next_row_id_ = next_row_id;
+  }
+};
+
+namespace {
+
+constexpr char kRtbMagic[4] = {'R', 'T', 'B', '1'};
+constexpr uint32_t kRtbVersion = 1;
+constexpr size_t kRtbHeaderBytes = 64;
+constexpr size_t kRtbHeaderCrcOffset = 52;  // header_crc covers [0, 52)
+
+struct SegRef {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+template <typename T>
+void PutNum(std::string* b, T v) {
+  b->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void PutSeg(std::string* b, const SegRef& s) {
+  PutNum(b, s.offset);
+  PutNum(b, s.bytes);
+  PutNum(b, s.crc);
+}
+
+// Streaming segment writer: pads to 8-byte alignment before each segment
+// and records (offset, bytes, crc).
+struct RtbWriter {
+  std::ofstream out;
+  uint64_t off = 0;
+
+  void Raw(const void* p, size_t n) {
+    if (n == 0) return;
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    off += n;
+  }
+  void Pad8() {
+    static constexpr char zeros[8] = {};
+    Raw(zeros, static_cast<size_t>(-off & 7));
+  }
+  SegRef Segment(const void* p, size_t n) {
+    Pad8();
+    const SegRef s{off, n, Crc32(p, n)};
+    Raw(p, n);
+    return s;
+  }
+};
+
+int BitsForDict(int64_t dict_count) {
+  return dict_count <= 1
+             ? 0
+             : std::bit_width(static_cast<uint64_t>(dict_count - 1));
+}
+
+// First-occurrence dictionary over a plain string-id vector (the save path
+// for string columns that are not already dict-encoded in memory).
+void BuildStrDict(const std::vector<StringPool::Id>& v,
+                  std::vector<StringPool::Id>* dict,
+                  std::vector<uint64_t>* codes) {
+  std::unordered_map<StringPool::Id, uint64_t> seen;
+  codes->reserve(v.size());
+  for (const StringPool::Id id : v) {
+    const auto [it, inserted] = seen.emplace(id, dict->size());
+    if (inserted) dict->push_back(id);
+    codes->push_back(it->second);
+  }
+}
+
+// Dictionary segment payload for string columns: dict_count entries of
+// [u32 length][bytes].
+std::string SerializeStrDict(const StringPool& pool,
+                             const std::vector<StringPool::Id>& dict) {
+  std::string b;
+  for (const StringPool::Id id : dict) {
+    const std::string_view s = pool.Get(id);
+    PutNum(&b, static_cast<uint32_t>(s.size()));
+    b.append(s);
+  }
+  return b;
+}
+
+// What one column serializes to, recorded while its segments are written.
+struct ColDisk {
+  uint8_t enc = 0;  // ColumnEncoding as stored on disk
+  uint8_t bits = 0;
+  int64_t for_base = 0;
+  int64_t dict_count = 0;
+  SegRef data;
+  SegRef dict;
+};
+
+// Bounds-checked reader over the mapped directory bytes.
+struct BinCursor {
+  const uint8_t* p;
+  size_t left;
+
+  bool Bytes(void* dst, size_t n) {
+    if (n > left) return false;
+    std::memcpy(dst, p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  template <typename T>
+  bool Num(T* v) {
+    return Bytes(v, sizeof(T));
+  }
+  bool Str(std::string* s, size_t n) {
+    if (n > left) return false;
+    s->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+  bool Seg(SegRef* s) {
+    return Num(&s->offset) && Num(&s->bytes) && Num(&s->crc);
+  }
+};
+
+struct ColEntry {
+  std::string name;
+  uint8_t type = 0;
+  uint8_t enc = 0;
+  uint8_t bits = 0;
+  int64_t for_base = 0;
+  int64_t dict_count = 0;
+  SegRef data;
+  SegRef dict;
+};
+
+Status MalformedDir(const std::string& why) {
+  return Status::Corruption("malformed .rtb directory: " + why);
+}
+
+// Verifies a segment lies inside the file and matches its checksum.
+Status CheckSegment(const uint8_t* base, size_t file_size, const SegRef& s,
+                    const std::string& what) {
+  if (s.bytes > file_size || s.offset > file_size - s.bytes) {
+    return Status::Corruption("short " + what + " segment");
+  }
+  if (Crc32(base + s.offset, s.bytes) != s.crc) {
+    return Status::Corruption("checksum mismatch in " + what + " segment");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveTableBin(const Table& t, const std::string& path) {
+  trace::Span span("Table/SaveTableBin");
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  RtbWriter w{std::move(f)};
+  {
+    const char zeros[kRtbHeaderBytes] = {};
+    w.Raw(zeros, kRtbHeaderBytes);  // Header placeholder, rewritten below.
+  }
+
+  const int64_t nrows = t.NumRows();
+  std::vector<ColDisk> cols(t.num_columns());
+  for (int ci = 0; ci < t.num_columns(); ++ci) {
+    const Column& c = t.column(ci);
+    ColDisk& d = cols[ci];
+    const EncodedColumn* e = c.encoded_state();
+    switch (c.type()) {
+      case ColumnType::kInt:
+        if (e != nullptr) {
+          d.enc = static_cast<uint8_t>(e->enc);
+          d.bits = static_cast<uint8_t>(e->bits);
+          d.for_base = e->for_base;
+          if (e->enc == ColumnEncoding::kDictInt) {
+            d.dict_count = static_cast<int64_t>(e->dict_ints.size());
+            d.dict = w.Segment(e->dict_ints.data(),
+                               e->dict_ints.size() * sizeof(int64_t));
+          }
+          d.data =
+              w.Segment(e->words.data(), e->words.size() * sizeof(uint64_t));
+        } else {
+          d.enc = static_cast<uint8_t>(ColumnEncoding::kPlain);
+          d.data = w.Segment(c.ints().data(), nrows * sizeof(int64_t));
+        }
+        break;
+      case ColumnType::kFloat:
+        if (e != nullptr) {
+          d.enc = static_cast<uint8_t>(e->enc);
+          d.bits = static_cast<uint8_t>(e->bits);
+          d.dict_count = static_cast<int64_t>(e->dict_floats.size());
+          d.dict = w.Segment(e->dict_floats.data(),
+                             e->dict_floats.size() * sizeof(double));
+          d.data =
+              w.Segment(e->words.data(), e->words.size() * sizeof(uint64_t));
+        } else {
+          d.enc = static_cast<uint8_t>(ColumnEncoding::kPlain);
+          d.data = w.Segment(c.floats().data(), nrows * sizeof(double));
+        }
+        break;
+      case ColumnType::kString: {
+        // Always dictionary-form on disk (pool ids don't persist).
+        d.enc = static_cast<uint8_t>(ColumnEncoding::kDictStr);
+        std::vector<StringPool::Id> dict_local;
+        std::vector<uint64_t> codes_local;
+        std::vector<uint64_t> packed;
+        const std::vector<StringPool::Id>* dict = nullptr;
+        std::span<const uint64_t> words;
+        if (e != nullptr && e->enc == ColumnEncoding::kDictStr) {
+          dict = &e->dict_strs;
+          d.bits = static_cast<uint8_t>(e->bits);
+          words = e->words;
+        } else {
+          BuildStrDict(c.strs(), &dict_local, &codes_local);
+          dict = &dict_local;
+          d.bits = static_cast<uint8_t>(
+              BitsForDict(static_cast<int64_t>(dict_local.size())));
+          if (d.bits > 0) packed = PackCodes(codes_local, d.bits);
+          words = packed;
+        }
+        d.dict_count = static_cast<int64_t>(dict->size());
+        const std::string dict_bytes = SerializeStrDict(*t.pool(), *dict);
+        d.dict = w.Segment(dict_bytes.data(), dict_bytes.size());
+        d.data = w.Segment(words.data(), words.size() * sizeof(uint64_t));
+        break;
+      }
+    }
+  }
+  const SegRef row_seg =
+      w.Segment(t.row_ids().data(), nrows * sizeof(int64_t));
+
+  std::string dir;
+  for (int ci = 0; ci < t.num_columns(); ++ci) {
+    const ColumnSpec& spec = t.schema().column(ci);
+    const ColDisk& d = cols[ci];
+    PutNum(&dir, static_cast<uint32_t>(spec.name.size()));
+    dir.append(spec.name);
+    PutNum(&dir, static_cast<uint8_t>(spec.type));
+    PutNum(&dir, d.enc);
+    PutNum(&dir, d.bits);
+    PutNum(&dir, uint8_t{0});
+    PutNum(&dir, d.for_base);
+    PutNum(&dir, d.dict_count);
+    PutSeg(&dir, d.data);
+    PutSeg(&dir, d.dict);
+  }
+  PutSeg(&dir, row_seg);
+
+  w.Pad8();
+  const uint64_t dir_offset = w.off;
+  const uint32_t dir_crc = Crc32(dir.data(), dir.size());
+  w.Raw(dir.data(), dir.size());
+
+  std::string h;
+  h.append(kRtbMagic, sizeof(kRtbMagic));
+  PutNum(&h, kRtbVersion);
+  PutNum(&h, static_cast<uint32_t>(t.num_columns()));
+  PutNum(&h, uint32_t{0});  // flags
+  PutNum(&h, nrows);
+  PutNum(&h, TableBinAccess::NextRowId(t));
+  PutNum(&h, dir_offset);
+  PutNum(&h, static_cast<uint64_t>(dir.size()));
+  PutNum(&h, dir_crc);
+  PutNum(&h, Crc32(h.data(), kRtbHeaderCrcOffset));
+  h.resize(kRtbHeaderBytes, '\0');
+  w.out.seekp(0);
+  w.out.write(h.data(), static_cast<std::streamsize>(h.size()));
+  w.out.flush();
+  if (!w.out) {
+    return Status::IOError("write failure on '" + path + "'");
+  }
+  RINGO_COUNTER_ADD("table_io/save_bin", 1);
+  return Status::OK();
+}
+
+Result<TablePtr> LoadTableBin(const std::string& path,
+                              std::shared_ptr<StringPool> pool) {
+  trace::Span span("Table/LoadTableBin");
+  RINGO_ASSIGN_OR_RETURN(std::shared_ptr<const MmapFile> map,
+                         MmapFile::Open(path));
+  const uint8_t* base = map->data();
+  const size_t file_size = map->size();
+  if (file_size < kRtbHeaderBytes) {
+    return Status::Corruption("'" + path + "': truncated .rtb header");
+  }
+  if (std::memcmp(base, kRtbMagic, sizeof(kRtbMagic)) != 0) {
+    return Status::Corruption("'" + path + "': not an .rtb file (bad magic)");
+  }
+  BinCursor hc{base + sizeof(kRtbMagic),
+               kRtbHeaderBytes - sizeof(kRtbMagic)};
+  uint32_t version = 0, ncols = 0, flags = 0;
+  int64_t nrows = 0, next_row_id = 0;
+  uint64_t dir_offset = 0, dir_bytes = 0;
+  uint32_t dir_crc = 0, header_crc = 0;
+  hc.Num(&version);
+  hc.Num(&ncols);
+  hc.Num(&flags);
+  hc.Num(&nrows);
+  hc.Num(&next_row_id);
+  hc.Num(&dir_offset);
+  hc.Num(&dir_bytes);
+  hc.Num(&dir_crc);
+  hc.Num(&header_crc);
+  if (version != kRtbVersion) {
+    return Status::Corruption("'" + path + "': unsupported .rtb version " +
+                              std::to_string(version));
+  }
+  if (Crc32(base, kRtbHeaderCrcOffset) != header_crc) {
+    return Status::Corruption("'" + path + "': header checksum mismatch");
+  }
+  if (nrows < 0) {
+    return Status::Corruption("'" + path + "': negative row count");
+  }
+  if (dir_bytes > file_size || dir_offset > file_size - dir_bytes ||
+      dir_offset < kRtbHeaderBytes) {
+    return Status::Corruption("'" + path + "': truncated directory");
+  }
+  if (Crc32(base + dir_offset, dir_bytes) != dir_crc) {
+    return Status::Corruption("'" + path + "': directory checksum mismatch");
+  }
+
+  BinCursor cur{base + dir_offset, static_cast<size_t>(dir_bytes)};
+  std::vector<ColEntry> entries(ncols);
+  Schema schema;
+  for (ColEntry& e : entries) {
+    uint32_t name_len = 0;
+    uint8_t pad = 0;
+    if (!cur.Num(&name_len) || !cur.Str(&e.name, name_len) ||
+        !cur.Num(&e.type) || !cur.Num(&e.enc) || !cur.Num(&e.bits) ||
+        !cur.Num(&pad) || !cur.Num(&e.for_base) || !cur.Num(&e.dict_count) ||
+        !cur.Seg(&e.data) || !cur.Seg(&e.dict)) {
+      return MalformedDir("truncated column entry");
+    }
+    if (e.type > static_cast<uint8_t>(ColumnType::kString)) {
+      return MalformedDir("bad column type for '" + e.name + "'");
+    }
+    if (e.bits > 63 || e.dict_count < 0) {
+      return MalformedDir("bad encoding metadata for '" + e.name + "'");
+    }
+    const ColumnType type = static_cast<ColumnType>(e.type);
+    const ColumnEncoding enc = static_cast<ColumnEncoding>(e.enc);
+    const bool enc_ok =
+        (type == ColumnType::kInt &&
+         (enc == ColumnEncoding::kPlain || enc == ColumnEncoding::kDictInt ||
+          enc == ColumnEncoding::kForInt)) ||
+        (type == ColumnType::kFloat &&
+         (enc == ColumnEncoding::kPlain ||
+          enc == ColumnEncoding::kDictFloat)) ||
+        (type == ColumnType::kString && enc == ColumnEncoding::kDictStr);
+    if (!enc_ok) {
+      return MalformedDir("bad encoding for '" + e.name + "'");
+    }
+    const Status st = schema.AddColumn(e.name, type);
+    if (!st.ok()) {
+      return MalformedDir(st.message());
+    }
+  }
+  SegRef row_seg;
+  if (!cur.Seg(&row_seg)) {
+    return MalformedDir("missing row-id segment entry");
+  }
+  if (cur.left != 0) {
+    return MalformedDir("trailing bytes");
+  }
+
+  TablePtr t = Table::Create(std::move(schema), std::move(pool));
+  StringPool* out_pool = t->pool().get();
+  int64_t zero_copy_cols = 0;
+  for (int ci = 0; ci < t->num_columns(); ++ci) {
+    const ColEntry& e = entries[ci];
+    const ColumnType type = static_cast<ColumnType>(e.type);
+    const ColumnEncoding enc = static_cast<ColumnEncoding>(e.enc);
+    RINGO_RETURN_NOT_OK(
+        CheckSegment(base, file_size, e.data, "column '" + e.name + "' data"));
+    RINGO_RETURN_NOT_OK(CheckSegment(base, file_size, e.dict,
+                                     "column '" + e.name + "' dictionary"));
+
+    if (enc == ColumnEncoding::kPlain) {
+      if (e.data.bytes != static_cast<uint64_t>(nrows) * 8) {
+        return Status::Corruption("column '" + e.name +
+                                  "': data segment size mismatch");
+      }
+      // Empty segments skip the copy: a zero-row vector's data() may be
+      // null, and memcpy's pointer args are declared nonnull even for n=0.
+      if (type == ColumnType::kInt) {
+        std::vector<int64_t>& v = t->mutable_column(ci).ints();
+        v.resize(nrows);
+        if (e.data.bytes != 0)
+          std::memcpy(v.data(), base + e.data.offset, e.data.bytes);
+      } else {
+        std::vector<double>& v = t->mutable_column(ci).floats();
+        v.resize(nrows);
+        if (e.data.bytes != 0)
+          std::memcpy(v.data(), base + e.data.offset, e.data.bytes);
+      }
+      continue;
+    }
+
+    auto ec = std::make_shared<EncodedColumn>();
+    ec->enc = enc;
+    ec->n = nrows;
+    ec->bits = e.bits;
+    ec->for_base = e.for_base;
+    const uint64_t want_words =
+        e.bits == 0
+            ? 0
+            : (static_cast<uint64_t>(nrows) * e.bits + 63) / 64;
+    if (e.data.bytes != want_words * 8) {
+      return Status::Corruption("column '" + e.name +
+                                "': code stream size mismatch");
+    }
+    if (want_words > 0) {
+      if (e.data.offset % alignof(uint64_t) == 0) {
+        ec->BorrowWords(
+            std::span(reinterpret_cast<const uint64_t*>(base + e.data.offset),
+                      want_words),
+            map);
+        ++zero_copy_cols;
+      } else {
+        std::vector<uint64_t> w(want_words);
+        std::memcpy(w.data(), base + e.data.offset, want_words * 8);
+        ec->AdoptOwnedWords(std::move(w));
+      }
+    }
+
+    switch (enc) {
+      case ColumnEncoding::kForInt:
+        break;  // for_base + codes is the whole payload.
+      case ColumnEncoding::kDictInt:
+        if (e.dict.bytes != static_cast<uint64_t>(e.dict_count) * 8) {
+          return Status::Corruption("column '" + e.name +
+                                    "': dictionary size mismatch");
+        }
+        ec->dict_ints.resize(e.dict_count);
+        if (e.dict.bytes != 0)
+          std::memcpy(ec->dict_ints.data(), base + e.dict.offset,
+                      e.dict.bytes);
+        break;
+      case ColumnEncoding::kDictFloat:
+        if (e.dict.bytes != static_cast<uint64_t>(e.dict_count) * 8) {
+          return Status::Corruption("column '" + e.name +
+                                    "': dictionary size mismatch");
+        }
+        ec->dict_floats.resize(e.dict_count);
+        if (e.dict.bytes != 0)
+          std::memcpy(ec->dict_floats.data(), base + e.dict.offset,
+                      e.dict.bytes);
+        break;
+      case ColumnEncoding::kDictStr: {
+        BinCursor dc{base + e.dict.offset, static_cast<size_t>(e.dict.bytes)};
+        ec->dict_strs.reserve(e.dict_count);
+        std::string s;
+        for (int64_t i = 0; i < e.dict_count; ++i) {
+          uint32_t len = 0;
+          if (!dc.Num(&len) || !dc.Str(&s, len)) {
+            return Status::Corruption("column '" + e.name +
+                                      "': truncated string dictionary");
+          }
+          ec->dict_strs.push_back(out_pool->GetOrAdd(s));
+        }
+        if (dc.left != 0) {
+          return Status::Corruption("column '" + e.name +
+                                    "': string dictionary trailing bytes");
+        }
+        break;
+      }
+      case ColumnEncoding::kPlain:
+        break;  // unreachable
+    }
+
+    // Dict encodings: every code must index the dictionary. A full-width
+    // code space (dict_count == 2^bits) cannot overflow; otherwise scan —
+    // CRCs catch bit rot, this catches files written wrong.
+    if (enc != ColumnEncoding::kForInt && e.bits > 0 &&
+        static_cast<uint64_t>(e.dict_count) < (uint64_t{1} << e.bits)) {
+      uint64_t max_code = 0;
+      for (int64_t i = 0; i < nrows; ++i) {
+        max_code = std::max(max_code, ec->Code(i));
+      }
+      if (max_code >= static_cast<uint64_t>(e.dict_count)) {
+        return Status::Corruption("column '" + e.name +
+                                  "': code out of dictionary range");
+      }
+    }
+    if (enc != ColumnEncoding::kForInt && nrows > 0 && e.dict_count == 0) {
+      return Status::Corruption("column '" + e.name + "': empty dictionary");
+    }
+    t->mutable_column(ci) = Column(type, std::move(ec));
+  }
+
+  RINGO_RETURN_NOT_OK(CheckSegment(base, file_size, row_seg, "row-id"));
+  if (row_seg.bytes != static_cast<uint64_t>(nrows) * 8) {
+    return Status::Corruption("'" + path + "': row-id segment size mismatch");
+  }
+  std::vector<int64_t> row_ids(nrows);
+  if (row_seg.bytes != 0)
+    std::memcpy(row_ids.data(), base + row_seg.offset, row_seg.bytes);
+  TableBinAccess::Restore(*t, std::move(row_ids), next_row_id);
+
+  RINGO_COUNTER_ADD("table_io/load_bin", 1);
+  RINGO_COUNTER_ADD("table_io/load_bin_zero_copy_cols", zero_copy_cols);
+  t->PublishMemGauges();
+  return t;
+}
+
+Result<TablePtr> LoadTableAuto(const Schema& schema, const std::string& path,
+                               std::shared_ptr<StringPool> pool,
+                               bool has_header) {
+  if (std::string_view(path).ends_with(".rtb")) {
+    RINGO_ASSIGN_OR_RETURN(TablePtr t, LoadTableBin(path, std::move(pool)));
+    if (schema.num_columns() > 0 && !(t->schema() == schema)) {
+      return Status::InvalidArgument(
+          "schema mismatch for '" + path + "': file has [" +
+          t->schema().ToString() + "], declared [" + schema.ToString() + "]");
+    }
+    return t;
+  }
+  return LoadTableTSV(schema, path, std::move(pool), has_header);
 }
 
 }  // namespace ringo

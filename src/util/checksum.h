@@ -1,0 +1,21 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG one), table-driven. Guards the
+// .rtb binary table format's header, directory, and column segments
+// (DESIGN.md §14): cheap enough to verify at load, strong enough to catch
+// truncation and bit rot.
+#ifndef RINGO_UTIL_CHECKSUM_H_
+#define RINGO_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ringo {
+
+// One-shot CRC-32 of a byte range.
+uint32_t Crc32(const void* data, size_t len);
+
+// Incremental form: feed `crc` from the previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace ringo
+
+#endif  // RINGO_UTIL_CHECKSUM_H_

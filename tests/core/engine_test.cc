@@ -46,6 +46,69 @@ TEST(ParsePredicateTest, Malformed) {
   EXPECT_FALSE(ParsePredicate("x =").ok());
 }
 
+TEST(ParsePredicateExprTest, SingleLeafIsOneDisjunctOneLeaf) {
+  auto p = ParsePredicateExpr("x >= 5");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->disjuncts.size(), 1u);
+  ASSERT_EQ(p->disjuncts[0].size(), 1u);
+  EXPECT_EQ(p->disjuncts[0][0].column, "x");
+  EXPECT_EQ(std::get<int64_t>(p->disjuncts[0][0].value), 5);
+}
+
+// `and` binds tighter than `or`: a=1 and b>2 or c=3 → {{a,b},{c}}.
+TEST(ParsePredicateExprTest, AndBindsTighterThanOr) {
+  auto p = ParsePredicateExpr("a = 1 and b > 2 or c = 3");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->disjuncts.size(), 2u);
+  ASSERT_EQ(p->disjuncts[0].size(), 2u);
+  ASSERT_EQ(p->disjuncts[1].size(), 1u);
+  EXPECT_EQ(p->disjuncts[0][0].column, "a");
+  EXPECT_EQ(p->disjuncts[0][1].column, "b");
+  EXPECT_EQ(p->disjuncts[1][0].column, "c");
+}
+
+TEST(ParsePredicateExprTest, KeywordsAreCaseInsensitive) {
+  auto p = ParsePredicateExpr("a = 1 AND b = 2 Or c = 3");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->disjuncts.size(), 2u);
+  EXPECT_EQ(p->disjuncts[0].size(), 2u);
+}
+
+// Quoted literals may contain the keywords; the splitter must not cut
+// inside quotes, and "android" must not match the "and" keyword.
+TEST(ParsePredicateExprTest, QuotesAndSubstringsDoNotSplit) {
+  auto p = ParsePredicateExpr("tag = 'rock and roll' or tag = android");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->disjuncts.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(p->disjuncts[0][0].value), "rock and roll");
+  EXPECT_EQ(std::get<std::string>(p->disjuncts[1][0].value), "android");
+}
+
+TEST(ParsePredicateExprTest, Malformed) {
+  EXPECT_FALSE(ParsePredicateExpr("a = 1 and").ok());      // Trailing and.
+  EXPECT_FALSE(ParsePredicateExpr("or a = 1").ok());       // Leading or.
+  EXPECT_FALSE(ParsePredicateExpr("a = 1 and and b = 2").ok());
+  EXPECT_FALSE(ParsePredicateExpr("a = 'unterminated").ok());
+  EXPECT_FALSE(ParsePredicateExpr("").ok());
+}
+
+TEST(EngineTest, CompoundSelect) {
+  Ringo ringo;
+  TablePtr t = ringo.NewTable(
+      Schema{{"Tag", ColumnType::kString}, {"n", ColumnType::kInt}});
+  RINGO_CHECK_OK(t->AppendRow({std::string("Java"), int64_t{1}}));
+  RINGO_CHECK_OK(t->AppendRow({std::string("Java"), int64_t{9}}));
+  RINGO_CHECK_OK(t->AppendRow({std::string("C++"), int64_t{9}}));
+  RINGO_CHECK_OK(t->AppendRow({std::string("Go"), int64_t{3}}));
+  auto r = ringo.Select(t, "Tag = Java and n >= 5 or Tag = Go");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->NumRows(), 2);
+  EXPECT_EQ((*r)->column(1).GetInt(0), 9);  // Java/9
+  EXPECT_EQ((*r)->column(1).GetInt(1), 3);  // Go/3
+  ASSERT_TRUE(ringo.SelectInPlace(t, "n >= 9 or n <= 1").ok());
+  EXPECT_EQ(t->NumRows(), 3);
+}
+
 TEST(EngineTest, TablesShareThePool) {
   Ringo ringo;
   TablePtr a = ringo.NewTable(Schema{{"s", ColumnType::kString}});

@@ -265,6 +265,52 @@ TEST(PlannerErrorTest, IntPredicateCoercesToFloatColumn) {
   EXPECT_NE(PlanToString(plan).find("select(#0, w > 2)"), std::string::npos);
 }
 
+// ------------------------------------------- compound (and/or) predicates
+
+TEST(PlannerCompoundTest, GoldenCompoundSelect) {
+  const Plan plan =
+      MustPlan("select(t, \"tag = java and w > 2 or src = 5\")", Bind());
+  EXPECT_EQ(PlanToString(plan),
+            "#0 = bind(t) [src:int, dst:int, w:float, tag:string]\n"
+            "#1 = select(#0, tag = \"java\" and w > 2 or src = 5) "
+            "[src:int, dst:int, w:float, tag:string]\n"
+            "root = #1\n");
+}
+
+TEST(PlannerCompoundTest, CompoundSelectIntoGraphFuses) {
+  ScopedFusion fusion(true);
+  Plan plan = MustPlan(
+      "f = select(t, \"tag = java or tag = go\")\n"
+      "g = graph(f, \"src\", \"dst\")\n"
+      "pagerank(g, 20)\n",
+      Bind());
+  EXPECT_EQ(FusePlan(&plan), 1);
+  EXPECT_NE(
+      PlanToString(plan).find(
+          "filtered_graph(#0, tag = \"java\" or tag = \"go\", src, dst)"),
+      std::string::npos)
+      << PlanToString(plan);
+}
+
+// Every leaf is resolved against the schema, wherever it sits in the DNF:
+// diagnostics must fire for a bad column or literal in any AND-group.
+TEST(PlannerCompoundTest, DiagnosticsCoverEveryLeaf) {
+  ExpectPlanError("select(t, \"src = 1 and zz = 2\")",
+                  "no column 'zz' in [src:int, dst:int, w:float, tag:string]",
+                  Bind());
+  ExpectPlanError("select(t, \"tag = java or src = go\")",
+                  "predicate literal type does not match int column 'src'",
+                  Bind());
+  ExpectPlanError("select(t, \"src = 1 and\")", "empty clause", Bind());
+}
+
+TEST(PlannerCompoundTest, IntCoercionAppliesPerLeaf) {
+  // The int→float coercion runs on each leaf independently.
+  const Plan plan = MustPlan("select(t, \"w > 2 or w < 1\")", Bind());
+  EXPECT_NE(PlanToString(plan).find("select(#0, w > 2 or w < 1)"),
+            std::string::npos);
+}
+
 TEST(PlannerErrorTest, TableGraphKindMismatch) {
   ExpectPlanError("pagerank(t)",
                   "argument 1 of 'pagerank' is a table, expected a graph",

@@ -147,6 +147,33 @@ TEST(QueryE2ETest, FusedSelectGraphIsBitIdenticalAndSkipsTheSelect) {
   RunBothWays(kPipelineScript, opts, "select+graph pipeline");
 }
 
+// Compound (and/or) predicates through both execution paths: the fused
+// filtered_graph carries the whole DNF, and must keep exactly the rows
+// the unfused select keeps.
+TEST(QueryE2ETest, CompoundSelectFusedAndUnfusedAgree) {
+  RunOptions opts;
+  opts.bindings["t"] = MakeEdgeTable(4000, nullptr);
+  RunBothWays(
+      "f = select(t, \"tag = java and w >= 0.5 or src = 3\")\n"
+      "g = graph(f, \"src\", \"dst\")\n"
+      "pr = pagerank(g, 8)\n"
+      "top_k(pr, \"Score\", 10)\n",
+      opts, "compound select+graph pipeline");
+  const RunResult r = RunBothWays(
+      "select(t, \"tag = cpp and w < 0.3 or tag = java and w > 0.8\")", opts,
+      "compound select root");
+  ASSERT_NE(r.table, nullptr);
+  // Spot-check the DNF semantics against a hand evaluation.
+  const TablePtr t = opts.bindings["t"];
+  int64_t want = 0;
+  for (int64_t i = 0; i < t->NumRows(); ++i) {
+    const bool cpp = t->column(3).GetStr(i) == t->pool()->Find("cpp");
+    const double w = t->column(2).GetFloat(i);
+    if ((cpp && w < 0.3) || (!cpp && w > 0.8)) ++want;
+  }
+  EXPECT_EQ(r.table->NumRows(), want);
+}
+
 TEST(QueryE2ETest, ProjectPushdownAndGroupByPruneAreBitIdentical) {
   RunOptions opts;
   opts.bindings["t"] = MakeEdgeTable(3000, nullptr);
